@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's ablations experiment.
+
+Regenerates the ablations rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_ablations.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import ablations as experiment
+
+
+def bench_ablations(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'arrivals' experiment
+(beyond-the-paper validation; see repro/experiments/arrival_patterns.py).
+
+Run with:
+
+    pytest benchmarks/bench_arrival_patterns.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import arrival_patterns as experiment
+
+
+def bench_arrival_patterns(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'eventsim' experiment
+(beyond-the-paper validation; see repro/experiments/eventsim_validation.py).
+
+Run with:
+
+    pytest benchmarks/bench_eventsim_validation.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import eventsim_validation as experiment
+
+
+def bench_eventsim_validation(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's extensions experiment.
+
+Regenerates the extensions rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_extensions.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import extensions as experiment
+
+
+def bench_extensions(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

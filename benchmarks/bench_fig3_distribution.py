@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig3 experiment.
+
+Regenerates the fig3 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig3_distribution.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig3_distribution as experiment
+
+
+def bench_fig3_distribution(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

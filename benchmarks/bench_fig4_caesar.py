@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig4 experiment.
+
+Regenerates the fig4 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig4_caesar.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig4_caesar as experiment
+
+
+def bench_fig4_caesar(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

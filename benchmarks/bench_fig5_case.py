@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig5 experiment.
+
+Regenerates the fig5 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig5_case.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig5_case as experiment
+
+
+def bench_fig5_case(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

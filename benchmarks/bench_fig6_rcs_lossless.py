@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig6 experiment.
+
+Regenerates the fig6 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig6_rcs_lossless.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig6_rcs_lossless as experiment
+
+
+def bench_fig6_rcs_lossless(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig7 experiment.
+
+Regenerates the fig7 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig7_rcs_lossy.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig7_rcs_lossy as experiment
+
+
+def bench_fig7_rcs_lossy(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

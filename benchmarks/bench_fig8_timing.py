@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's fig8 experiment.
+
+Regenerates the fig8 rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_fig8_timing.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import fig8_timing as experiment
+
+
+def bench_fig8_timing(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

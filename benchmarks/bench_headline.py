@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the paper's headline experiment.
+
+Regenerates the headline rows/series on the scaled workload and reports
+how long the full experiment takes. Run with:
+
+    pytest benchmarks/bench_headline.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import headline as experiment
+
+
+def bench_headline(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

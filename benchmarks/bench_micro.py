@@ -1,0 +1,133 @@
+"""Micro-benchmarks of the hot operations.
+
+These are the operations the paper's FPGA prices in hardware; here they
+gauge the *simulator's* throughput (packets/second of pure-Python or
+vectorized paths), which bounds how large a REPRO_SCALE is practical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.cachesim.cache import FlowCache
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.csm import csm_estimate
+from repro.core.mlm import mlm_estimate
+from repro.core.split import split_values_batch
+from repro.hashing.family import BankedIndexer
+from repro.hashing.mix import splitmix64_array
+
+
+@pytest.fixture(scope="module")
+def packet_batch(setup):
+    return setup.trace.packets[:200_000]
+
+
+def bench_hash_throughput(benchmark):
+    ids = np.random.default_rng(0).integers(0, 2**64, size=1_000_000, dtype=np.uint64)
+    benchmark(splitmix64_array, ids)
+
+
+def bench_banked_indexing(benchmark):
+    idx = BankedIndexer(3, 12_500, seed=1)
+    ids = np.random.default_rng(0).integers(0, 2**64, size=200_000, dtype=np.uint64)
+    benchmark(idx.indices, ids)
+
+
+def bench_cache_per_packet_loop(benchmark, packet_batch):
+    def run():
+        cache = FlowCache(8192, 54, policy="lru")
+        cache.process(packet_batch, lambda fid, v, r: None)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_caesar_construction(benchmark, setup, packet_batch):
+    def run():
+        caesar = Caesar(
+            CaesarConfig(cache_entries=8192, entry_capacity=54, k=3, bank_size=4096)
+        )
+        caesar.process(packet_batch)
+        caesar.finalize()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_rcs_vectorized_construction(benchmark, packet_batch):
+    def run():
+        rcs = RCS(RCSConfig(k=3, bank_size=4096))
+        rcs.process(packet_batch)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_split_values_batch(benchmark):
+    rng = np.random.default_rng(1)
+    values = rng.integers(1, 55, size=100_000)
+    benchmark(split_values_batch, values, 3, rng)
+
+
+def bench_csm_query(benchmark):
+    rng = np.random.default_rng(2)
+    w = rng.integers(0, 1000, size=(1_000_000, 3))
+    benchmark(csm_estimate, w, 10_000_000, 12_500)
+
+
+def bench_mlm_query(benchmark):
+    rng = np.random.default_rng(2)
+    w = rng.integers(0, 1000, size=(1_000_000, 3))
+    benchmark(mlm_estimate, w, 10_000_000, 12_500, entry_capacity=54)
+
+
+def bench_tabulation_hashing(benchmark):
+    from repro.hashing.tabulation import TabulationHash
+
+    h = TabulationHash(seed=1)
+    ids = np.random.default_rng(0).integers(0, 2**64, size=1_000_000, dtype=np.uint64)
+    benchmark(h.hash_array, ids)
+
+
+def bench_bitpacked_roundtrip(benchmark):
+    from repro.sram.bitpacked import BitPackedArray
+
+    values = np.random.default_rng(0).integers(0, 2**20, size=37_503).astype(np.int64)
+
+    def run():
+        BitPackedArray.pack(values, 20).unpack()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_pcap_parse(benchmark, tmp_path_factory):
+    from repro.traffic.pcap import read_pcap, write_pcap
+    from repro.types import FiveTuple
+
+    rng = np.random.default_rng(0)
+    headers = [
+        FiveTuple(int(a), int(b), int(p) % 65536, 443, 6)
+        for a, b, p in zip(
+            rng.integers(0, 2**32, 20_000),
+            rng.integers(0, 2**32, 20_000),
+            rng.integers(1024, 65536, 20_000),
+        )
+    ]
+    path = tmp_path_factory.mktemp("pcap") / "bench.pcap"
+    write_pcap(path, headers)
+    benchmark(read_pcap, path)
+
+
+def bench_braids_decode(benchmark, setup):
+    from repro.baselines.counter_braids import CounterBraids, CounterBraidsConfig
+
+    trace = setup.trace
+    cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=trace.num_flows))
+    cb.process(trace.packets[:200_000])
+    sub = np.unique(trace.packets[:200_000])
+
+    def run():
+        cb.decode(sub, iterations=10)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'robustness' experiment
+(seeds x hash families x workload shapes).
+
+Run with:
+
+    pytest benchmarks/bench_robustness.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import robustness as experiment
+
+
+def bench_robustness(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

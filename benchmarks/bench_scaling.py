@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'scaling' experiment
+(scale-invariance of the reproduction strategy).
+
+Run with:
+
+    pytest benchmarks/bench_scaling.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import scaling as experiment
+
+
+def bench_scaling(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'theory' experiment
+(beyond-the-paper validation; see repro/experiments/theory_validation.py).
+
+Run with:
+
+    pytest benchmarks/bench_theory_validation.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import theory_validation as experiment
+
+
+def bench_theory_validation(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

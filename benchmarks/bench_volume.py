@@ -1,0 +1,15 @@
+"""Benchmark + reproduction harness for the 'volume' experiment
+(beyond-the-paper validation; see repro/experiments/volume.py).
+
+Run with:
+
+    pytest benchmarks/bench_volume.py --benchmark-only
+"""
+
+from conftest import run_and_print
+
+from repro.experiments import volume as experiment
+
+
+def bench_volume(benchmark, capsys, setup):
+    run_and_print(benchmark, capsys, experiment.run, setup)

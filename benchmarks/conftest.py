@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark runs on the same scaled paper workload (see
+``repro.experiments.trace_setup``; override with ``REPRO_SCALE``). The
+benchmark *output text* is the reproduction artifact: each bench prints
+the regenerated table(s) alongside its timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    s = standard_setup()
+    print(f"\n[workload] {s.describe()}")
+    return s
+
+
+def run_and_print(benchmark, capsys, runner, setup) -> None:
+    """Benchmark one experiment runner and print its reproduced tables."""
+    result = benchmark.pedantic(runner, args=(setup,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,86 @@
+"""Heavy-hitter detection: find the elephants behind a traffic spike.
+
+The paper's intro motivates per-flow measurement with intrusion
+detection and scanning-host identification. This example simulates a
+link where a handful of flows (a DDoS-ish burst) dwarf normal traffic,
+measures with CAESAR at a small SRAM budget, and checks how well
+querying the sketch recovers the true top-K talkers.
+
+Run:  python examples/heavy_hitter_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.traffic.distributions import calibrate_zipf_to_mean
+from repro.traffic.flows import FlowSet
+from repro.traffic.packets import uniform_stream
+from repro.traffic.trace import Trace
+
+
+def build_attack_trace(seed: int = 11) -> tuple[Trace, np.ndarray]:
+    """Background traffic + 12 injected heavy hitters; returns the
+    trace and the attackers' flow IDs."""
+    rng = np.random.default_rng(seed)
+    background = FlowSet.generate(20_000, calibrate_zipf_to_mean(25.0, 4000), seed=seed)
+    # Attackers: 12 flows at 20-60x the largest background flow.
+    attack_sizes = rng.integers(
+        20 * background.sizes.max(), 60 * background.sizes.max(), size=12
+    ).astype(np.int64)
+    attack_ids = np.arange(1, 13, dtype=np.uint64)  # IDs outside the generator range
+    flows = FlowSet(
+        ids=np.concatenate([background.ids, attack_ids]),
+        sizes=np.concatenate([background.sizes, attack_sizes]),
+    )
+    return Trace(packets=uniform_stream(flows, seed=seed + 1), flows=flows), attack_ids
+
+
+def main() -> None:
+    trace, attack_ids = build_attack_trace()
+    print(f"trace: {trace.num_packets} packets, {trace.num_flows} flows "
+          f"({len(attack_ids)} injected heavy hitters)")
+
+    # k = 5 banks instead of the paper's 3: the median decoder below
+    # then tolerates up to two counters polluted by attacker collisions,
+    # which matters when a few flows are 10^5 x the background.
+    config = repro.CaesarConfig.for_budgets(
+        sram_kb=16.0,
+        cache_kb=4.0,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=5,
+    )
+    caesar = repro.Caesar(config)
+    caesar.process(trace.packets)
+    caesar.finalize()
+
+    # Query *all* candidate flows and rank by estimate. (A deployment
+    # would query the flow IDs logged by the collector.) The robust
+    # counter-median decoder (library extension) is used instead of
+    # plain CSM: ranking by CSM can be polluted by mice that collide
+    # with an attacker on one shared counter, while the median ignores
+    # a single hot counter out of k.
+    estimates = caesar.estimate(trace.flows.ids, method="median", clip_negative=True)
+    k = len(attack_ids)
+    top_idx = np.argsort(estimates)[::-1][:k]
+    detected = set(trace.flows.ids[top_idx].tolist())
+    true_set = set(attack_ids.tolist())
+    recall = len(detected & true_set) / len(true_set)
+
+    print(f"\ntop-{k} by estimated size vs injected attackers: recall {recall:.0%}")
+    print("\nrank  flow id              estimate     actual")
+    truth_lookup = dict(zip(trace.flows.ids.tolist(), trace.flows.sizes.tolist()))
+    for rank, i in enumerate(top_idx, 1):
+        fid = int(trace.flows.ids[i])
+        mark = "  <- attacker" if fid in true_set else ""
+        print(f"{rank:>4}  {fid:<20d} {estimates[i]:>10.0f} {truth_lookup[fid]:>10d}{mark}")
+
+    # Detection is robust because elephants dominate sharing noise —
+    # the same reason Figure 4's scatter hugs y = x for large flows.
+    assert recall >= 0.9, "heavy hitters should be recovered"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Scheme comparison: the paper's evaluation in miniature.
+
+Runs CAESAR, lossless RCS, line-rate (lossy) RCS, and CASE on one
+trace at matched SRAM budgets, then prints accuracy and modeled
+processing time side by side — Figures 4-8 in one table.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.metrics import evaluate, top_flow_are
+from repro.analysis.tables import format_table
+from repro.memmodel.costmodel import caesar_counts, case_counts, rcs_counts
+from repro.memmodel.pipeline import IngressModel
+from repro.traffic.packets import apply_loss
+
+
+def main() -> None:
+    scale = 0.02
+    trace = repro.default_paper_trace(scale=scale, seed=2)
+    truth = trace.flows.sizes
+    ids = trace.flows.ids
+    sram_kb = 91.55 * scale
+    cache_kb = 97.66 * scale
+    model = IngressModel()
+    rows = []
+
+    # CAESAR (paper configuration).
+    caesar = repro.Caesar(
+        repro.CaesarConfig.for_budgets(
+            sram_kb=sram_kb, cache_kb=cache_kb,
+            num_packets=trace.num_packets, num_flows=trace.num_flows,
+        )
+    )
+    caesar.process(trace.packets)
+    caesar.finalize()
+    q = evaluate(caesar.estimate(ids), truth)
+    t = model.process(caesar_counts(caesar.cache.stats, 3))
+    rows.append(
+        ["CAESAR-CSM", q.packet_weighted_are, top_flow_are(caesar.estimate(ids), truth, 30),
+         t.ingress_ns / 1e3, t.loss_rate]
+    )
+
+    # RCS, lossless (Fig. 6) and at the 10x line-rate gap (Fig. 7).
+    for label, loss in (("RCS lossless", 0.0), ("RCS @ line rate", 0.9)):
+        rcs = repro.RCS(repro.RCSConfig.for_budget(sram_kb))
+        packets = apply_loss(trace.packets, loss, seed=5) if loss else trace.packets
+        rcs.process(packets)
+        est = rcs.estimate(ids)
+        q = evaluate(est, truth)
+        t = model.process(rcs_counts(trace.num_packets))
+        rows.append([label, q.packet_weighted_are, top_flow_are(est, truth, 30),
+                     t.ingress_ns / 1e3, t.loss_rate if loss else 0.0])
+
+    # CASE at 2x the budget (Fig. 5's generous setting) — still collapses.
+    case = repro.Case(
+        repro.CaseConfig.for_budgets(
+            sram_kb=2 * sram_kb, cache_kb=cache_kb,
+            num_packets=trace.num_packets, num_flows=trace.num_flows,
+            max_value=float(truth.max()),
+        )
+    )
+    case.process(trace.packets)
+    case.finalize()
+    est = case.estimate(ids)
+    q = evaluate(est, truth)
+    t = model.process(case_counts(case.cache.stats))
+    rows.append(["CASE (2x SRAM)", q.packet_weighted_are, top_flow_are(est, truth, 30),
+                 t.ingress_ns / 1e3, 0.0])
+
+    print(format_table(
+        ["scheme", "ARE (pkt-weighted)", "ARE (top-30 flows)", "time (us, model)", "loss"],
+        rows,
+        title=f"n={trace.num_packets}, Q={trace.num_flows}, SRAM~{sram_kb:.2f}KB",
+    ))
+    print("\nExpected shape (paper): CAESAR ~ RCS-lossless accuracy; "
+          "RCS@line-rate error ~ its 90% loss; CASE collapses; "
+          "CAESAR fastest.")
+    print("Loss column is the steady-state memory-path model: RCS pays "
+          "one off-chip update per packet (0.9 at the 10x gap). CAESAR's "
+          "nonzero value reflects the shuffled synthetic arrival, which "
+          "maximizes replacement evictions; real traces have temporal "
+          "locality, which drives its eviction rate — and loss — toward "
+          "zero (try bursty_stream).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Accuracy metrics, binned error series, and report rendering."""
+
+from repro.analysis.metrics import (
+    BinnedErrors,
+    EstimateQuality,
+    binned_errors,
+    ci_coverage,
+    evaluate,
+    relative_errors,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "BinnedErrors",
+    "EstimateQuality",
+    "binned_errors",
+    "ci_coverage",
+    "evaluate",
+    "format_series",
+    "format_table",
+    "relative_errors",
+]

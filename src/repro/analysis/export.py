@@ -1,0 +1,84 @@
+"""CSV export of experiment artifacts (for external plotting).
+
+The benchmark harness prints tables; anyone regenerating the paper's
+*figures* graphically needs the raw series. These helpers write plain
+CSV (no extra dependencies) for the binned-error series, generic
+x/y-series, and a whole :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.metrics import BinnedErrors
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+
+
+def export_binned_errors(path: str | Path, bins: BinnedErrors) -> Path:
+    """One row per size bin: the (c)/(d) panel series of Figs. 4-7."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["bin_lo", "bin_hi", "flows", "mean_abs_rel_error",
+             "mean_signed_rel_error", "mean_estimate", "mean_truth"]
+        )
+        for i in range(len(bins.count)):
+            if bins.count[i] == 0:
+                continue
+            writer.writerow(
+                [
+                    int(bins.bin_lo[i]),
+                    int(bins.bin_hi[i]) - 1,
+                    int(bins.count[i]),
+                    float(bins.mean_abs_rel_error[i]),
+                    float(bins.mean_signed_rel_error[i]),
+                    float(bins.mean_estimate[i]),
+                    float(bins.mean_truth[i]),
+                ]
+            )
+    return path
+
+
+def export_series(
+    path: str | Path,
+    headers: Sequence[str],
+    columns: Sequence[Sequence[object]],
+) -> Path:
+    """Column-oriented series (e.g. the Fig. 8 time-vs-packets sweep)."""
+    if not columns or any(len(c) != len(columns[0]) for c in columns):
+        raise ConfigError("columns must be non-empty and equal-length")
+    if len(headers) != len(columns):
+        raise ConfigError("one header per column required")
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in zip(*columns):
+            writer.writerow(row)
+    return path
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write one experiment's artifacts: ``<id>_measured.csv`` with the
+    headline numbers and ``<id>_report.txt`` with the rendered tables.
+    Returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    measured_path = directory / f"{result.experiment_id}_measured.csv"
+    with open(measured_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "measured", "paper_reference"])
+        for key, value in result.measured.items():
+            writer.writerow([key, value, result.paper_reference.get(key, "")])
+    written.append(measured_path)
+
+    report_path = directory / f"{result.experiment_id}_report.txt"
+    report_path.write_text(result.render() + "\n")
+    written.append(report_path)
+    return written

@@ -1,0 +1,81 @@
+"""Heavy-hitter detection metrics.
+
+The paper motivates per-flow measurement with intrusion detection and
+elephant identification; the heavy-hitter example and tests need the
+standard detection metrics: given estimated sizes, rank flows and
+score the predicted top-k (or threshold set) against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Precision/recall/F1 of one detection set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _score(predicted: set[int], actual: set[int]) -> DetectionQuality:
+    return DetectionQuality(
+        true_positives=len(predicted & actual),
+        false_positives=len(predicted - actual),
+        false_negatives=len(actual - predicted),
+    )
+
+
+def top_k_detection(
+    flow_ids: npt.NDArray[np.uint64],
+    estimates: npt.NDArray[np.float64],
+    truth: npt.NDArray[np.int64],
+    k: int,
+) -> DetectionQuality:
+    """Score the estimated top-k against the true top-k."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not (len(flow_ids) == len(estimates) == len(truth)):
+        raise ConfigError("flow_ids, estimates, truth must align")
+    k = min(k, len(flow_ids))
+    pred = set(flow_ids[np.argsort(estimates)[::-1][:k]].tolist())
+    act = set(flow_ids[np.argsort(truth)[::-1][:k]].tolist())
+    return _score(pred, act)
+
+
+def threshold_detection(
+    flow_ids: npt.NDArray[np.uint64],
+    estimates: npt.NDArray[np.float64],
+    truth: npt.NDArray[np.int64],
+    threshold: float,
+) -> DetectionQuality:
+    """Score 'size >= threshold' classification (e.g. SLA policers)."""
+    if threshold <= 0:
+        raise ConfigError(f"threshold must be > 0, got {threshold}")
+    if not (len(flow_ids) == len(estimates) == len(truth)):
+        raise ConfigError("flow_ids, estimates, truth must align")
+    pred = set(flow_ids[estimates >= threshold].tolist())
+    act = set(flow_ids[truth >= threshold].tolist())
+    return _score(pred, act)

@@ -1,0 +1,61 @@
+"""Plain-text table / series rendering for the benchmark harness.
+
+The benchmark output *is* the reproduction artifact, so these helpers
+print aligned, copy-pasteable tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    x_values: Sequence[object],
+    y_series: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one-x/many-y figure data as a table (one row per x)."""
+    if len(y_labels) != len(y_series):
+        raise ValueError("one label per series required")
+    for series in y_series:
+        if len(series) != len(x_values):
+            raise ValueError("every series must align with x_values")
+    headers = [x_label, *y_labels]
+    rows = [[x, *(series[i] for series in y_series)] for i, x in enumerate(x_values)]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,119 @@
+"""One-call convenience API.
+
+For users who want per-flow estimates from a packet stream without
+assembling the components: :func:`measure` runs the whole CAESAR
+pipeline and returns a queryable result. The class-based API
+(:class:`repro.Caesar`) remains the right tool for streaming, epochs,
+volume, or sharded use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.planner import plan
+from repro.errors import ConfigError
+from repro.types import FlowIdArray
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """A finished measurement: query it, inspect it."""
+
+    caesar: Caesar
+    num_packets: int
+    num_flows_seen: int
+
+    def estimate(
+        self, flow_ids: FlowIdArray, method: str = "csm"
+    ) -> npt.NDArray[np.float64]:
+        """Per-flow size estimates (clipped at zero)."""
+        return self.caesar.estimate(
+            np.asarray(flow_ids, dtype=np.uint64), method, clip_negative=True
+        )
+
+    def top_flows(self, k: int = 10) -> list[tuple[int, float]]:
+        """The k largest flows among those observed, by estimate.
+
+        Uses the flow IDs the cache ever saw (memoized on eviction), so
+        no external flow list is needed.
+        """
+        seen = np.fromiter(self.caesar._index_memo, dtype=np.uint64)  # noqa: SLF001
+        if len(seen) == 0:
+            return []
+        est = self.estimate(seen)
+        order = np.argsort(est)[::-1][:k]
+        return [(int(seen[i]), float(est[i])) for i in order]
+
+    def confidence_interval(
+        self, flow_ids: FlowIdArray, alpha: float = 0.95
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
+        """Clustering-aware (empirical) intervals — the variant that
+        actually covers; see docs/theory.md."""
+        return self.caesar.confidence_interval(
+            np.asarray(flow_ids, dtype=np.uint64),
+            "csm",
+            alpha=alpha,
+            variance_model="empirical",
+        )
+
+
+def measure(
+    packets: FlowIdArray,
+    *,
+    sram_kb: float | None = None,
+    cache_kb: float | None = None,
+    target_rel_error: float | None = None,
+    size_of_interest: int | None = None,
+    k: int = 3,
+    lengths: npt.NDArray[np.int64] | None = None,
+    seed: int = 0xA91,
+) -> MeasurementResult:
+    """Measure a packet stream end to end.
+
+    Either give explicit memory budgets (``sram_kb`` + ``cache_kb``,
+    the paper's setup) or an accuracy goal (``target_rel_error`` +
+    ``size_of_interest``, solved by :mod:`repro.core.planner`).
+    """
+    packets = np.asarray(packets, dtype=np.uint64)
+    if len(packets) == 0:
+        raise ConfigError("cannot measure an empty stream")
+    num_flows = len(np.unique(packets))
+    num_units = int(lengths.sum()) if lengths is not None else len(packets)
+
+    if target_rel_error is not None:
+        if size_of_interest is None:
+            raise ConfigError("size_of_interest is required with target_rel_error")
+        config = plan(
+            num_packets=num_units,
+            num_flows=num_flows,
+            target_rel_error=target_rel_error,
+            size_of_interest=size_of_interest,
+            k=k,
+            seed=seed,
+        ).config
+    elif sram_kb is not None and cache_kb is not None:
+        config = CaesarConfig.for_budgets(
+            sram_kb=sram_kb,
+            cache_kb=cache_kb,
+            num_packets=num_units,
+            num_flows=num_flows,
+            k=k,
+            seed=seed,
+        )
+    else:
+        raise ConfigError(
+            "give either sram_kb+cache_kb or target_rel_error+size_of_interest"
+        )
+
+    caesar = Caesar(config)
+    caesar.process(packets, lengths)
+    caesar.finalize()
+    return MeasurementResult(
+        caesar=caesar, num_packets=len(packets), num_flows_seen=num_flows
+    )

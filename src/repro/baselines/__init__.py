@@ -1,0 +1,22 @@
+"""Baselines and related-work schemes.
+
+The paper evaluates CAESAR against two state-of-the-art schemes, both
+implemented here from scratch:
+
+- :mod:`repro.baselines.rcs` — Randomized Counter Sharing (Li et al.,
+  INFOCOM 2011): cache-free shared counters updated per packet;
+- :mod:`repro.baselines.case` — Cache-Assisted Stretchable Estimator
+  (Li et al., INFOCOM 2016): the same on-chip cache in front of
+  one-counter-per-flow DISCO-compressed counters.
+
+The related-work compressed-counter schemes of Section 2.1 (DISCO,
+SAC, ANLS, CEDAR, ICE-buckets) live in
+:mod:`repro.baselines.compression`, Counter Braids in
+:mod:`repro.baselines.counter_braids`, and generic sketch references
+(Count-Min) in :mod:`repro.baselines.countmin`.
+"""
+
+from repro.baselines.case import Case, CaseConfig
+from repro.baselines.rcs import RCS, RCSConfig
+
+__all__ = ["Case", "CaseConfig", "RCS", "RCSConfig"]

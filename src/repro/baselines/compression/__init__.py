@@ -1,0 +1,28 @@
+"""Compressed-counter substrate (related work, Section 2.1).
+
+Single-counter-per-flow schemes store a *compressed* value ``c`` whose
+represented (estimated) size is ``rep(c)``; increments advance ``c``
+probabilistically so that ``rep`` stays unbiased. CASE builds on the
+DISCO curve; SAC, ANLS, CEDAR, and ICE-buckets are the other
+compression schemes the paper's related-work section surveys, included
+here as extension baselines.
+"""
+
+from repro.baselines.compression.base import CompressedCounterArray, CompressionCurve
+from repro.baselines.compression.anls import AnlsCurve, AnlsSketch
+from repro.baselines.compression.cedar import CedarSketch
+from repro.baselines.compression.disco import DiscoCurve, DiscoSketch
+from repro.baselines.compression.icebuckets import IceBucketsSketch
+from repro.baselines.compression.sac import SacSketch
+
+__all__ = [
+    "AnlsCurve",
+    "AnlsSketch",
+    "CedarSketch",
+    "CompressedCounterArray",
+    "CompressionCurve",
+    "DiscoCurve",
+    "DiscoSketch",
+    "IceBucketsSketch",
+    "SacSketch",
+]

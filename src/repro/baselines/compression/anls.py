@@ -1,0 +1,91 @@
+"""ANLS — Adaptive Non-Linear Sampling (Hu et al., INFOCOM 2008).
+
+Exponential compression: stored value ``c`` represents
+
+    rep(c) = ((1 + omega)^c - 1) / omega
+
+so increments get geometrically rarer as the counter grows. ``omega``
+trades accuracy (relative error ~ sqrt(omega/2)) against range; the
+constructor can calibrate it so the counter capacity covers a target
+maximum value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.baselines.compression.base import CompressedCounterArray, CompressionCurve
+from repro.errors import ConfigError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+
+class AnlsCurve(CompressionCurve):
+    """``rep(c) = ((1+omega)^c - 1) / omega`` (exponential stretch)."""
+
+    def __init__(self, omega: float) -> None:
+        if omega <= 0:
+            raise ConfigError(f"omega must be > 0, got {omega}")
+        self.omega = float(omega)
+
+    @classmethod
+    def for_range(cls, capacity: int, max_value: float) -> "AnlsCurve":
+        """Calibrate omega so ``rep(capacity) >= max_value`` (bisection).
+
+        A larger omega stretches further but is noisier; this returns
+        the *smallest* omega covering the range, i.e. the most accurate
+        counter that still cannot overflow before ``max_value``.
+        """
+        if capacity < 2:
+            raise ConfigError("need capacity >= 2 to calibrate")
+        lo, hi = 1e-9, 10.0
+        if ((1 + hi) ** capacity - 1) / hi < max_value:
+            raise ConfigError(
+                f"capacity {capacity} cannot stretch to {max_value:g} "
+                "even at omega = 10; use a wider counter"
+            )
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            r = ((1 + mid) ** capacity - 1) / mid
+            if r >= max_value:
+                hi = mid
+            else:
+                lo = mid
+        return cls(hi)
+
+    def rep(self, c: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+        c = np.asarray(c, dtype=np.float64)
+        return ((1.0 + self.omega) ** c - 1.0) / self.omega
+
+    def inverse(self, v: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+        v = np.asarray(v, dtype=np.float64)
+        return np.log1p(self.omega * np.maximum(v, 0.0)) / np.log1p(self.omega)
+
+
+class AnlsSketch:
+    """Standalone ANLS: hashed slot per flow, per-packet updates."""
+
+    def __init__(
+        self,
+        num_counters: int,
+        counter_capacity: int,
+        max_value: float,
+        seed: int = 0xA9315,
+    ) -> None:
+        self.curve = AnlsCurve.for_range(counter_capacity, max_value)
+        self.array = CompressedCounterArray(
+            self.curve, num_counters, counter_capacity, seed=seed
+        )
+        self._family = HashFamily(1, seed=seed ^ 0xF10)
+        self.num_counters = num_counters
+
+    def _slots(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        h = self._family.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_counters)).astype(np.int64)
+
+    def process(self, packets: FlowIdArray) -> None:
+        self.array.increment_batch(self._slots(packets))
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        return self.array.estimate(self._slots(flow_ids))

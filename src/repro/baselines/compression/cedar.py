@@ -1,0 +1,107 @@
+"""CEDAR — shared-estimator counters (Tsidon et al., INFOCOM 2012).
+
+"Estimators also need shared values to grow together": all counters
+store *indices into one shared estimation-level table* ``L_0 < L_1 <
+... < L_max``; a packet advances a counter from level ``i`` to ``i+1``
+with probability ``1 / (L_{i+1} - L_i)``, and the estimate is simply
+``L_i``. CEDAR's optimal level table for a relative-error target
+``delta`` uses geometrically growing gaps
+
+    L_{i+1} = L_i + (1 + 2 delta^2 L_i)
+
+which this implementation reproduces, calibrating ``delta`` to cover a
+required maximum value within the index capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+
+def cedar_levels(delta: float, capacity: int) -> npt.NDArray[np.float64]:
+    """The shared estimation-level table ``L_0..L_capacity``."""
+    if delta <= 0:
+        raise ConfigError(f"delta must be > 0, got {delta}")
+    levels = np.empty(capacity + 1, dtype=np.float64)
+    levels[0] = 0.0
+    for i in range(capacity):
+        levels[i + 1] = levels[i] + 1.0 + 2.0 * delta * delta * levels[i]
+    return levels
+
+
+def calibrate_delta(capacity: int, max_value: float) -> float:
+    """Smallest delta whose level table reaches ``max_value`` (bisection)."""
+    if capacity < 2:
+        raise ConfigError("need capacity >= 2 to calibrate")
+    lo, hi = 1e-6, 2.0
+    if cedar_levels(hi, capacity)[-1] < max_value:
+        raise ConfigError("max_value unreachable even with delta = 2")
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if cedar_levels(mid, capacity)[-1] >= max_value:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+class CedarSketch:
+    """An array of CEDAR counters over one shared level table."""
+
+    def __init__(
+        self,
+        num_counters: int,
+        counter_capacity: int,
+        max_value: float,
+        seed: int = 0xCEDA,
+    ) -> None:
+        if num_counters < 1:
+            raise ConfigError(f"num_counters must be >= 1, got {num_counters}")
+        self.num_counters = int(num_counters)
+        self.counter_capacity = int(counter_capacity)
+        self.delta = calibrate_delta(counter_capacity, max_value)
+        self.levels = cedar_levels(self.delta, counter_capacity)
+        # Advance probabilities between consecutive levels.
+        self._probs = np.minimum(1.0, 1.0 / np.diff(self.levels))
+        self._values = np.zeros(self.num_counters, dtype=np.int64)
+        self._rng = np.random.default_rng(seed)
+        self._family = HashFamily(1, seed=seed ^ 0xF10)
+        self.saturated_updates = 0
+
+    def _slots(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        h = self._family.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_counters)).astype(np.int64)
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Per-packet probabilistic level advances."""
+        slots = self._slots(packets)
+        uniforms = self._rng.random(len(slots))
+        values = self._values
+        cap = self.counter_capacity
+        probs = self._probs
+        saturated = 0
+        for i, idx in enumerate(slots.tolist()):
+            c = values[idx]
+            if c >= cap:
+                saturated += 1
+                continue
+            if uniforms[i] < probs[c]:
+                values[idx] = c + 1
+        self.saturated_updates += saturated
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Shared-table lookup: the estimate of level ``i`` is ``L_i``."""
+        return self.levels[self._values[self._slots(flow_ids)]]
+
+    @property
+    def bits_per_counter(self) -> int:
+        return max(1, int(np.ceil(np.log2(self.counter_capacity + 1))))
+
+    @property
+    def memory_kilobytes(self) -> float:
+        return self.num_counters * self.bits_per_counter / 8192.0

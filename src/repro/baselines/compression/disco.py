@@ -1,0 +1,81 @@
+"""DISCO-style polynomial compression (Hu et al., ICDCS 2010).
+
+DISCO regresses the stored counter onto the real count with a
+polynomial curve: stored value ``c`` represents ``rep(c) = a * c^gamma``
+with ``gamma > 1``, so the counter grows like ``n^(1/gamma)`` and a
+few stored bits cover a large dynamic range. The scale ``a`` is
+calibrated so the largest storable value represents ``max_value``:
+
+    a = max_value / capacity^gamma
+
+Updating by an arbitrary value (CASE's eviction path) requires
+``inverse(v) = (v / a)^(1/gamma)`` — the "power operation" the CAESAR
+paper charges CASE's time budget with.
+
+:class:`DiscoSketch` is the standalone per-packet scheme (one hashed
+counter per flow, probabilistic increments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.baselines.compression.base import CompressedCounterArray, CompressionCurve
+from repro.errors import ConfigError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+
+class DiscoCurve(CompressionCurve):
+    """``rep(c) = a * c^gamma``, calibrated to a maximum value."""
+
+    def __init__(self, gamma: float, capacity: int, max_value: float) -> None:
+        if gamma < 1.0:
+            raise ConfigError(f"gamma must be >= 1, got {gamma}")
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if max_value <= 0:
+            raise ConfigError(f"max_value must be > 0, got {max_value}")
+        self.gamma = float(gamma)
+        self.capacity = int(capacity)
+        self.scale = max_value / capacity**self.gamma
+
+    def rep(self, c: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+        c = np.asarray(c, dtype=np.float64)
+        return self.scale * c**self.gamma
+
+    def inverse(self, v: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+        v = np.asarray(v, dtype=np.float64)
+        return (np.maximum(v, 0.0) / self.scale) ** (1.0 / self.gamma)
+
+
+class DiscoSketch:
+    """Standalone DISCO: one compressed counter per hashed flow slot."""
+
+    def __init__(
+        self,
+        num_counters: int,
+        counter_capacity: int,
+        max_value: float,
+        gamma: float = 2.0,
+        seed: int = 0xD15C0,
+    ) -> None:
+        self.curve = DiscoCurve(gamma, counter_capacity, max_value)
+        self.array = CompressedCounterArray(
+            self.curve, num_counters, counter_capacity, seed=seed
+        )
+        self._family = HashFamily(1, seed=seed ^ 0xF10)
+        self.num_counters = num_counters
+
+    def _slots(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        h = self._family.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_counters)).astype(np.int64)
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Per-packet probabilistic increments."""
+        self.array.increment_batch(self._slots(packets))
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Decompressed per-flow estimates."""
+        return self.array.estimate(self._slots(flow_ids))

@@ -1,0 +1,105 @@
+"""SAC — Small Active Counters (Stanojevic, INFOCOM 2007).
+
+A floating-point-like counter: ``q`` mantissa bits ``A`` and ``r``
+exponent bits ``mode``, representing
+
+    rep(A, mode) = A * 2^(ell * mode)
+
+with a global scale parameter ``ell``. A packet increments ``A`` with
+probability ``2^(-ell * mode)``; when the mantissa overflows, the
+exponent is bumped and the mantissa renormalized (divided by
+``2^ell``, with probabilistic rounding to stay unbiased).
+
+This is the mantissa/exponent member of the Section 2.1 compression
+family — unlike curve-based schemes the stored state is a *pair*, so it
+gets its own implementation rather than a :class:`CompressionCurve`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+
+class SacSketch:
+    """An array of SAC counters, one hashed slot per flow."""
+
+    def __init__(
+        self,
+        num_counters: int,
+        mantissa_bits: int = 6,
+        exponent_bits: int = 4,
+        ell: int = 2,
+        seed: int = 0x5AC,
+    ) -> None:
+        if num_counters < 1:
+            raise ConfigError(f"num_counters must be >= 1, got {num_counters}")
+        if mantissa_bits < 1 or exponent_bits < 1:
+            raise ConfigError("mantissa_bits and exponent_bits must be >= 1")
+        if ell < 1:
+            raise ConfigError(f"ell must be >= 1, got {ell}")
+        self.num_counters = int(num_counters)
+        self.mantissa_bits = int(mantissa_bits)
+        self.exponent_bits = int(exponent_bits)
+        self.ell = int(ell)
+        self.mantissa_max = (1 << mantissa_bits) - 1
+        self.exponent_max = (1 << exponent_bits) - 1
+        self._mantissa = np.zeros(self.num_counters, dtype=np.int64)
+        self._exponent = np.zeros(self.num_counters, dtype=np.int64)
+        self._rng = np.random.default_rng(seed)
+        self._family = HashFamily(1, seed=seed ^ 0xF10)
+        self.saturated_updates = 0
+
+    # -- updates -----------------------------------------------------------
+
+    def _slots(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        h = self._family.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_counters)).astype(np.int64)
+
+    def _renormalize(self, idx: int) -> None:
+        """Mantissa overflow: bump exponent, shrink mantissa unbiasedly."""
+        if self._exponent[idx] >= self.exponent_max:
+            self.saturated_updates += 1
+            self._mantissa[idx] = self.mantissa_max
+            return
+        shrink = self._mantissa[idx] / float(1 << self.ell)
+        base = int(shrink)
+        frac = shrink - base
+        self._mantissa[idx] = base + (1 if self._rng.random() < frac else 0)
+        self._exponent[idx] += 1
+
+    def increment(self, idx: int) -> None:
+        """One packet: advance mantissa w.p. ``2^(-ell * mode)``."""
+        mode = self._exponent[idx]
+        p = 2.0 ** (-self.ell * mode)
+        if p >= 1.0 or self._rng.random() < p:
+            m = self._mantissa[idx] + 1
+            if m > self.mantissa_max:
+                self._mantissa[idx] = self.mantissa_max
+                self._renormalize(idx)
+            else:
+                self._mantissa[idx] = m
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Per-packet updates for a whole stream (sequential semantics)."""
+        for idx in self._slots(packets).tolist():
+            self.increment(idx)
+
+    # -- reads ---------------------------------------------------------------
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Represented sizes ``A * 2^(ell * mode)`` for queried flows."""
+        slots = self._slots(flow_ids)
+        return self._mantissa[slots] * 2.0 ** (self.ell * self._exponent[slots])
+
+    @property
+    def bits_per_counter(self) -> int:
+        return self.mantissa_bits + self.exponent_bits
+
+    @property
+    def memory_kilobytes(self) -> float:
+        return self.num_counters * self.bits_per_counter / 8192.0

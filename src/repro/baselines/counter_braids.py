@@ -1,0 +1,279 @@
+"""Counter Braids (Lu et al., SIGMETRICS 2008) — single-layer variant
+with iterative message-passing decoding.
+
+The related-work shared-counter architecture the paper contrasts with
+(Section 2.1): each flow hashes to ``d`` counters (all shared), every
+packet increments *all* of them, and flow sizes are recovered offline
+by message passing over the flow/counter bipartite graph:
+
+- counter-to-flow message: ``c_j - sum of other flows' current
+  estimates`` (how much of the counter is "left over" for this flow);
+- flow estimate: min over its counters of the incoming messages
+  (counters only over-count, never under-count).
+
+Iterating min/max messages converges to the true sizes when the graph
+is sparse enough (asymptotically optimal per Lu et al.); with heavy
+load it still yields a tight upper bound. Decoding needs the flow
+list, which the offline query phase has.
+
+The per-packet cost is ``d`` SRAM accesses — the "per-arrival packet
+updates at least three counters" drawback the CAESAR paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError, QueryError
+from repro.hashing.family import BankedIndexer
+from repro.sram.counterarray import BankedCounterArray
+from repro.types import FlowIdArray
+
+
+def _leave_one_out_min(m: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+    """Row-wise min over all columns except each column itself.
+
+    Computed from the row minimum and second minimum — O(F*d), no
+    per-edge Python loop.
+    """
+    order = np.argsort(m, axis=1)
+    first = np.take_along_axis(m, order[:, :1], axis=1)  # row min
+    second = np.take_along_axis(m, order[:, 1:2], axis=1)  # second min
+    out = np.broadcast_to(first, m.shape).copy()
+    rows = np.arange(len(m))
+    out[rows, order[:, 0]] = second[:, 0]
+    return out
+
+
+def message_passing_decode(
+    counter_values: npt.NDArray[np.float64],
+    idx: npt.NDArray[np.int64],
+    iterations: int = 20,
+) -> npt.NDArray[np.float64]:
+    """Edge-based min-sum message passing on a flow/counter bipartite
+    graph (the decoder of Lu et al. 2008).
+
+    ``counter_values`` are the (possibly already layer-corrected)
+    counter contents indexed globally; ``idx`` has shape ``(F, d)`` —
+    row ``i`` lists flow ``i``'s counters. Messages live on edges:
+
+    - flow -> counter: the leave-one-out minimum of the counter ->
+      flow messages (clipped at 0 — sizes are non-negative);
+    - counter -> flow: the counter value minus every *other* incident
+      flow's message.
+
+    The final estimate is the minimum incoming message per flow.
+    Shared by the single- and two-layer braids. Exact on sparse graphs;
+    an upper bound under overload.
+    """
+    if len(idx) == 0:
+        return np.zeros(0)
+    d = idx.shape[1]
+    if d == 1:
+        # Degenerate graph: a counter's value is the only information.
+        return np.clip(counter_values[idx[:, 0]].astype(np.float64), 0.0, None)
+    num_counters = len(counter_values)
+    # counter -> flow messages, initialized with the raw counter values.
+    m_in = counter_values[idx].astype(np.float64).copy()
+    est = np.clip(m_in.min(axis=1), 0.0, None)
+    for _ in range(iterations):
+        # flow -> counter: leave-one-out min of incoming, clipped at 0.
+        m_out = np.clip(_leave_one_out_min(m_in), 0.0, None)
+        # counter -> flow: value minus the other incident flows' mass.
+        load = np.zeros(num_counters)
+        np.add.at(load, idx.ravel(), m_out.ravel())
+        m_in = counter_values[idx] - (load[idx] - m_out)
+        new_est = np.clip(m_in.min(axis=1), 0.0, None)
+        if np.allclose(new_est, est, atol=1e-9):
+            return new_est
+        est = new_est
+    return est
+
+
+@dataclass(frozen=True)
+class CounterBraidsConfig:
+    """Parameters: ``d`` counters per flow over ``d`` banks of ``bank_size``."""
+
+    d: int = 3
+    bank_size: int = 4096
+    counter_capacity: int = 2**30
+    seed: int = 0xB2A1D5
+
+    def __post_init__(self) -> None:
+        if self.d < 2:
+            raise ConfigError(f"d must be >= 2, got {self.d}")
+        if self.bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {self.bank_size}")
+
+
+class CounterBraids:
+    """Single-layer Counter Braids with min-sum decoding."""
+
+    def __init__(self, config: CounterBraidsConfig) -> None:
+        self.config = config
+        self.indexer = BankedIndexer(config.d, config.bank_size, seed=config.seed)
+        self.counters = BankedCounterArray(
+            k=config.d,
+            bank_size=config.bank_size,
+            counter_capacity=config.counter_capacity,
+        )
+        self._packets_seen = 0
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Every packet increments all ``d`` of its flow's counters."""
+        packets = np.asarray(packets, dtype=np.uint64)
+        if len(packets) == 0:
+            return
+        uniq, counts = np.unique(packets, return_counts=True)
+        idx = self.indexer.indices(uniq)  # (U, d)
+        self.counters.add_at(idx.ravel(), np.repeat(counts, self.config.d))
+        self._packets_seen += len(packets)
+
+    def decode(
+        self,
+        flow_ids: FlowIdArray,
+        iterations: int = 20,
+    ) -> npt.NDArray[np.float64]:
+        """Message-passing decode of all listed flows' sizes.
+
+        ``flow_ids`` must contain every flow that touched the braid —
+        message passing reasons about *all* mass in each counter, so a
+        partial list would mis-attribute the missing flows' packets.
+        """
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        if len(flow_ids) == 0:
+            return np.zeros(0)
+        idx = self.indexer.indices(flow_ids)  # (F, d) global counter indices
+        return message_passing_decode(
+            self.counters.values.astype(np.float64), idx, iterations
+        )
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Alias for :meth:`decode` (FlowSizeEstimator protocol).
+
+        Note the full-flow-list requirement documented on decode.
+        """
+        if self._packets_seen == 0:
+            raise QueryError("nothing recorded yet")
+        return self.decode(flow_ids)
+
+    @property
+    def num_packets(self) -> int:
+        return self._packets_seen
+
+
+@dataclass(frozen=True)
+class TwoLayerBraidsConfig:
+    """The original two-layer geometry of Lu et al.
+
+    Layer 1: ``d1`` shallow counters per flow, ``layer1_bits`` wide.
+    Layer 2: ``d2`` deep counters per *overflowing layer-1 counter*.
+    Layer 1 absorbs the mice in a few bits; elephants carry into the
+    much smaller layer 2 — the memory-compression trick the CAESAR
+    paper credits the scheme with (at the cost of >= d1 memory accesses
+    per packet).
+    """
+
+    d1: int = 3
+    layer1_bank: int = 4096
+    layer1_bits: int = 8
+    d2: int = 3
+    layer2_bank: int = 512
+    seed: int = 0xB2A1D2
+
+    def __post_init__(self) -> None:
+        if self.d1 < 2 or self.d2 < 2:
+            raise ConfigError("d1 and d2 must be >= 2")
+        if self.layer1_bank < 1 or self.layer2_bank < 1:
+            raise ConfigError("bank sizes must be >= 1")
+        if not 1 <= self.layer1_bits <= 32:
+            raise ConfigError("layer1_bits must be in [1, 32]")
+
+    @property
+    def memory_kilobytes(self) -> float:
+        layer1 = self.d1 * self.layer1_bank * (self.layer1_bits + 1)  # +1 status bit
+        layer2 = self.d2 * self.layer2_bank * 32  # deep counters
+        return (layer1 + layer2) / 8192.0
+
+
+class TwoLayerCounterBraids:
+    """Two-layer Counter Braids with layered message-passing decoding.
+
+    Layer-1 counters store values modulo ``2^layer1_bits``; every wrap
+    sends one carry into the counter's ``d2`` layer-2 counters. Decoding
+    runs message passing twice: first on layer 2 (whose "flows" are the
+    layer-1 counters, recovering each one's carry count), then on the
+    carry-corrected layer 1.
+    """
+
+    def __init__(self, config: TwoLayerBraidsConfig) -> None:
+        self.config = config
+        self.l1_indexer = BankedIndexer(config.d1, config.layer1_bank, seed=config.seed)
+        self.l2_indexer = BankedIndexer(
+            config.d2, config.layer2_bank, seed=config.seed ^ 0x2A
+        )
+        self._l1 = np.zeros(config.d1 * config.layer1_bank, dtype=np.int64)
+        self._l2 = np.zeros(config.d2 * config.layer2_bank, dtype=np.int64)
+        # Overflow status bits (1 bit per layer-1 counter, as in the
+        # original design): the decoder must know *which* layer-1
+        # counters ever wrapped, otherwise the layer-2 graph is flooded
+        # with phantom zero-carry flows and message passing collapses.
+        self._overflowed = np.zeros(config.d1 * config.layer1_bank, dtype=bool)
+        self._wrap = 1 << config.layer1_bits
+        self._packets_seen = 0
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Every packet increments all d1 layer-1 counters; wraps carry
+        into layer 2 (vectorized per distinct flow)."""
+        packets = np.asarray(packets, dtype=np.uint64)
+        if len(packets) == 0:
+            return
+        uniq, counts = np.unique(packets, return_counts=True)
+        idx = self.l1_indexer.indices(uniq)
+        np.add.at(self._l1, idx.ravel(), np.repeat(counts, self.config.d1))
+        # Resolve carries: each full wrap of a layer-1 counter is one
+        # increment of its d2 layer-2 counters.
+        carries, self._l1 = np.divmod(self._l1, self._wrap)
+        overflowed = np.nonzero(carries)[0]
+        if len(overflowed):
+            self._overflowed[overflowed] = True
+            l2_idx = self.l2_indexer.indices(overflowed.astype(np.uint64))
+            np.add.at(
+                self._l2,
+                l2_idx.ravel(),
+                np.repeat(carries[overflowed], self.config.d2),
+            )
+        self._packets_seen += len(packets)
+
+    @property
+    def num_packets(self) -> int:
+        return self._packets_seen
+
+    def decode(self, flow_ids: FlowIdArray, iterations: int = 25) -> npt.NDArray[np.float64]:
+        """Layered decode of all listed flows (full-list requirement as
+        in the single-layer braid)."""
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        if len(flow_ids) == 0:
+            return np.zeros(0)
+        # Layer 2 first: recover the carry count of every layer-1
+        # counter whose status bit is set (the others carried nothing).
+        carriers = np.nonzero(self._overflowed)[0]
+        carries = np.zeros(len(self._l1))
+        if len(carriers):
+            l2_idx = self.l2_indexer.indices(carriers.astype(np.uint64))
+            carries[carriers] = message_passing_decode(
+                self._l2.astype(np.float64), l2_idx, iterations
+            )
+        corrected = self._l1.astype(np.float64) + carries * self._wrap
+        # Then layer 1 with wrap-corrected values.
+        idx = self.l1_indexer.indices(flow_ids)
+        return message_passing_decode(corrected, idx, iterations)
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """FlowSizeEstimator protocol alias for :meth:`decode`."""
+        if self._packets_seen == 0:
+            raise QueryError("nothing recorded yet")
+        return self.decode(flow_ids)

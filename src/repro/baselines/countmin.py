@@ -1,0 +1,86 @@
+"""Count-Min sketch and conservative update — reference sketches.
+
+Not evaluated in the paper, but the de-facto standard shared-counter
+frequency sketches; included so the accuracy harness has a familiar
+yardstick (and because CAESAR's banked layout *is* a Count-Min layout
+with a different update/decode rule, which makes the comparison
+instructive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing.family import BankedIndexer
+from repro.sram.counterarray import BankedCounterArray
+from repro.types import FlowIdArray
+
+
+@dataclass(frozen=True)
+class CountMinConfig:
+    """``depth`` rows (banks) of ``width`` counters."""
+
+    depth: int = 3
+    width: int = 4096
+    counter_capacity: int = 2**30
+    conservative: bool = False
+    seed: int = 0xC0DE
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigError(f"depth must be >= 1, got {self.depth}")
+        if self.width < 1:
+            raise ConfigError(f"width must be >= 1, got {self.width}")
+
+
+class CountMin:
+    """Count-Min / Count-Min-CU over the banked counter substrate."""
+
+    def __init__(self, config: CountMinConfig) -> None:
+        self.config = config
+        self.indexer = BankedIndexer(config.depth, config.width, seed=config.seed)
+        self.counters = BankedCounterArray(
+            k=config.depth,
+            bank_size=config.width,
+            counter_capacity=config.counter_capacity,
+        )
+        self._packets_seen = 0
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Record a packet batch.
+
+        Plain CM increments all ``depth`` row counters per packet
+        (vectorized per distinct flow). Conservative update increments
+        only rows at the current minimum — inherently sequential, so
+        the CU path loops per packet.
+        """
+        packets = np.asarray(packets, dtype=np.uint64)
+        if len(packets) == 0:
+            return
+        if not self.config.conservative:
+            uniq, counts = np.unique(packets, return_counts=True)
+            idx = self.indexer.indices(uniq)
+            self.counters.add_at(idx.ravel(), np.repeat(counts, self.config.depth))
+        else:
+            uniq, inverse = np.unique(packets, return_inverse=True)
+            idx = self.indexer.indices(uniq)
+            values = self.counters._values  # hot loop: direct access
+            for u in inverse.tolist():
+                rows = idx[u]
+                cur = values[rows]
+                target = cur.min() + 1
+                values[rows] = np.maximum(cur, target)
+        self._packets_seen += len(packets)
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Min over rows — the classic biased-up CM point query."""
+        idx = self.indexer.indices(np.asarray(flow_ids, np.uint64))
+        return self.counters.gather(idx).min(axis=1).astype(np.float64)
+
+    @property
+    def num_packets(self) -> int:
+        return self._packets_seen

@@ -1,0 +1,188 @@
+"""Randomized Counter Sharing (RCS) — Li et al., INFOCOM 2011.
+
+The cache-free baseline of the paper's Figures 6-7. Each flow owns a
+fixed *storage vector* of ``k`` shared counters (here: one per bank,
+same banked layout as CAESAR so both schemes are compared at identical
+SRAM budgets); **every arriving packet** increments one uniformly
+random counter of its flow's vector. This is exactly CAESAR with a
+degenerate cache (``y = 1``) — which is how the paper frames Figure 6
+("the cache size is very small as y = 1") — but with *one off-chip SRAM
+access per packet*, which is what makes the scheme lossy at line rate
+(Figure 7).
+
+Decoding:
+
+- CSM (countsum): ``x_hat = sum_r S_f[r] - n/L`` — identical algebra to
+  CAESAR's Eq. (20);
+- MLM: vectorized iterative maximization of the Gaussian likelihood
+  (the paper notes RCS's MLM "binary search is extremely slow"; ours is
+  a fixed-iteration vectorized bisection on the score function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.csm import csm_estimate
+from repro.errors import ConfigError, QueryError
+from repro.hashing.family import BankedIndexer
+from repro.sram.counterarray import BankedCounterArray
+from repro.sram.layout import bank_size_for_budget
+from repro.types import FlowIdArray
+
+
+@dataclass(frozen=True)
+class RCSConfig:
+    """Parameters of one RCS instance.
+
+    ``k`` is the storage-vector size, ``bank_size`` the counters per
+    bank (total SRAM counters ``k * bank_size``), ``counter_capacity``
+    the per-counter ceiling.
+    """
+
+    k: int = 3
+    bank_size: int = 4096
+    counter_capacity: int = 2**30
+    seed: int = 0x5C5
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {self.bank_size}")
+        if self.counter_capacity < 1:
+            raise ConfigError(f"counter_capacity must be >= 1, got {self.counter_capacity}")
+
+    @classmethod
+    def for_budget(
+        cls,
+        sram_kb: float,
+        *,
+        k: int = 3,
+        counter_capacity: int = 2**20 - 1,
+        seed: int = 0x5C5,
+    ) -> "RCSConfig":
+        """Size the banked array to an SRAM budget (paper accounting)."""
+        return cls(
+            k=k,
+            bank_size=bank_size_for_budget(sram_kb, k, counter_capacity),
+            counter_capacity=counter_capacity,
+            seed=seed,
+        )
+
+
+class RCS:
+    """Randomized Counter Sharing with CSM and MLM decoding."""
+
+    def __init__(self, config: RCSConfig) -> None:
+        self.config = config
+        self.indexer = BankedIndexer(config.k, config.bank_size, seed=config.seed)
+        self.counters = BankedCounterArray(
+            k=config.k,
+            bank_size=config.bank_size,
+            counter_capacity=config.counter_capacity,
+        )
+        self._rng = np.random.default_rng(config.seed ^ 0xACC)
+        self._packets_seen = 0
+
+    # -- construction phase (per-packet, vectorized) ---------------------------
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Record a packet batch: each packet lands on one uniformly
+        random counter of its flow's vector.
+
+        Vectorized: hash the distinct flows once, draw each packet's
+        bank, and scatter-add the whole batch in one call.
+        """
+        packets = np.asarray(packets, dtype=np.uint64)
+        if len(packets) == 0:
+            return
+        uniq, inverse = np.unique(packets, return_inverse=True)
+        idx_matrix = self.indexer.indices(uniq)  # (U, k)
+        banks = self._rng.integers(0, self.config.k, size=len(packets))
+        flat = idx_matrix[inverse, banks]
+        self.counters.add_at(flat, 1)
+        self._packets_seen += len(packets)
+
+    @property
+    def num_packets(self) -> int:
+        """Packets actually recorded (after any upstream loss)."""
+        return self._packets_seen
+
+    # -- query phase ---------------------------------------------------------------
+
+    def counter_values(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        """Raw storage-vector values, shape ``(F, k)``."""
+        return self.counters.gather(self.indexer.indices(np.asarray(flow_ids, np.uint64)))
+
+    def estimate(
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        clip_negative: bool = False,
+        mlm_iterations: int = 60,
+    ) -> npt.NDArray[np.float64]:
+        """Estimate flow sizes with CSM (default) or MLM decoding."""
+        w = self.counter_values(flow_ids)
+        if method == "csm":
+            return csm_estimate(
+                w, self._packets_seen, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "mlm":
+            return self._mlm(w, iterations=mlm_iterations, clip_negative=clip_negative)
+        raise ConfigError(f"unknown estimation method {method!r}; use 'csm' or 'mlm'")
+
+    def _mlm(
+        self,
+        w: npt.NDArray[np.int64],
+        iterations: int,
+        clip_negative: bool,
+    ) -> npt.NDArray[np.float64]:
+        """Vectorized bisection on the Gaussian score function.
+
+        Model: each vector counter ``W_r ~ N(x/k + lam, x(k-1)/k^2 + lam)``
+        with ``lam = n/(k L)`` the per-counter noise mean (its variance is
+        Poisson-like, so ``var ~= mean``). The score (d/dx of the
+        log-likelihood) is strictly decreasing in ``x``, so bisection on
+        ``[0, k * max(w)]`` converges geometrically; ``iterations = 60``
+        resolves far below one packet.
+        """
+        if self.config.k < 2:
+            raise QueryError("RCS MLM decoding requires k >= 2")
+        w = w.astype(np.float64)
+        n, k = self._packets_seen, self.config.k
+        lam = n / (k * self.config.bank_size)
+
+        def score(x: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+            mean = x / k + lam
+            var = x * (k - 1) / (k * k) + lam + 1e-12
+            dmean = 1.0 / k
+            dvar = (k - 1) / (k * k)
+            resid = w - mean[:, None]
+            return (
+                (resid * dmean / var[:, None]).sum(axis=1)
+                + 0.5 * dvar * (resid**2).sum(axis=1) / var**2
+                - 0.5 * k * dvar / var
+            )
+
+        lo = np.zeros(len(w))
+        hi = np.maximum(k * w.max(axis=1), 1.0)
+        # If even x = 0 has negative score, the MLE is 0.
+        neg_at_zero = score(lo) <= 0
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            s = score(mid)
+            go_up = s > 0
+            lo = np.where(go_up, mid, lo)
+            hi = np.where(go_up, hi, mid)
+        est = 0.5 * (lo + hi)
+        est[neg_at_zero] = 0.0
+        if not clip_negative:
+            # Bisection is non-negative by construction; mirror the CSM
+            # flag anyway for interface symmetry.
+            return est
+        return np.maximum(est, 0.0)

@@ -1,0 +1,68 @@
+"""Sampled counting (NetFlow-style) — the Section 2.2 family.
+
+The paper's related work covers probabilistic-sampling schemes (Cisco
+NetFlow and friends): keep each packet with probability ``p``, count
+the survivors exactly (per-flow dict — affordable because sampling
+shrinks the state), estimate ``count / p``. Included so the
+related-work shootout spans all three families the paper discusses:
+compression (§2.1), sampling (§2.2), and cache-assisted sharing
+(§2.3).
+
+The estimator is unbiased with variance ``x (1-p)/p`` — tolerable for
+elephants, hopeless for mice (a size-10 flow at p = 1/100 is usually
+never seen at all), which is exactly the critique the paper levels at
+the family: "the filtered flows inevitably introduce significant
+estimation errors".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.types import FlowIdArray
+
+
+class SampledCounter:
+    """Uniform packet sampling with exact counting of the samples."""
+
+    def __init__(self, sampling_rate: float, seed: int = 0x5A11) -> None:
+        if not 0 < sampling_rate <= 1:
+            raise ConfigError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+        self.sampling_rate = float(sampling_rate)
+        self._rng = np.random.default_rng(seed)
+        self._counts: dict[int, int] = {}
+        self._packets_seen = 0
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Sample a batch and count survivors (vectorized thinning)."""
+        packets = np.asarray(packets, dtype=np.uint64)
+        self._packets_seen += len(packets)
+        if len(packets) == 0:
+            return
+        kept = packets[self._rng.random(len(packets)) < self.sampling_rate]
+        ids, counts = np.unique(kept, return_counts=True)
+        store = self._counts
+        for fid, cnt in zip(ids.tolist(), counts.tolist()):
+            store[fid] = store.get(fid, 0) + cnt
+
+    @property
+    def num_packets(self) -> int:
+        return self._packets_seen
+
+    @property
+    def num_tracked_flows(self) -> int:
+        """Flows with at least one sampled packet — the state size."""
+        return len(self._counts)
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Inverse-probability estimates (0 for never-sampled flows)."""
+        inv = 1.0 / self.sampling_rate
+        return np.array(
+            [self._counts.get(int(f), 0) * inv for f in np.asarray(flow_ids, np.uint64)]
+        )
+
+    def memory_kilobytes(self, bits_per_entry: int = 96) -> float:
+        """State footprint: tracked flows x (id + counter) bits."""
+        return self.num_tracked_flows * bits_per_entry / 8192.0

@@ -1,0 +1,93 @@
+"""Cache-policy protocol, eviction events, and statistics.
+
+Replacement policy is a strategy object tracking *which* entry to evict
+on a miss-with-full-table; the cache itself owns the counts. The paper
+evaluates LRU and random replacement; both fit this interface, and the
+theory (Section 4.2) only requires that the victim choice be
+independent of the stored count — true for both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+class EvictionReason(enum.Enum):
+    """Why a value left the cache for the SRAM counters."""
+
+    #: Entry count reached the per-entry capacity ``y``.
+    OVERFLOW = "overflow"
+    #: Entry was the replacement victim on a miss with a full table.
+    REPLACEMENT = "replacement"
+    #: End-of-measurement dump of all resident entries.
+    FINAL_DUMP = "final_dump"
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction:
+    """One value leaving the cache: ``E_i`` in the paper's analysis."""
+
+    flow_id: int
+    value: int
+    reason: EvictionReason
+
+
+@dataclass
+class CacheStats:
+    """Operational counters for a measurement run.
+
+    ``evicted_packets`` counts packet mass flushed to SRAM during the
+    run (not the final dump), so
+    ``hits + misses == accesses`` and
+    ``evicted_packets + dumped_packets + lost == accesses`` with no
+    loss in CAESAR.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    overflow_evictions: int = 0
+    replacement_evictions: int = 0
+    evicted_packets: int = 0
+    dumped_entries: int = 0
+    dumped_packets: int = 0
+    #: Histogram of evicted values (index = value), grown on demand.
+    eviction_value_counts: dict[int, int] = field(default_factory=dict)
+
+    def record_eviction(self, value: int, reason: EvictionReason) -> None:
+        if reason is EvictionReason.OVERFLOW:
+            self.overflow_evictions += 1
+        elif reason is EvictionReason.REPLACEMENT:
+            self.replacement_evictions += 1
+        self.evicted_packets += value
+        self.eviction_value_counts[value] = self.eviction_value_counts.get(value, 0) + 1
+
+    @property
+    def total_evictions(self) -> int:
+        return self.overflow_evictions + self.replacement_evictions
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CachePolicy(Protocol):
+    """Victim-selection strategy for a full cache table.
+
+    The cache calls ``insert`` when a flow is allocated an entry,
+    ``touch`` on every hit, ``remove`` when an entry is freed, and
+    ``victim`` to pick the entry to replace. Implementations must keep
+    their bookkeeping consistent with exactly that call sequence.
+    """
+
+    def insert(self, flow_id: int) -> None: ...
+
+    def touch(self, flow_id: int) -> None: ...
+
+    def remove(self, flow_id: int) -> None: ...
+
+    def victim(self) -> int: ...
+
+    def __len__(self) -> int: ...

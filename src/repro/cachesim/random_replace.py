@@ -1,0 +1,48 @@
+"""Random replacement policy.
+
+Maintains a dense array of resident flow IDs plus an index map so that
+victim selection, insertion, and removal are all O(1) (removal swaps
+the last element into the hole). The victim draw is independent of the
+stored counts — the property Section 4.2 relies on to treat eviction
+values as i.i.d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+
+class RandomPolicy:
+    """Uniform-random victim selection (paper Section 3.1, second alternative)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._slots: list[int] = []
+        self._pos: dict[int, int] = {}
+
+    def insert(self, flow_id: int) -> None:
+        """Register a newly allocated entry."""
+        self._pos[flow_id] = len(self._slots)
+        self._slots.append(flow_id)
+
+    def touch(self, flow_id: int) -> None:
+        """Hits carry no information for random replacement."""
+
+    def remove(self, flow_id: int) -> None:
+        """Forget a freed entry (swap-with-last, O(1))."""
+        idx = self._pos.pop(flow_id)
+        last = self._slots.pop()
+        if last != flow_id:
+            self._slots[idx] = last
+            self._pos[last] = idx
+
+    def victim(self) -> int:
+        """A uniformly random resident flow (does not remove it)."""
+        if not self._slots:
+            raise CapacityError("victim() on an empty cache")
+        return self._slots[int(self._rng.integers(len(self._slots)))]
+
+    def __len__(self) -> int:
+        return len(self._slots)

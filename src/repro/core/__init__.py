@@ -1,0 +1,29 @@
+"""CAESAR — the paper's primary contribution.
+
+Construction phase (:class:`~repro.core.caesar.Caesar`): on-chip cache
+absorbs packets; evicted values are split across ``k`` shared SRAM
+counters chosen by collision-free hashes (aliquot part to every
+counter, remainder scattered unit-by-unit).
+
+Query phase: :mod:`~repro.core.csm` (moment / Counter Sum estimation)
+and :mod:`~repro.core.mlm` (maximum likelihood), each with the paper's
+confidence intervals; :mod:`~repro.core.theory` holds every closed form
+from Sections 4-5 for validation.
+"""
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.csm import csm_confidence_interval, csm_estimate
+from repro.core.mlm import mlm_confidence_interval, mlm_estimate
+from repro.core.split import split_evenly, split_value
+
+__all__ = [
+    "Caesar",
+    "CaesarConfig",
+    "csm_confidence_interval",
+    "csm_estimate",
+    "mlm_confidence_interval",
+    "mlm_estimate",
+    "split_evenly",
+    "split_value",
+]

@@ -1,0 +1,254 @@
+"""The CAESAR measurement scheme (construction + query orchestration).
+
+Wires together the on-chip :class:`~repro.cachesim.FlowCache`, the
+banked :class:`~repro.sram.BankedCounterArray`, the collision-free
+:class:`~repro.hashing.BankedIndexer`, and the eviction-value splitter
+into the two-phase architecture of Figure 1:
+
+- :meth:`Caesar.process` — online construction: packets hit the cache;
+  every eviction is split over the flow's ``k`` fixed counters;
+- :meth:`Caesar.finalize` — dump resident cache entries to SRAM
+  (required before querying; the query phase is strictly offline);
+- :meth:`Caesar.estimate` — offline query via CSM or MLM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.cachesim.base import EvictionReason
+from repro.cachesim.cache import FlowCache
+from repro.core import csm as csm_mod
+from repro.core import mlm as mlm_mod
+from repro.core.config import CaesarConfig
+from repro.core.split import split_evenly, split_value
+from repro.errors import ConfigError, QueryError
+from repro.hashing.family import BankedIndexer
+from repro.sram.counterarray import BankedCounterArray
+from repro.types import FlowIdArray
+
+
+class Caesar:
+    """One CAESAR instance: build from a :class:`CaesarConfig`, feed the
+    packet stream, finalize, query.
+
+    Example
+    -------
+    >>> cfg = CaesarConfig(cache_entries=1024, entry_capacity=54, bank_size=512)
+    >>> caesar = Caesar(cfg)
+    >>> caesar.process(trace.packets)
+    >>> caesar.finalize()
+    >>> est = caesar.estimate(trace.flows.ids)          # CSM (default)
+    >>> est = caesar.estimate(trace.flows.ids, "mlm")   # MLM
+    """
+
+    def __init__(self, config: CaesarConfig) -> None:
+        self.config = config
+        self.cache = FlowCache(
+            num_entries=config.cache_entries,
+            entry_capacity=config.entry_capacity,
+            policy=config.replacement,
+            seed=config.seed ^ 0xCACE,
+        )
+        self.indexer = BankedIndexer(config.k, config.bank_size, seed=config.seed)
+        self.counters = BankedCounterArray(
+            k=config.k,
+            bank_size=config.bank_size,
+            counter_capacity=config.counter_capacity,
+        )
+        self._rng = np.random.default_rng(config.seed ^ 0x5011D)
+        # Flow -> mapped-counter indices; flows are mapped to k *fixed*
+        # counters across all their evictions (Section 3.1), so memoize.
+        self._index_memo: dict[int, np.ndarray] = {}
+        self._packets_seen = 0
+        self._mass_seen = 0  # == packets when counting packets; bytes when counting volume
+        self._finalized = False
+
+    # -- construction phase ----------------------------------------------------
+
+    def _sink(self, flow_id: int, value: int, reason: EvictionReason) -> None:
+        """Eviction sink: split the value over the flow's k counters."""
+        idx = self._index_memo.get(flow_id)
+        if idx is None:
+            idx = self.indexer.indices_one(flow_id)
+            self._index_memo[flow_id] = idx
+        if self.config.remainder == "random":
+            parts = split_value(value, self.config.k, self._rng)
+        else:
+            parts = split_evenly(value, self.config.k)
+        # k is tiny (typically 3): scalar adds beat a vectorized
+        # scatter-add here by an order of magnitude in call overhead.
+        add_one = self.counters.add_one
+        for r in range(self.config.k):
+            add_one(int(idx[r]), int(parts[r]))
+
+    def process(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None = None,
+    ) -> None:
+        """Feed a batch of packets (flow IDs) through the online phase.
+
+        With ``lengths`` (per-packet byte counts, aligned with
+        ``packets``) the instance measures flow *volume* instead of
+        flow size — Section 3.1's "counted in either packets or
+        bytes". Size the config accordingly: ``entry_capacity`` and
+        ``counter_capacity`` must then hold byte totals.
+        """
+        if self._finalized:
+            raise QueryError("cannot process packets after finalize()")
+        self.cache.process(packets, self._sink, weights=lengths)
+        self._packets_seen += len(packets)
+        self._mass_seen += int(lengths.sum()) if lengths is not None else len(packets)
+
+    def finalize(self) -> None:
+        """Dump all resident cache entries to SRAM (end of measurement).
+
+        Idempotent; must be called before :meth:`estimate`.
+        """
+        if self._finalized:
+            return
+        self.cache.dump(self._sink)
+        self._finalized = True
+
+    # -- query phase -------------------------------------------------------------
+
+    @property
+    def num_packets(self) -> int:
+        """Packets processed so far."""
+        return self._packets_seen
+
+    @property
+    def recorded_mass(self) -> int:
+        """Total counted units — packets, or bytes when measuring volume.
+
+        This is the ``n = Q * mu`` the estimators de-noise with.
+        """
+        return self._mass_seen
+
+    def counter_values(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        """The raw mapped-counter values ``S_f[r]``, shape ``(F, k)``."""
+        return self.counters.gather(self.indexer.indices(np.asarray(flow_ids, np.uint64)))
+
+    def estimate(
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        clip_negative: bool = False,
+    ) -> npt.NDArray[np.float64]:
+        """Estimate the size of each queried flow (offline query phase).
+
+        ``method`` is ``"csm"`` (default, as the paper chooses),
+        ``"mlm"``, or ``"median"`` (robust counter-median, a library
+        extension — see :func:`repro.core.csm.counter_median_estimate`).
+        Raises :class:`QueryError` if :meth:`finalize` has not been
+        called — querying with values still in the cache would silently
+        under-count.
+        """
+        if not self._finalized:
+            raise QueryError("call finalize() before estimating (offline query phase)")
+        w = self.counter_values(flow_ids)
+        if method == "csm":
+            return csm_mod.csm_estimate(
+                w, self._mass_seen, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "median":
+            return csm_mod.counter_median_estimate(
+                w, self._mass_seen, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "mlm":
+            return mlm_mod.mlm_estimate(
+                w,
+                self._mass_seen,
+                self.config.bank_size,
+                entry_capacity=self.config.entry_capacity,
+                clip_negative=clip_negative,
+            )
+        raise ConfigError(
+            f"unknown estimation method {method!r}; use 'csm', 'mlm', or 'median'"
+        )
+
+    def estimate_online(
+        self,
+        flow_ids: FlowIdArray,
+        *,
+        clip_negative: bool = True,
+    ) -> npt.NDArray[np.float64]:
+        """Approximate point query *during* the construction phase
+        (library extension — the paper's query phase is strictly offline).
+
+        Combines what has already been flushed to SRAM (CSM-decoded
+        against the flushed mass only) with the flow's still-cached
+        residue, so a monitoring loop can watch flows grow without
+        stopping the measurement.
+        """
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        w = self.counter_values(flow_ids)
+        flushed_mass = self.counters.total_mass
+        est = csm_mod.csm_estimate(
+            w, flushed_mass, self.config.bank_size, clip_negative=False
+        )
+        resident = np.fromiter(
+            (self.cache.get(int(f)) for f in flow_ids), dtype=np.float64, count=len(flow_ids)
+        )
+        est = est + resident
+        return np.maximum(est, 0.0) if clip_negative else est
+
+    def reset(self) -> None:
+        """Clear all measurement state for a fresh epoch.
+
+        The hash mapping (and therefore each flow's k counters) is
+        preserved — Section 3.1's fixed mapping — but counters, cache,
+        statistics, and the recorded-mass accounting start over.
+        """
+        self.cache.dump(lambda fid, value, reason: None)
+        self.cache.reset_stats()
+        self.counters.reset()
+        self._packets_seen = 0
+        self._mass_seen = 0
+        self._finalized = False
+
+    def confidence_interval(
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        alpha: float = 0.95,
+        variance_model: str = "paper",
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
+        """Confidence interval for each queried flow.
+
+        ``variance_model="paper"`` uses the published Eqs. 26/32;
+        ``variance_model="empirical"`` (CSM only, library extension)
+        estimates the per-counter noise from the deployed array — the
+        variant whose coverage actually approaches ``alpha`` on
+        heavy-tailed traffic (see EXPERIMENTS.md).
+        """
+        est = self.estimate(flow_ids, method, clip_negative=False)
+        if variance_model == "empirical":
+            if method != "csm":
+                raise ConfigError("empirical intervals are defined for CSM only")
+            return csm_mod.empirical_confidence_interval(
+                est, self.counters.values, k=self.config.k, alpha=alpha
+            )
+        if variance_model != "paper":
+            raise ConfigError(
+                f"unknown variance_model {variance_model!r}; use 'paper' or 'empirical'"
+            )
+        kwargs = dict(
+            k=self.config.k,
+            entry_capacity=self.config.entry_capacity,
+            bank_size=self.config.bank_size,
+            num_packets=self._mass_seen,
+            alpha=alpha,
+        )
+        if method == "csm":
+            return csm_mod.csm_confidence_interval(est, **kwargs)
+        if method == "mlm":
+            return mlm_mod.mlm_confidence_interval(est, **kwargs)
+        raise ConfigError(f"unknown estimation method {method!r}; use 'csm' or 'mlm'")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finalized" if self._finalized else f"{self._packets_seen} packets"
+        return f"Caesar({self.config.describe()}, {state})"

@@ -1,0 +1,158 @@
+"""Counter Sum estimation Method (CSM) — Section 5.1.
+
+The moment estimator: the sum of a flow's ``k`` mapped counters has
+expectation ``x + Q*mu/L`` (banked layout, Eq. 18 summed over k), so
+
+    x_hat = sum_r S_f[r] - Q*mu/L            (Eq. 20)
+
+with ``Q*mu = n`` the total packet count. The estimator is unbiased
+(Eq. 21) with variance Eq. (22), and the Gaussian confidence interval
+is Eq. (26).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+from scipy import stats as sstats
+
+from repro.core import theory
+from repro.errors import ConfigError
+
+
+def csm_estimate(
+    counters: npt.NDArray[np.int64],
+    num_packets: int,
+    bank_size: int,
+    *,
+    clip_negative: bool = False,
+) -> npt.NDArray[np.float64]:
+    """Estimate flow sizes from mapped-counter values.
+
+    Parameters
+    ----------
+    counters:
+        Shape ``(num_flows, k)`` — each row is one flow's ``S_f[r]``
+        values (or shape ``(k,)`` for a single flow).
+    num_packets:
+        ``n = Q * mu`` — total packets recorded into the SRAM.
+    bank_size:
+        ``L`` — counters per bank.
+    clip_negative:
+        Clamp estimates at zero. The raw estimator is unbiased but can
+        go negative for small flows; plots in the paper effectively
+        clamp, while the unbiasedness analysis requires the raw value.
+    """
+    counters = np.asarray(counters, dtype=np.float64)
+    if bank_size < 1:
+        raise ConfigError(f"bank_size must be >= 1, got {bank_size}")
+    if num_packets < 0:
+        raise ConfigError(f"num_packets must be >= 0, got {num_packets}")
+    single = counters.ndim == 1
+    if single:
+        counters = counters[None, :]
+    est = counters.sum(axis=1) - num_packets / bank_size
+    if clip_negative:
+        est = np.maximum(est, 0.0)
+    return est[0] if single else est
+
+
+def counter_median_estimate(
+    counters: npt.NDArray[np.int64],
+    num_packets: int,
+    bank_size: int,
+    *,
+    clip_negative: bool = False,
+) -> npt.NDArray[np.float64]:
+    """Robust median variant of CSM (library extension, not in the paper).
+
+    Each mapped counter alone estimates the flow as
+    ``k * S_f[r] - n/L`` (scaling Eq. 18 by k); taking the *median*
+    over the k counters instead of their mean tolerates up to
+    ``floor((k-1)/2)`` counters polluted by a colliding elephant —
+    the failure mode that dominates CSM's tail error on heavy-tailed
+    traces (see DESIGN.md on clustering noise). Slightly noisier than
+    CSM when no elephant collides; far better when one does.
+    """
+    counters = np.asarray(counters, dtype=np.float64)
+    if bank_size < 1:
+        raise ConfigError(f"bank_size must be >= 1, got {bank_size}")
+    if num_packets < 0:
+        raise ConfigError(f"num_packets must be >= 0, got {num_packets}")
+    single = counters.ndim == 1
+    if single:
+        counters = counters[None, :]
+    k = counters.shape[1]
+    est = np.median(k * counters, axis=1) - num_packets / bank_size
+    if clip_negative:
+        est = np.maximum(est, 0.0)
+    return est[0] if single else est
+
+
+def empirical_confidence_interval(
+    estimates: npt.NDArray[np.float64],
+    counter_values: npt.NDArray[np.int64],
+    *,
+    k: int,
+    alpha: float = 0.95,
+) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
+    """Clustering-aware CI (library extension, not in the paper).
+
+    The paper's Eq. (22) models only the eviction-split randomness. On
+    heavy-tailed traffic the dominant noise is *whole-flow clustering*
+    — entire elephants landing on a shared counter — which Eq. (22)
+    omits, so Eq. (26)'s intervals can cover at the single-percent
+    level (see EXPERIMENTS.md). This variant instead estimates the
+    per-counter noise standard deviation *from the deployed array
+    itself* (every counter is noise from the queried flow's point of
+    view, up to its own small contribution) and widens the interval to
+    ``x_hat ± Z_alpha * sqrt(k) * std(counters)``.
+    """
+    if not 0 < alpha < 1:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    estimates = np.asarray(estimates, dtype=np.float64)
+    noise_std = float(np.std(np.asarray(counter_values, dtype=np.float64)))
+    z = sstats.norm.ppf(0.5 + alpha / 2.0)
+    half = z * np.sqrt(k) * noise_std
+    return estimates - half, estimates + half
+
+
+def csm_confidence_interval(
+    estimates: npt.NDArray[np.float64],
+    *,
+    k: int,
+    entry_capacity: int,
+    bank_size: int,
+    num_packets: int,
+    alpha: float = 0.95,
+) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
+    """Paper Eq. (26): ``x_hat ± Z_alpha * sqrt(D(x_hat))``.
+
+    The variance (Eq. 22) depends on the unknown true size ``x``; as is
+    standard, the estimate is plugged in (floored at 0 so the variance
+    stays non-negative).
+
+    Two fidelity caveats, both quantified in EXPERIMENTS.md: Eq. (22)
+    (i) treats the k counters' own-flow portions as independent even
+    though they sum to exactly ``x`` (the split noise *cancels* in the
+    counter sum, so the x-term overstates), and (ii) omits whole-flow
+    clustering noise (which understates, and dominates on heavy
+    tails). For intervals that actually cover, see
+    :func:`empirical_confidence_interval`.
+    """
+    if not 0 < alpha < 1:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    estimates = np.asarray(estimates, dtype=np.float64)
+    x_plug = np.maximum(estimates, 0.0)
+    var = theory.csm_variance(
+        x=x_plug,
+        k=k,
+        entry_capacity=entry_capacity,
+        bank_size=bank_size,
+        num_packets=num_packets,
+    )
+    z = sstats.norm.ppf(0.5 + alpha / 2.0)
+    half = z * np.sqrt(var)
+    return estimates - half, estimates + half

@@ -1,0 +1,141 @@
+"""Epoch-based continuous measurement (library extension).
+
+The paper describes a single measurement period ended by a full cache
+dump. Real deployments measure in back-to-back *epochs* (e.g. one per
+minute), querying each epoch after it closes while the next one is
+already filling. :class:`EpochalCaesar` manages that loop on top of
+one :class:`~repro.core.caesar.Caesar` instance: at each epoch
+boundary it finalizes, snapshots the SRAM state, and resets for the
+next epoch — keeping the flow → counter mapping fixed across epochs
+(Section 3.1's fixed hashing), so per-flow time series are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core import csm as csm_mod
+from repro.core import mlm as mlm_mod
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError, QueryError
+from repro.types import FlowIdArray
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Immutable snapshot of one closed epoch."""
+
+    index: int
+    num_packets: int
+    recorded_mass: int
+    counter_values: npt.NDArray[np.int64]
+    hit_rate: float
+    evictions: int
+
+
+class EpochalCaesar:
+    """Continuous CAESAR measurement in fixed epochs."""
+
+    def __init__(self, config: CaesarConfig) -> None:
+        self.config = config
+        self._caesar = Caesar(config)
+        self._history: list[EpochRecord] = []
+
+    # -- online loop -------------------------------------------------------
+
+    def process(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None = None,
+    ) -> None:
+        """Feed packets into the current (open) epoch."""
+        self._caesar.process(packets, lengths)
+
+    def close_epoch(self) -> EpochRecord:
+        """Finalize the open epoch, snapshot it, and start the next one."""
+        caesar = self._caesar
+        caesar.finalize()
+        stats = caesar.cache.stats
+        record = EpochRecord(
+            index=len(self._history),
+            num_packets=caesar.num_packets,
+            recorded_mass=caesar.recorded_mass,
+            counter_values=caesar.counters.values.copy(),
+            hit_rate=stats.hit_rate,
+            evictions=stats.total_evictions,
+        )
+        self._history.append(record)
+        caesar.reset()
+        return record
+
+    def estimate_current(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Live estimates for the still-open epoch (online query)."""
+        return self._caesar.estimate_online(flow_ids)
+
+    # -- closed-epoch queries -------------------------------------------------
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self._history)
+
+    @property
+    def history(self) -> tuple[EpochRecord, ...]:
+        return tuple(self._history)
+
+    def epoch(self, index: int) -> EpochRecord:
+        try:
+            return self._history[index]
+        except IndexError:
+            raise QueryError(
+                f"epoch {index} not closed yet ({len(self._history)} available)"
+            ) from None
+
+    def estimate(
+        self,
+        index: int,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        clip_negative: bool = False,
+    ) -> npt.NDArray[np.float64]:
+        """Per-flow estimates for a closed epoch."""
+        record = self.epoch(index)
+        idx = self._caesar.indexer.indices(np.asarray(flow_ids, np.uint64))
+        w = record.counter_values[idx]
+        if method == "csm":
+            return csm_mod.csm_estimate(
+                w, record.recorded_mass, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "median":
+            return csm_mod.counter_median_estimate(
+                w, record.recorded_mass, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "mlm":
+            return mlm_mod.mlm_estimate(
+                w,
+                record.recorded_mass,
+                self.config.bank_size,
+                entry_capacity=self.config.entry_capacity,
+                clip_negative=clip_negative,
+            )
+        raise ConfigError(f"unknown estimation method {method!r}")
+
+    def flow_series(
+        self,
+        flow_id: int,
+        method: str = "csm",
+        *,
+        clip_negative: bool = True,
+    ) -> npt.NDArray[np.float64]:
+        """One flow's estimated size across all closed epochs."""
+        ids = np.array([flow_id], dtype=np.uint64)
+        return np.array(
+            [
+                self.estimate(i, ids, method, clip_negative=clip_negative)[0]
+                for i in range(self.num_epochs)
+            ]
+        )

@@ -1,0 +1,95 @@
+"""Merging CAESAR measurements from multiple vantage points.
+
+Shared-counter sketches are *linear*: if two measurement points use
+identical configurations (same seed → same flow → counter mapping),
+the counter-wise sum of their SRAM arrays is exactly the array a
+single instance would have produced for the union of their streams
+(split randomness aside, which the CSM sum cancels anyway). That makes
+distributed deployments cheap: ship the counter arrays, add them, and
+query the merged state — no per-flow reconciliation.
+
+Used for: multi-linecard aggregation, and combining the per-epoch
+snapshots of :class:`repro.core.epochs.EpochalCaesar` into
+longer-horizon totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core import csm as csm_mod
+from repro.core import mlm as mlm_mod
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError, QueryError
+from repro.hashing.family import BankedIndexer
+from repro.types import FlowIdArray
+
+
+def _mergeable(a: CaesarConfig, b: CaesarConfig) -> bool:
+    """Configs whose counter mappings coincide."""
+    return (
+        a.k == b.k
+        and a.bank_size == b.bank_size
+        and a.seed == b.seed
+        and a.counter_capacity == b.counter_capacity
+    )
+
+
+class MergedMeasurement:
+    """The counter-wise sum of several finalized CAESAR instances."""
+
+    def __init__(self, instances: list[Caesar]) -> None:
+        if not instances:
+            raise ConfigError("need at least one instance to merge")
+        first = instances[0]
+        for other in instances[1:]:
+            if not _mergeable(first.config, other.config):
+                raise ConfigError(
+                    "instances must share k, bank_size, counter_capacity, and seed "
+                    "for their flow-to-counter mappings to coincide"
+                )
+        for inst in instances:
+            if not inst._finalized:  # noqa: SLF001 - deliberate lifecycle check
+                raise QueryError("finalize every instance before merging")
+        self.config = first.config
+        self.indexer: BankedIndexer = first.indexer
+        self.counter_values: npt.NDArray[np.int64] = np.sum(
+            [inst.counters.values for inst in instances], axis=0
+        )
+        self.recorded_mass = int(sum(inst.recorded_mass for inst in instances))
+        self.num_packets = int(sum(inst.num_packets for inst in instances))
+
+    def estimate(
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        clip_negative: bool = False,
+    ) -> npt.NDArray[np.float64]:
+        """Per-flow estimates over the union of the merged streams."""
+        idx = self.indexer.indices(np.asarray(flow_ids, np.uint64))
+        w = self.counter_values[idx]
+        if method == "csm":
+            return csm_mod.csm_estimate(
+                w, self.recorded_mass, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "median":
+            return csm_mod.counter_median_estimate(
+                w, self.recorded_mass, self.config.bank_size, clip_negative=clip_negative
+            )
+        if method == "mlm":
+            return mlm_mod.mlm_estimate(
+                w,
+                self.recorded_mass,
+                self.config.bank_size,
+                entry_capacity=self.config.entry_capacity,
+                clip_negative=clip_negative,
+            )
+        raise ConfigError(f"unknown estimation method {method!r}")
+
+
+def merge(instances: list[Caesar]) -> MergedMeasurement:
+    """Convenience constructor; see :class:`MergedMeasurement`."""
+    return MergedMeasurement(instances)

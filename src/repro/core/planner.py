@@ -1,0 +1,118 @@
+"""Memory planning: size a CAESAR deployment from an accuracy target.
+
+The inverse of Sections 4-5: given expected traffic (n packets over Q
+flows, a size distribution) and a relative-error target at a flow size
+of interest, derive the counter geometry. Uses the *mechanism-true*
+CSM variance (``theory.csm_variance_mechanism`` — thinning +
+clustering; see docs/theory.md), not the paper's Eq. (22), because
+Eq. (22) under-provisions by orders of magnitude on heavy tails:
+
+    Var(x_hat) ~= n/L + sum(z^2)/(L k)   =>
+    L >= (n + sum(z^2)/k) / (target * size)^2
+
+plus the paper's sizing rules for the cache side (``y = 2 n/Q``; M as
+a fraction of Q, defaulting to the paper's ~13 %).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError
+from repro.sram.layout import sram_kilobytes
+from repro.traffic.distributions import FlowSizeDistribution, calibrate_zipf_to_mean
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planned deployment and the math behind it."""
+
+    config: CaesarConfig
+    target_rel_error: float
+    size_of_interest: int
+    predicted_rel_error: float
+    predicted_std: float
+    sram_kilobytes: float
+    cache_kilobytes: float
+
+    def describe(self) -> str:
+        return (
+            f"target {self.target_rel_error:.0%} at size {self.size_of_interest}: "
+            f"{self.config.describe()} -> predicted "
+            f"{self.predicted_rel_error:.1%} (sigma {self.predicted_std:.1f})"
+        )
+
+
+def plan(
+    *,
+    num_packets: int,
+    num_flows: int,
+    target_rel_error: float,
+    size_of_interest: int,
+    distribution: FlowSizeDistribution | None = None,
+    k: int = 3,
+    cache_fraction: float = 0.13,
+    replacement: str = "lru",
+    seed: int = 0x71A2,
+) -> Plan:
+    """Derive a :class:`CaesarConfig` meeting the accuracy target.
+
+    ``target_rel_error`` is interpreted as one standard deviation of
+    the CSM estimate at ``size_of_interest`` (e.g. 0.1 → ±10 % at one
+    sigma). ``distribution`` supplies the tail's second moment; when
+    omitted, a bounded Zipf calibrated to the traffic's mean size is
+    assumed (the library's default trace model).
+    ``cache_fraction`` sizes the cache table as a fraction of the flow
+    count (the paper's setup works out to ~0.13).
+    """
+    if num_packets < 1 or num_flows < 1:
+        raise ConfigError("num_packets and num_flows must be >= 1")
+    if not 0 < target_rel_error < 10:
+        raise ConfigError(f"target_rel_error must be in (0, 10), got {target_rel_error}")
+    if size_of_interest < 1:
+        raise ConfigError(f"size_of_interest must be >= 1, got {size_of_interest}")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not 0 < cache_fraction <= 1:
+        raise ConfigError(f"cache_fraction must be in (0, 1], got {cache_fraction}")
+
+    mean_size = num_packets / num_flows
+    if mean_size <= 1:
+        raise ConfigError("need mean flow size > 1 packet to plan")
+    if distribution is None:
+        # Bound the support the way default_paper_trace does.
+        max_size = max(1000, int(num_packets * 0.015))
+        distribution = calibrate_zipf_to_mean(mean_size, max_size)
+    second_moment_total = distribution.second_moment * num_flows
+
+    # Mechanism variance over the k-counter sum, solved for L.
+    allowed_var = (target_rel_error * size_of_interest) ** 2
+    bank_size = max(16, math.ceil((num_packets + second_moment_total / k) / allowed_var))
+
+    # Counter width: cover a flow of the maximum size plus noise.
+    expected_counter = distribution.max_size / k + num_packets / (k * bank_size)
+    counter_capacity = (1 << max(4, math.ceil(math.log2(expected_counter * 4)))) - 1
+
+    y = max(2, int(2 * mean_size))
+    config = CaesarConfig(
+        cache_entries=max(16, int(cache_fraction * num_flows)),
+        entry_capacity=y,
+        k=k,
+        bank_size=bank_size,
+        counter_capacity=counter_capacity,
+        replacement=replacement,
+        seed=seed,
+    )
+    predicted_var = (num_packets + second_moment_total / k) / bank_size
+    predicted_std = math.sqrt(predicted_var)
+    return Plan(
+        config=config,
+        target_rel_error=target_rel_error,
+        size_of_interest=size_of_interest,
+        predicted_rel_error=predicted_std / size_of_interest,
+        predicted_std=predicted_std,
+        sram_kilobytes=sram_kilobytes(k, bank_size, counter_capacity),
+        cache_kilobytes=config.cache_kilobytes,
+    )

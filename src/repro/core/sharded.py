@@ -1,0 +1,167 @@
+"""Sharded CAESAR for multi-queue line cards (library extension).
+
+Modern NICs/line cards spread packets over ``W`` hardware queues by
+hashing the flow key (RSS). Measurement then runs one independent
+CAESAR instance per queue: flows are *partitioned* (a flow's packets
+always land in its own shard), so shards never share counters and the
+paper's single-instance analysis applies per shard unchanged.
+
+:class:`ShardedCaesar` manages the partitioning, the per-shard
+instances (optionally splitting one total memory budget across
+shards), query routing, and an optional process-parallel construction
+phase — the packet loops are pure Python, so on multi-core hosts the
+simulation itself parallelizes near-linearly across shards.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError, QueryError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+
+def _run_shard(
+    caesar: Caesar,
+    packets: npt.NDArray[np.uint64],
+    lengths: npt.NDArray[np.int64] | None,
+) -> Caesar:
+    """Worker: run one shard's construction phase (module-level so it
+    pickles under the spawn start method)."""
+    caesar.process(packets, lengths)
+    return caesar
+
+
+class ShardedCaesar:
+    """``num_shards`` independent CAESAR instances behind one facade."""
+
+    def __init__(
+        self,
+        config: CaesarConfig,
+        num_shards: int,
+        *,
+        divide_budget: bool = True,
+        shard_seed: int = 0x5AA2D,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        if divide_budget:
+            # Split the total memory across shards so a W-way deployment
+            # is budget-comparable to one big instance.
+            shard_config = replace(
+                config,
+                cache_entries=max(1, config.cache_entries // num_shards),
+                bank_size=max(1, config.bank_size // num_shards),
+            )
+        else:
+            shard_config = config
+        self.shard_config = shard_config
+        # Distinct per-shard seeds so shards are hash-independent.
+        self.shards = [
+            Caesar(replace(shard_config, seed=shard_config.seed + 0x9E37 * i))
+            for i in range(num_shards)
+        ]
+        self._shard_hash = HashFamily(1, seed=shard_seed)
+        self._finalized = False
+
+    # -- partitioning --------------------------------------------------------
+
+    def shard_of(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        """Which shard owns each flow (RSS-style hash partition)."""
+        h = self._shard_hash.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_shards)).astype(np.int64)
+
+    def _partition(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None,
+    ) -> list[tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]]:
+        owners = self.shard_of(packets)
+        out = []
+        for s in range(self.num_shards):
+            mask = owners == s
+            out.append((packets[mask], lengths[mask] if lengths is not None else None))
+        return out
+
+    # -- construction phase ------------------------------------------------------
+
+    def process(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        """Run the construction phase, optionally process-parallel.
+
+        ``max_workers=None`` (default) runs shards sequentially in this
+        process — deterministic and cheap for tests. ``max_workers=k``
+        fans shards out over ``k`` worker processes; each shard's state
+        round-trips through pickle, which is worthwhile for
+        multi-million-packet shards.
+        """
+        if self._finalized:
+            raise QueryError("cannot process packets after finalize()")
+        packets = np.asarray(packets, dtype=np.uint64)
+        parts = self._partition(packets, lengths)
+        if max_workers is None or max_workers <= 1 or self.num_shards == 1:
+            for shard, (pkts, lens) in zip(self.shards, parts):
+                shard.process(pkts, lens)
+            return
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            self.shards = list(
+                pool.map(
+                    _run_shard,
+                    self.shards,
+                    [p for p, _ in parts],
+                    [l for _, l in parts],
+                )
+            )
+
+    def finalize(self) -> None:
+        """Finalize every shard (idempotent)."""
+        for shard in self.shards:
+            shard.finalize()
+        self._finalized = True
+
+    # -- query phase ----------------------------------------------------------------
+
+    def estimate(
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        clip_negative: bool = False,
+    ) -> npt.NDArray[np.float64]:
+        """Route each query to its owning shard; results in input order."""
+        if not self._finalized:
+            raise QueryError("call finalize() before estimating")
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        owners = self.shard_of(flow_ids)
+        out = np.empty(len(flow_ids), dtype=np.float64)
+        for s in range(self.num_shards):
+            mask = owners == s
+            if mask.any():
+                out[mask] = self.shards[s].estimate(
+                    flow_ids[mask], method, clip_negative=clip_negative
+                )
+        return out
+
+    @property
+    def num_packets(self) -> int:
+        return sum(s.num_packets for s in self.shards)
+
+    @property
+    def recorded_mass(self) -> int:
+        return sum(s.recorded_mass for s in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedCaesar(W={self.num_shards}, {self.shard_config.describe()})"

@@ -1,0 +1,26 @@
+"""Paper-figure reproductions.
+
+One module per figure of the paper's evaluation (Section 6) plus the
+headline-numbers aggregation and the design-choice ablations. Each
+experiment returns an :class:`~repro.experiments.base.ExperimentResult`
+whose rendered text is the reproduction artifact (also printed by the
+corresponding benchmark in ``benchmarks/``).
+
+Run any of them from the command line::
+
+    python -m repro fig4            # or: caesar-repro fig4
+    python -m repro all --scale 0.05
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSetup",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "standard_setup",
+]

@@ -1,0 +1,183 @@
+"""Design-choice ablations (DESIGN.md Section 4).
+
+Not figures from the paper — these sweep the design parameters the
+paper fixes, to show *why* it fixes them:
+
+- ``k`` (mapped counters per flow): the paper says shared-counter
+  schemes "perform well when k is not too big (e.g., 3)";
+- ``y`` (cache-entry capacity): the ``y = 2 n/Q`` rule should make
+  overflow evictions rare (``p_y -> 0``) without wasting cache bits;
+- replacement policy (LRU vs random): Section 4.2's i.i.d. eviction
+  argument needs victim choice independent of stored value — both
+  qualify, so accuracy should match;
+- remainder scatter (random vs deterministic-even): the randomized
+  unit-by-unit allocation is what makes ``EV_i2`` binomial;
+- SRAM budget sweep: error vs memory, CAESAR's storage-efficiency
+  curve;
+- confidence-interval coverage vs reliability ``alpha`` (Eqs. 26/32).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ci_coverage, evaluate
+from repro.analysis.tables import format_table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import build_caesar
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+
+
+def sweep_k(setup: ExperimentSetup, ks=(1, 2, 3, 4, 6)) -> list[list[object]]:
+    """ARE vs k at a fixed SRAM budget."""
+    rows = []
+    truth = setup.trace.flows.sizes
+    for k in ks:
+        caesar = build_caesar(setup, k=k)
+        q = evaluate(caesar.estimate(setup.trace.flows.ids, "csm"), truth)
+        rows.append([k, q.binned_are, q.per_flow_are, q.mean_signed_rel_error])
+    return rows
+
+
+def sweep_entry_capacity(setup: ExperimentSetup, factors=(0.5, 1.0, 2.0, 4.0)) -> list[list[object]]:
+    """Overflow-eviction probability and ARE vs the y sizing rule."""
+    from repro.core.config import CaesarConfig
+    from repro.core.caesar import Caesar
+    from repro.sram.layout import bank_size_for_budget, cache_entries_for_budget
+
+    rows = []
+    trace = setup.trace
+    truth = trace.flows.sizes
+    mu = trace.mean_flow_size
+    for f in factors:
+        y = max(2, int(f * mu))
+        cfg = CaesarConfig(
+            cache_entries=cache_entries_for_budget(setup.cache_kb, y),
+            entry_capacity=y,
+            k=setup.k,
+            bank_size=bank_size_for_budget(setup.sram_kb_main, setup.k, 2**30),
+            seed=setup.seed,
+        )
+        caesar = Caesar(cfg)
+        caesar.process(trace.packets)
+        caesar.finalize()
+        stats = caesar.cache.stats
+        total_ev = max(1, stats.total_evictions)
+        q = evaluate(caesar.estimate(trace.flows.ids, "csm"), truth)
+        rows.append(
+            [
+                f"{f:g}*mu={y}",
+                stats.overflow_evictions / total_ev,
+                stats.total_evictions,
+                q.binned_are,
+            ]
+        )
+    return rows
+
+
+def sweep_policies(setup: ExperimentSetup) -> list[list[object]]:
+    """LRU vs random replacement; random vs even remainder scatter."""
+    rows = []
+    truth = setup.trace.flows.sizes
+    for policy in ("lru", "random"):
+        for remainder in ("random", "even"):
+            caesar = build_caesar(setup, replacement=policy, remainder=remainder)
+            q = evaluate(caesar.estimate(setup.trace.flows.ids, "csm"), truth)
+            rows.append([policy, remainder, q.binned_are, q.mean_signed_rel_error])
+    return rows
+
+
+def sweep_sram(setup: ExperimentSetup, factors=(0.25, 0.5, 1.0, 2.0, 4.0)) -> list[list[object]]:
+    """Accuracy vs SRAM budget (CAESAR's memory-error tradeoff)."""
+    rows = []
+    truth = setup.trace.flows.sizes
+    for f in factors:
+        caesar = build_caesar(setup, sram_kb=setup.sram_kb_main * f)
+        q = evaluate(caesar.estimate(setup.trace.flows.ids, "csm"), truth)
+        rows.append([f"{setup.sram_kb_main * f:.2f}KB", q.binned_are, q.per_flow_are])
+    return rows
+
+
+def ci_coverage_rows(setup: ExperimentSetup, alphas=(0.80, 0.90, 0.95, 0.99)) -> list[list[object]]:
+    """Measured CI coverage vs nominal reliability.
+
+    Compares the paper's Eqs. 26/32 with the clustering-aware
+    empirical intervals (library extension): the paper's variance
+    model omits whole-flow collision noise, so on heavy-tailed
+    traffic its intervals under-cover by orders of magnitude.
+    """
+    caesar = build_caesar(setup)
+    ids = setup.trace.flows.ids
+    truth = setup.trace.flows.sizes
+    rows = []
+    for alpha in alphas:
+        lo_c, hi_c = caesar.confidence_interval(ids, "csm", alpha=alpha)
+        lo_m, hi_m = caesar.confidence_interval(ids, "mlm", alpha=alpha)
+        lo_e, hi_e = caesar.confidence_interval(
+            ids, "csm", alpha=alpha, variance_model="empirical"
+        )
+        rows.append(
+            [
+                alpha,
+                ci_coverage(lo_c, hi_c, truth),
+                ci_coverage(lo_m, hi_m, truth),
+                ci_coverage(lo_e, hi_e, truth),
+            ]
+        )
+    return rows
+
+
+def run(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    setup = setup or standard_setup()
+    k_rows = sweep_k(setup)
+    y_rows = sweep_entry_capacity(setup)
+    p_rows = sweep_policies(setup)
+    m_rows = sweep_sram(setup)
+    c_rows = ci_coverage_rows(setup)
+
+    tables = [
+        format_table(["k", "ARE/bin", "ARE/flow", "bias"], k_rows, title="k sweep (fixed SRAM)"),
+        format_table(
+            ["y rule", "overflow frac", "evictions", "ARE/bin"],
+            y_rows,
+            title="cache-entry capacity sweep (y = f * mu)",
+        ),
+        format_table(
+            ["replacement", "remainder", "ARE/bin", "bias"],
+            p_rows,
+            title="replacement policy x remainder scatter",
+        ),
+        format_table(["SRAM", "ARE/bin", "ARE/flow"], m_rows, title="SRAM budget sweep"),
+        format_table(
+            ["alpha", "CSM paper (Eq.26)", "MLM paper (Eq.32)", "CSM empirical (ext)"],
+            c_rows,
+            title="confidence-interval coverage",
+        ),
+    ]
+    k_ares = {row[0]: row[1] for row in k_rows}
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations",
+        tables=tables,
+        measured={
+            "best_k": float(min(k_ares, key=k_ares.get)),
+            "overflow_frac_at_2mu": float(y_rows[2][1]),
+            "lru_random_gap": float(abs(p_rows[0][2] - p_rows[2][2])),
+        },
+        paper_reference={
+            "best_k": "k ~ 3 'performs well when k is not too big' (Section 4.2)",
+            "overflow_frac_at_2mu": "p_y -> 0 at y = 2 n/Q (Section 4.2)",
+        },
+        notes=[
+            "k sweep: CSM's error grows monotonically with k at fixed "
+            "memory, because the own-flow split noise cancels exactly in "
+            "the counter sum while each extra counter collects extra "
+            "sharing noise. k > 1 buys saturation range (narrow counters) "
+            "and robust/MLM decoding, not lower CSM variance — the "
+            "paper's 'k not too big' in sharper form.",
+            "y sweep: accuracy is y-invariant for the same cancellation "
+            "reason; y only controls the overflow-eviction fraction (and "
+            "hence the online SRAM traffic).",
+            "CI coverage: Eqs. 26/32 omit whole-flow clustering noise and "
+            "under-cover drastically on heavy tails; the empirical "
+            "variant (extension) restores near-nominal coverage.",
+        ],
+    )

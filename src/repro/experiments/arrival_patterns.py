@@ -1,0 +1,114 @@
+"""Arrival-pattern sensitivity (beyond the paper).
+
+Section 4.2 assumes "all packets from all flows can be regarded as
+arriving uniformly and with equal probability". Real links violate
+that in both directions: heavy interleaving (many concurrent flows)
+and heavy burstiness (TCP trains). This experiment replays the same
+flow set under four arrival models and reports what actually depends
+on arrival order:
+
+- cache behaviour (hit rate, eviction mix) — strongly order-dependent;
+- modeled line-rate loss — follows the eviction rate;
+- estimation accuracy — order-*independent*, because CSM's counter
+  sums see only per-flow totals (the split cancellation of
+  docs/theory.md again).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import evaluate, top_flow_are
+from repro.analysis.tables import format_table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import build_caesar
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.memmodel.costmodel import caesar_counts
+from repro.memmodel.pipeline import IngressModel
+from repro.traffic.packets import bursty_stream, round_robin_stream
+from repro.traffic.trace import Trace
+
+
+def _streams(setup: ExperimentSetup):
+    flows = setup.trace.flows
+    return {
+        "uniform": setup.trace.packets,
+        "bursty(64)": bursty_stream(flows, burst_length=64, seed=setup.seed + 2),
+        "bursty(4096)": bursty_stream(flows, burst_length=4096, seed=setup.seed + 3),
+        "round-robin": round_robin_stream(flows),
+    }
+
+
+def run(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    setup = setup or standard_setup()
+    truth = setup.trace.flows.sizes
+    ids = setup.trace.flows.ids
+    top = max(20, setup.trace.num_flows // 1000)
+    model = IngressModel()
+
+    rows = []
+    ares = {}
+    hit_rates = {}
+    losses = {}
+    for name, packets in _streams(setup).items():
+        shuffled_setup = ExperimentSetup(
+            trace=Trace(packets=packets, flows=setup.trace.flows),
+            scale=setup.scale,
+            seed=setup.seed,
+            k=setup.k,
+        )
+        caesar = build_caesar(shuffled_setup)
+        stats = caesar.cache.stats
+        est = caesar.estimate(ids)
+        q = evaluate(est, truth)
+        t = model.process(caesar_counts(stats, setup.k))
+        ares[name] = top_flow_are(est, truth, top=top)
+        hit_rates[name] = stats.hit_rate
+        losses[name] = t.loss_rate
+        rows.append(
+            [
+                name,
+                stats.hit_rate,
+                stats.total_evictions,
+                stats.overflow_evictions / max(1, stats.total_evictions),
+                ares[name],
+                q.packet_weighted_are,
+                t.loss_rate,
+            ]
+        )
+
+    table = format_table(
+        [
+            "arrival",
+            "hit rate",
+            "evictions",
+            "overflow frac",
+            "ARE (top flows)",
+            "ARE (pkt-wtd)",
+            "modeled loss",
+        ],
+        rows,
+        title=f"Arrival-pattern sensitivity ({setup.describe()})",
+    )
+    spread = max(ares.values()) - min(ares.values())
+    return ExperimentResult(
+        experiment_id="arrivals",
+        title="Arrival-pattern sensitivity of cache behaviour vs accuracy",
+        tables=[table],
+        measured={
+            "accuracy_spread_across_patterns": spread,
+            "hit_rate_uniform": hit_rates["uniform"],
+            "hit_rate_bursty": hit_rates["bursty(4096)"],
+            "loss_uniform": losses["uniform"],
+            "loss_bursty": losses["bursty(4096)"],
+        },
+        paper_reference={
+            "accuracy_spread_across_patterns": "~0: accuracy is arrival-order "
+            "independent (per-flow totals only)",
+            "hit_rate_bursty": "> uniform: temporal locality is the cache's friend",
+            "loss_bursty": "-> 0: bursty arrival shrinks eviction traffic below line rate",
+        },
+        notes=[
+            "The uniform model (the paper's assumption) is the *worst* "
+            "case for the cache among realistic arrivals; real traces "
+            "with TCP burstiness behave like the bursty rows.",
+        ],
+    )

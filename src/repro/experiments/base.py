@@ -1,0 +1,47 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one paper-figure reproduction.
+
+    ``measured`` holds machine-readable headline numbers;
+    ``paper_reference`` the corresponding values (or qualitative
+    expectations) the paper reports, keyed identically where a direct
+    comparison exists. ``tables`` are rendered text blocks — the
+    human-readable artifact.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    measured: dict[str, float] = field(default_factory=dict)
+    paper_reference: dict[str, float | str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full text report for this experiment."""
+        lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
+        for table in self.tables:
+            lines.append(table)
+            lines.append("")
+        if self.measured:
+            lines.append("Measured:")
+            for key, value in self.measured.items():
+                ref = self.paper_reference.get(key)
+                suffix = f"   (paper: {ref})" if ref is not None else ""
+                lines.append(f"  {key} = {value:.4g}{suffix}")
+            lines.append("")
+        extra_refs = {k: v for k, v in self.paper_reference.items() if k not in self.measured}
+        if extra_refs:
+            lines.append("Paper reference (no direct numeric counterpart):")
+            for key, value in extra_refs.items():
+                lines.append(f"  {key}: {value}")
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Shared experiment plumbing: build/run schemes on a setup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import BinnedErrors, EstimateQuality, binned_errors, evaluate
+from repro.analysis.tables import format_table
+from repro.baselines.case import Case, CaseConfig
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.experiments.trace_setup import ExperimentSetup
+
+
+def build_caesar(
+    setup: ExperimentSetup,
+    *,
+    replacement: str = "lru",
+    sram_kb: float | None = None,
+    cache_kb: float | None = None,
+    k: int | None = None,
+    remainder: str = "random",
+) -> Caesar:
+    """A CAESAR instance sized per Section 6.2, run over the setup's trace."""
+    trace = setup.trace
+    cfg = CaesarConfig.for_budgets(
+        sram_kb=sram_kb if sram_kb is not None else setup.sram_kb_main,
+        cache_kb=cache_kb if cache_kb is not None else setup.cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=k if k is not None else setup.k,
+        replacement=replacement,
+        seed=setup.seed,
+    )
+    if remainder != "random":
+        cfg = CaesarConfig(
+            cache_entries=cfg.cache_entries,
+            entry_capacity=cfg.entry_capacity,
+            k=cfg.k,
+            bank_size=cfg.bank_size,
+            counter_capacity=cfg.counter_capacity,
+            replacement=cfg.replacement,
+            remainder=remainder,
+            seed=cfg.seed,
+        )
+    caesar = Caesar(cfg)
+    caesar.process(trace.packets)
+    caesar.finalize()
+    return caesar
+
+
+def build_rcs(
+    setup: ExperimentSetup,
+    *,
+    packets: np.ndarray | None = None,
+    sram_kb: float | None = None,
+    k: int | None = None,
+) -> RCS:
+    """An RCS instance at the same SRAM budget, fed ``packets``
+    (defaults to the lossless full stream)."""
+    cfg = RCSConfig.for_budget(
+        sram_kb if sram_kb is not None else setup.sram_kb_main,
+        k=k if k is not None else setup.k,
+        seed=setup.seed,
+    )
+    rcs = RCS(cfg)
+    rcs.process(packets if packets is not None else setup.trace.packets)
+    return rcs
+
+
+def build_case(setup: ExperimentSetup, *, sram_kb: float) -> Case:
+    """A CASE instance at the given SRAM budget, run over the trace."""
+    trace = setup.trace
+    cfg = CaseConfig.for_budgets(
+        sram_kb=sram_kb,
+        cache_kb=setup.cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        max_value=float(trace.flows.sizes.max()),
+        seed=setup.seed,
+    )
+    case = Case(cfg)
+    case.process(trace.packets)
+    case.finalize()
+    return case
+
+
+def accuracy_table(
+    title: str,
+    truth: np.ndarray,
+    estimate_sets: dict[str, np.ndarray],
+    bins_per_decade: int = 2,
+) -> tuple[str, dict[str, EstimateQuality]]:
+    """Binned ARE table for several estimators over one ground truth.
+
+    Returns the rendered table (one row per size bin, one ARE and bias
+    column pair per estimator — the (c)/(d) panels of Figs. 4-7) and a
+    per-estimator :class:`EstimateQuality`.
+    """
+    qualities = {name: evaluate(est, truth, bins_per_decade) for name, est in estimate_sets.items()}
+    bins: dict[str, BinnedErrors] = {
+        name: binned_errors(est, truth, bins_per_decade) for name, est in estimate_sets.items()
+    }
+    any_bins = next(iter(bins.values()))
+    headers = ["size bin", "flows"]
+    for name in estimate_sets:
+        headers += [f"{name} ARE", f"{name} bias"]
+    rows = []
+    for i in range(len(any_bins.count)):
+        if any_bins.count[i] == 0:
+            continue
+        row: list[object] = [
+            f"{int(any_bins.bin_lo[i])}-{int(any_bins.bin_hi[i]) - 1}",
+            int(any_bins.count[i]),
+        ]
+        for name in estimate_sets:
+            row.append(float(bins[name].mean_abs_rel_error[i]))
+            row.append(float(bins[name].mean_signed_rel_error[i]))
+        rows.append(row)
+    summary_rows = [
+        [name, q.per_flow_are, q.binned_are, q.packet_weighted_are, q.mean_signed_rel_error]
+        for name, q in qualities.items()
+    ]
+    table = (
+        format_table(headers, rows, title=title)
+        + "\n\n"
+        + format_table(
+            ["estimator", "ARE/flow", "ARE/bin", "ARE/packet", "bias"],
+            summary_rows,
+            title="Aggregates",
+        )
+    )
+    return table, qualities

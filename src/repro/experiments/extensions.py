@@ -1,0 +1,175 @@
+"""Extension experiment — related-work shootout (beyond the paper).
+
+Places the Section-2 related-work schemes (DISCO, SAC, ANLS, CEDAR,
+ICE-buckets, Counter Braids, Count-Min) on the same trace at the same
+per-scheme SRAM budget as CAESAR, completing the comparison the paper
+only argues qualitatively ("compression methods have high
+computational complexity and low storage efficiency").
+
+These single-counter schemes are cache-free and pay one compressed
+update per packet, so they also inherit RCS's line-rate loss problem;
+here we evaluate them *lossless* to isolate pure storage/estimation
+quality. Run on a reduced trace by default — the per-packet Python
+loops of the compressed-counter schemes are the slow path of the
+entire suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import evaluate
+from repro.analysis.tables import format_table
+from repro.baselines.compression.anls import AnlsSketch
+from repro.baselines.compression.cedar import CedarSketch
+from repro.baselines.compression.disco import DiscoSketch
+from repro.baselines.compression.icebuckets import IceBucketsSketch
+from repro.baselines.compression.sac import SacSketch
+from repro.baselines.counter_braids import CounterBraids, CounterBraidsConfig
+from repro.baselines.counter_tree import CounterTree, CounterTreeConfig
+from repro.baselines.countmin import CountMin, CountMinConfig
+from repro.baselines.sampling import SampledCounter
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import build_caesar
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.traffic.trace import Trace
+
+
+def _subsample(setup: ExperimentSetup, max_packets: int) -> Trace:
+    """A prefix-truncated trace for the slow per-packet schemes."""
+    if setup.trace.num_packets <= max_packets:
+        return setup.trace
+    return Trace.from_packets(setup.trace.packets[:max_packets])
+
+
+def run(setup: ExperimentSetup | None = None, max_packets: int = 400_000) -> ExperimentResult:
+    setup = setup or standard_setup()
+    trace = _subsample(setup, max_packets)
+    truth = trace.flows.sizes
+    ids = trace.flows.ids
+    max_val = float(truth.max())
+    q_flows = trace.num_flows
+
+    # Budget: bits equal to CAESAR's main SRAM budget, rescaled to this
+    # (possibly truncated) trace by flow count.
+    budget_kb = setup.sram_kb_main * trace.num_flows / setup.trace.num_flows
+    budget_bits = int(budget_kb * 8192)
+
+    rows = []
+
+    def add(name: str, est: np.ndarray, kb: float, per_packet: str) -> None:
+        q = evaluate(est, truth)
+        rows.append(
+            [
+                name,
+                f"{kb:.2f}",
+                per_packet,
+                q.binned_are,
+                q.packet_weighted_are,
+                q.mean_signed_rel_error,
+            ]
+        )
+
+    # CAESAR on the same (sub)trace at the same budget.
+    sub_setup = ExperimentSetup(trace=trace, scale=setup.scale, seed=setup.seed, k=setup.k)
+    caesar = build_caesar(sub_setup, sram_kb=budget_kb)
+    add("CAESAR-CSM", caesar.estimate(ids, "csm"), budget_kb, "1 cache access")
+
+    # Compressed single-counter schemes at the same total budget.
+    # Compression needs a handful of stored states to stretch over
+    # (CEDAR's level recurrence, ANLS's exponent), so the width is
+    # floored at 4 bits and the counter count absorbs the budget —
+    # fewer counters than flows simply means hash collisions, the
+    # honest cost of a tiny budget.
+    bits = max(4, budget_bits // q_flows)
+    num_counters = max(16, budget_bits // bits)
+    cap = (1 << min(bits, 40)) - 1
+
+    disco = DiscoSketch(num_counters, cap, max_val)
+    disco.process(trace.packets)
+    add("DISCO", disco.estimate(ids), disco.array.memory_kilobytes, "1 compressed update")
+
+    anls = AnlsSketch(num_counters, cap, max_val)
+    anls.process(trace.packets)
+    add("ANLS", anls.estimate(ids), anls.array.memory_kilobytes, "1 compressed update")
+
+    cedar = CedarSketch(num_counters, cap, max_val)
+    cedar.process(trace.packets)
+    add("CEDAR", cedar.estimate(ids), cedar.memory_kilobytes, "1 compressed update")
+
+    ice = IceBucketsSketch(num_counters, cap, max_val)
+    ice.process(trace.packets)
+    add("ICE-buckets", ice.estimate(ids), ice.memory_kilobytes, "1 compressed update")
+
+    sac_counters = budget_bits // 10  # 6-bit mantissa + 4-bit exponent
+    sac = SacSketch(sac_counters)
+    sac.process(trace.packets)
+    add("SAC", sac.estimate(ids), sac.memory_kilobytes, "1 compressed update")
+
+    # Counter Braids and Count-Min at the same total counter bits
+    # (30-bit counters like CAESAR's array).
+    cb_bank = max(1, budget_bits // (3 * 30))
+    braids = CounterBraids(CounterBraidsConfig(d=3, bank_size=cb_bank))
+    braids.process(trace.packets)
+    add("CounterBraids", braids.decode(ids), 3 * cb_bank * 30 / 8192, "3 SRAM updates")
+
+    cm = CountMin(CountMinConfig(depth=3, width=cb_bank))
+    cm.process(trace.packets)
+    add("CountMin", cm.estimate(ids), 3 * cb_bank * 30 / 8192, "3 SRAM updates")
+
+    # Counter Tree (cited [2]): tree-shared high-order bits. 6-bit
+    # leaves plus a shared 24-bit parent per 8 leaves = 9 bits/leaf.
+    ct_cfg = CounterTreeConfig(num_leaves=max(16, budget_bits // 9), leaf_bits=6, degree=8)
+    ctree = CounterTree(ct_cfg)
+    ctree.process(trace.packets)
+    add("CounterTree", ctree.estimate(ids), ct_cfg.memory_kilobytes, "1-2 SRAM updates")
+
+    # Sampled NetFlow (Section 2.2's family): rate chosen so the exact
+    # per-sample state fits the same budget (96 bits per tracked flow).
+    sampler = SampledCounter(sampling_rate=0.02, seed=setup.seed)
+    sampler.process(trace.packets)
+    add(
+        "Sampled(2%)",
+        sampler.estimate(ids),
+        sampler.memory_kilobytes(),
+        "amortized 0.02 updates",
+    )
+
+    table = format_table(
+        ["scheme", "KB", "per-packet cost", "ARE/bin", "ARE/packet", "bias"],
+        rows,
+        title=(
+            f"Related-work shootout at equal memory "
+            f"(n={trace.num_packets}, Q={trace.num_flows})"
+        ),
+    )
+    are_packet = {r[0]: r[4] for r in rows}
+    return ExperimentResult(
+        experiment_id="extensions",
+        title="Related-work schemes vs CAESAR at equal memory (extension)",
+        tables=[table],
+        measured={
+            "caesar_are_packet": are_packet["CAESAR-CSM"],
+            "disco_are_packet": are_packet["DISCO"],
+            "counter_braids_are_packet": are_packet["CounterBraids"],
+        },
+        paper_reference={
+            "caesar_are_packet": "paper argues sharing beats per-flow compression "
+            "at equal memory (Section 2.1); see notes for where that holds",
+        },
+        notes=[
+            "Lossless comparison; per-packet cost column shows why the "
+            "cache-free schemes additionally lose packets at line rate.",
+            "Sampled NetFlow reports its true exact-counting state in "
+            "the KB column — an order of magnitude over the sketch "
+            "budget even at 2 % sampling, which is the Section 2.2 "
+            "memory argument; its mice are simply never observed "
+            "(see test_sampling_countertree).",
+            "The compressed single-counter schemes collide flows when "
+            "the budget affords fewer counters than flows, inflating "
+            "their bias; they can look better than CAESAR on "
+            "mice-dominated ARE at extreme scarcity while losing badly "
+            "on packet-weighted error — the storage-efficiency point "
+            "of Section 2.1 in quantitative form.",
+        ],
+    )

@@ -1,0 +1,80 @@
+"""Figure 4 — CAESAR accuracy: CSM vs MLM, LRU vs random replacement.
+
+Paper setup: SRAM 91.55 KB, cache 97.66 KB, k = 3, y = floor(2n/Q);
+panels (a)/(b) are estimated-vs-actual scatters for CSM/MLM, panels
+(c)/(d) the average relative error vs actual flow size. The paper's
+findings this experiment must reproduce:
+
+- CAESAR estimates flow sizes accurately at a sub-100 KB SRAM budget;
+- CSM and MLM results differ little (the paper picks CSM as default);
+- both replacement policies behave equivalently (Section 6.3.1 runs
+  LRU and random).
+
+Headline numbers (Section 1.5): average relative errors 25.23 % (CSM)
+and 30.83 % (MLM).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import top_flow_are
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import accuracy_table, build_caesar
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+
+
+def run(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    setup = setup or standard_setup()
+    trace = setup.trace
+    truth = trace.flows.sizes
+
+    caesar_lru = build_caesar(setup, replacement="lru")
+    caesar_rnd = build_caesar(setup, replacement="random")
+
+    estimates = {
+        "CSM(lru)": caesar_lru.estimate(trace.flows.ids, "csm"),
+        "MLM(lru)": caesar_lru.estimate(trace.flows.ids, "mlm"),
+        "CSM(rand)": caesar_rnd.estimate(trace.flows.ids, "csm"),
+        "MLM(rand)": caesar_rnd.estimate(trace.flows.ids, "mlm"),
+    }
+    table, q = accuracy_table(
+        f"CAESAR error vs actual flow size ({setup.describe()})", truth, estimates
+    )
+
+    stats = caesar_lru.cache.stats
+    mu = trace.mean_flow_size
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="CAESAR estimated vs actual flow size; avg relative error (CSM & MLM)",
+        tables=[table],
+        measured={
+            "csm_are": q["CSM(lru)"].packet_weighted_are,
+            "mlm_are": q["MLM(lru)"].packet_weighted_are,
+            "csm_are_top": top_flow_are(
+                estimates["CSM(lru)"], truth, top=max(20, trace.num_flows // 1000)
+            ),
+            "mlm_are_top": top_flow_are(
+                estimates["MLM(lru)"], truth, top=max(20, trace.num_flows // 1000)
+            ),
+            "csm_are_bin": q["CSM(lru)"].binned_are,
+            "mlm_are_bin": q["MLM(lru)"].binned_are,
+            "csm_bias_over_mu": q["CSM(lru)"].mean_signed_error_packets / mu,
+            "lru_vs_random_are_gap": abs(
+                q["CSM(lru)"].packet_weighted_are - q["CSM(rand)"].packet_weighted_are
+            ),
+            "overflow_evictions": float(stats.overflow_evictions),
+            "replacement_evictions": float(stats.replacement_evictions),
+            "cache_hit_rate": stats.hit_rate,
+        },
+        paper_reference={
+            "csm_are": "25.23 % average relative error (Section 1.5)",
+            "mlm_are": "30.83 % average relative error (Section 1.5)",
+            "csm_bias_over_mu": "~0 (CSM unbiased, Eq. 21)",
+            "lru_vs_random_are_gap": "policies equivalent (Section 6.3.1)",
+        },
+        notes=[
+            "Scatter panels (a)/(b) are summarized by the per-bin mean "
+            "estimate columns; full pairs available via "
+            "Caesar.estimate on trace.flows.ids.",
+        ],
+    )
+    return result

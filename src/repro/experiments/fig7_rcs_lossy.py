@@ -1,0 +1,74 @@
+"""Figure 7 — RCS under the realistic loss assumption.
+
+Without a cache, RCS needs one off-chip SRAM access per packet; at
+line rate it can only record the cache/SRAM speed-ratio fraction of
+the stream. The paper uses the empirical loss rates 2/3 (3x gap) and
+9/10 (10x gap) and reports average relative errors of 67.68 % and
+90.06 % — i.e. essentially the loss rate itself, because surviving
+counters under-represent every flow by the kept fraction.
+
+We drop packets Bernoulli(loss) ahead of RCS (the
+:func:`repro.traffic.packets.apply_loss` model), decode with CSM, and
+verify the error-vs-size panels approach the loss rate for flows large
+enough that sharing noise is secondary. The loss rates themselves are
+*derived*, not assumed: the memmodel ingress reproduces 2/3 and 9/10
+from the latency numbers (see fig8).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import top_flow_are
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import accuracy_table, build_rcs
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.traffic.packets import apply_loss
+
+LOSS_RATES = (2.0 / 3.0, 9.0 / 10.0)
+
+
+def run(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    setup = setup or standard_setup()
+    trace = setup.trace
+    truth = trace.flows.sizes
+
+    estimates = {}
+    top = max(20, trace.num_flows // 1000)
+    large_bin_are = {}
+    for loss in LOSS_RATES:
+        kept = apply_loss(trace.packets, loss, seed=setup.seed + int(loss * 100))
+        rcs = build_rcs(setup, packets=kept)
+        est = rcs.estimate(trace.flows.ids, "csm")
+        name = f"loss={loss:.2f}"
+        estimates[name] = est
+        large_bin_are[loss] = top_flow_are(est, truth, top=top)
+
+    table, q = accuracy_table(
+        f"RCS under realistic loss ({setup.describe()})", truth, estimates
+    )
+    q_23 = q[f"loss={LOSS_RATES[0]:.2f}"]
+    q_910 = q[f"loss={LOSS_RATES[1]:.2f}"]
+
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="RCS with realistic packet loss (2/3 and 9/10)",
+        tables=[table],
+        measured={
+            "are_loss_2_3_large_flows": large_bin_are[LOSS_RATES[0]],
+            "are_loss_9_10_large_flows": large_bin_are[LOSS_RATES[1]],
+            "are_loss_2_3_bin": q_23.binned_are,
+            "are_loss_9_10_bin": q_910.binned_are,
+            "bias_loss_2_3": q_23.mean_signed_rel_error,
+            "bias_loss_9_10": q_910.mean_signed_rel_error,
+        },
+        paper_reference={
+            "are_loss_2_3_large_flows": "67.68 % average relative error (Fig. 7c)",
+            "are_loss_9_10_large_flows": "90.06 % average relative error (Fig. 7d)",
+            "bias_loss_2_3": "~ -0.667 (flows under-counted by the loss rate)",
+            "bias_loss_9_10": "~ -0.9",
+        },
+        notes=[
+            "Errors converge to the loss rate exactly where counters "
+            "dominate noise (large flows); small-flow bins add the "
+            "sharing noise also present in Fig. 4/6.",
+        ],
+    )

@@ -1,0 +1,151 @@
+"""Figure 8 — processing time vs number of packets (FPGA substitute).
+
+The paper implements all three schemes on a Virtex-7 and measures the
+time to process packet-stream prefixes. The findings to reproduce:
+
+- below ~10^4 packets CASE is the slowest (per-packet power
+  operations in its compression pipeline);
+- beyond ~10^4 packets RCS "drastically increases and exceeds CASE"
+  (its per-packet off-chip updates outrun the FIFO);
+- CAESAR is always the most time-efficient — on average 74.8 % and up
+  to 92.4 % faster than CASE, on average 75.5 % and up to 90 % faster
+  than RCS.
+
+We replay trace prefixes through the *instrumented* cache simulations
+(so eviction counts are measured, not assumed) and price the operation
+mixes with the paper's latency numbers via the ingress pipeline model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cachesim.cache import FlowCache
+from repro.cachesim.base import EvictionReason
+from repro.experiments.base import ExperimentResult
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.memmodel.costmodel import caesar_counts, case_counts, rcs_counts
+from repro.memmodel.pipeline import IngressModel
+from repro.memmodel.technologies import LatencyModel
+from repro.sram.layout import cache_entries_for_budget
+
+#: Prefix lengths swept (paper sweeps to its full 27.7 M packets).
+#: Log-spaced below the 10^4 FIFO kink, denser above it, always
+#: including the full trace.
+DEFAULT_PREFIX_GRID = (
+    100,
+    1_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+    27_720_011,
+)
+
+
+def _cache_stats_for_prefix(setup: ExperimentSetup, n: int):
+    """Run the cache front end alone on the first ``n`` packets.
+
+    Timing only needs the cache statistics (hits/misses/evictions) —
+    not counter contents — so we use a bare FlowCache with a null sink.
+    """
+    y = setup.entry_capacity
+    cache = FlowCache(
+        num_entries=cache_entries_for_budget(setup.cache_kb, y),
+        entry_capacity=y,
+        policy="lru",
+        seed=setup.seed,
+    )
+
+    def null_sink(fid: int, value: int, reason: EvictionReason) -> None:
+        pass
+
+    cache.process(setup.trace.packets[:n], null_sink)
+    return cache.stats
+
+
+def run(
+    setup: ExperimentSetup | None = None,
+    prefix_grid: tuple[int, ...] = DEFAULT_PREFIX_GRID,
+    latencies: LatencyModel | None = None,
+) -> ExperimentResult:
+    setup = setup or standard_setup()
+    grid = [n for n in prefix_grid if n < setup.trace.num_packets]
+    grid.append(setup.trace.num_packets)
+    model = IngressModel(latencies or LatencyModel(), fifo_depth=10_000)
+
+    rows = []
+    speedups_case, speedups_rcs = [], []
+    rcs_loss = 0.0
+    for n in grid:
+        stats = _cache_stats_for_prefix(setup, n)
+        t_caesar = model.process(caesar_counts(stats, setup.k))
+        t_case = model.process(case_counts(stats))
+        t_rcs = model.process(rcs_counts(n))
+        su_case = 1.0 - t_caesar.ingress_ns / t_case.ingress_ns
+        su_rcs = 1.0 - t_caesar.ingress_ns / t_rcs.ingress_ns
+        speedups_case.append(su_case)
+        speedups_rcs.append(su_rcs)
+        rcs_loss = t_rcs.loss_rate
+        rows.append(
+            [
+                n,
+                t_caesar.ingress_ns / 1e3,
+                t_case.ingress_ns / 1e3,
+                t_rcs.ingress_ns / 1e3,
+                su_case,
+                su_rcs,
+            ]
+        )
+
+    table = format_table(
+        [
+            "packets",
+            "CAESAR (us)",
+            "CASE (us)",
+            "RCS (us)",
+            "CAESAR vs CASE",
+            "CAESAR vs RCS",
+        ],
+        rows,
+        title=f"Processing time vs number of packets ({setup.describe()})",
+    )
+
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Processing time vs number of packets (cost-model FPGA substitute)",
+        tables=[table],
+        measured={
+            "mean_speedup_vs_case": float(np.mean(speedups_case)),
+            "max_speedup_vs_case": float(np.max(speedups_case)),
+            "mean_speedup_vs_rcs": float(np.mean(speedups_rcs)),
+            "max_speedup_vs_rcs": float(np.max(speedups_rcs)),
+            "fulltrace_speedup_vs_case": float(speedups_case[-1]),
+            "fulltrace_speedup_vs_rcs": float(speedups_rcs[-1]),
+            "rcs_line_rate_loss": rcs_loss,
+        },
+        paper_reference={
+            "mean_speedup_vs_case": "74.8 % (Section 6.4)",
+            "max_speedup_vs_case": "92.4 %",
+            "mean_speedup_vs_rcs": "75.5 %",
+            "max_speedup_vs_rcs": "90 %",
+            "rcs_line_rate_loss": "9/10 at the 10x cache/SRAM gap (2/3 at 3x)",
+        },
+        notes=[
+            "Absolute times are model nanoseconds, not Virtex-7 "
+            "cycles; the orderings, the RCS kink past the 10^4 FIFO, "
+            "and the speedup factors are the reproduced quantities.",
+            "At reduced REPRO_SCALE the sweep has proportionally more "
+            "pre-kink (RCS-fast) points than the paper's 27.7M-packet "
+            "sweep, understating the mean speedup vs RCS; the "
+            "asymptotic (large-n) speedups match the paper's maxima.",
+            "The CASE gap is capped at 1 - 1/(1 + power_op_ns) by our "
+            "conservative 4 ns compression-unit cost; the paper's "
+            "92.4 % maximum implies a costlier power unit on its "
+            "prototype.",
+        ],
+    )

@@ -1,0 +1,74 @@
+"""Headline comparison — the paper's Section 1.5 claims in one table.
+
+Aggregates Figs. 4, 5, 7, 8 into the paper's four headline claims:
+
+1. CASE "hardly works" at the shared budget (~100 % relative error);
+2. RCS with realistic loss has average relative errors ~67.68 % and
+   ~90.06 %;
+3. CAESAR's CSM/MLM are far below both (paper: 25.23 % / 30.83 %);
+4. CAESAR is up to 92.4 % faster than CASE and up to 90 % faster than
+   RCS.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments import fig4_caesar, fig5_case, fig7_rcs_lossy, fig8_timing
+from repro.experiments.base import ExperimentResult
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+
+
+def run(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    setup = setup or standard_setup()
+    r4 = fig4_caesar.run(setup)
+    r5 = fig5_case.run(setup)
+    r7 = fig7_rcs_lossy.run(setup)
+    r8 = fig8_timing.run(setup)
+
+    rows = [
+        ["CAESAR CSM avg rel err", f"{r4.measured['csm_are']:.4f}", "0.2523"],
+        ["CAESAR MLM avg rel err", f"{r4.measured['mlm_are']:.4f}", "0.3083"],
+        ["CAESAR CSM rel err (large flows)", f"{r4.measured['csm_are_top']:.4f}", "<< RCS-lossy"],
+        [
+            "RCS loss=2/3 avg rel err (large flows)",
+            f"{r7.measured['are_loss_2_3_large_flows']:.4f}",
+            "0.6768",
+        ],
+        [
+            "RCS loss=9/10 avg rel err (large flows)",
+            f"{r7.measured['are_loss_9_10_large_flows']:.4f}",
+            "0.9006",
+        ],
+        [
+            "CASE frac estimated ~0 (small budget)",
+            f"{r5.measured['small_budget_frac_estimated_zero']:.4f}",
+            "~1 ('almost 0')",
+        ],
+        ["CAESAR vs CASE mean speedup", f"{r8.measured['mean_speedup_vs_case']:.4f}", "0.748"],
+        ["CAESAR vs CASE max speedup", f"{r8.measured['max_speedup_vs_case']:.4f}", "0.924"],
+        ["CAESAR vs RCS mean speedup", f"{r8.measured['mean_speedup_vs_rcs']:.4f}", "0.755"],
+        ["CAESAR vs RCS max speedup", f"{r8.measured['max_speedup_vs_rcs']:.4f}", "0.900"],
+    ]
+    table = format_table(
+        ["claim", "measured", "paper"],
+        rows,
+        title=f"Headline paper-vs-measured ({setup.describe()})",
+    )
+    return ExperimentResult(
+        experiment_id="headline",
+        title="Section 1.5 headline claims, paper vs measured",
+        tables=[table],
+        measured={
+            "caesar_csm_are": r4.measured["csm_are"],
+            "caesar_mlm_are": r4.measured["mlm_are"],
+            "caesar_csm_are_top": r4.measured["csm_are_top"],
+            "rcs_lossy_2_3_are": r7.measured["are_loss_2_3_large_flows"],
+            "rcs_lossy_9_10_are": r7.measured["are_loss_9_10_large_flows"],
+            "mean_speedup_vs_case": r8.measured["mean_speedup_vs_case"],
+            "mean_speedup_vs_rcs": r8.measured["mean_speedup_vs_rcs"],
+        },
+        notes=[
+            "Ordering to verify: CAESAR (CSM & MLM) << RCS-lossy and "
+            "<< CASE; CAESAR fastest everywhere in the time model.",
+        ],
+    )

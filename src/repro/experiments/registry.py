@@ -1,0 +1,64 @@
+"""Experiment registry: name → runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    arrival_patterns,
+    eventsim_validation,
+    extensions,
+    fig3_distribution,
+    fig4_caesar,
+    fig5_case,
+    fig6_rcs_lossless,
+    fig7_rcs_lossy,
+    fig8_timing,
+    headline,
+    robustness,
+    scaling,
+    theory_validation,
+    volume,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.trace_setup import ExperimentSetup
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3_distribution.run,
+    "fig4": fig4_caesar.run,
+    "fig5": fig5_case.run,
+    "fig6": fig6_rcs_lossless.run,
+    "fig7": fig7_rcs_lossy.run,
+    "fig8": fig8_timing.run,
+    "headline": headline.run,
+    "ablations": ablations.run,
+    "extensions": extensions.run,
+    "theory": theory_validation.run,
+    "volume": volume.run,
+    "eventsim": eventsim_validation.run,
+    "arrivals": arrival_patterns.run,
+    "scaling": scaling.run,
+    "robustness": robustness.run,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment names, figure order first."""
+    return list(_REGISTRY)
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """The runner for one experiment name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(name: str, setup: ExperimentSetup | None = None) -> ExperimentResult:
+    """Run one experiment by name."""
+    return get_experiment(name)(setup)

@@ -1,0 +1,142 @@
+"""Robustness sweep (beyond the paper): seeds, hash families, workloads.
+
+Three ways the headline results could have been an artifact, each
+swept and reported:
+
+- **seed sensitivity** — different hash/eviction seeds on the same
+  trace: spread of the accuracy metrics;
+- **hash family** — splitmix64 mixing vs 3-independent tabulation
+  hashing selecting the counters;
+- **workload shape** — the calibrated Zipf vs an explicit
+  mice+elephant mixture vs a light-tailed geometric control (where
+  clustering noise should collapse and accuracy sharpen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import evaluate, top_flow_are
+from repro.analysis.tables import format_table
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.hashing.tabulation import TabulationIndexer
+from repro.traffic.distributions import (
+    BoundedZipf,
+    GeometricDist,
+    MixtureDist,
+)
+from repro.traffic.flows import FlowSet
+from repro.traffic.packets import uniform_stream
+from repro.traffic.trace import Trace
+
+
+def _run(trace: Trace, setup: ExperimentSetup, seed: int, tabulation: bool = False):
+    cfg = CaesarConfig.for_budgets(
+        sram_kb=setup.sram_kb_main,
+        cache_kb=setup.cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=setup.k,
+        seed=seed,
+    )
+    caesar = Caesar(cfg)
+    if tabulation:
+        caesar.indexer = TabulationIndexer(cfg.k, cfg.bank_size, seed=seed)
+    caesar.process(trace.packets)
+    caesar.finalize()
+    est = caesar.estimate(trace.flows.ids)
+    top = max(20, trace.num_flows // 1000)
+    return top_flow_are(est, trace.flows.sizes, top=top), evaluate(
+        est, trace.flows.sizes
+    ).packet_weighted_are
+
+
+def run(setup: ExperimentSetup | None = None, num_seeds: int = 5) -> ExperimentResult:
+    setup = setup or standard_setup()
+    trace = setup.trace
+
+    # -- seeds ------------------------------------------------------------
+    seed_rows = []
+    seed_tops = []
+    for s in range(num_seeds):
+        top_are, pkt_are = _run(trace, setup, seed=1000 + s)
+        seed_tops.append(top_are)
+        seed_rows.append([1000 + s, top_are, pkt_are])
+    seed_table = format_table(
+        ["seed", "ARE (top)", "ARE (pkt-wtd)"], seed_rows, title="Seed sweep"
+    )
+
+    # -- hash family -------------------------------------------------------
+    fam_rows = []
+    fam_tops = {}
+    for name, tab in (("splitmix64", False), ("tabulation", True)):
+        top_are, pkt_are = _run(trace, setup, seed=setup.seed, tabulation=tab)
+        fam_tops[name] = top_are
+        fam_rows.append([name, top_are, pkt_are])
+    fam_table = format_table(
+        ["family", "ARE (top)", "ARE (pkt-wtd)"], fam_rows, title="Hash-family sweep"
+    )
+
+    # -- workload shape -----------------------------------------------------
+    mu = trace.mean_flow_size
+    max_size = int(trace.flows.sizes.max())
+    workloads = {
+        "calibrated zipf": None,  # the default trace itself
+        "mice+elephants": MixtureDist(
+            [GeometricDist(min(0.9, 2.0 / mu), 50), BoundedZipf(1.05, max_size)],
+            [0.97, 0.03],
+        ),
+        "geometric (light tail)": GeometricDist(min(0.9, 1.0 / mu), max(50, int(6 * mu))),
+    }
+    wl_rows = []
+    wl_tops = {}
+    wl_pkts = {}
+    for name, dist in workloads.items():
+        if dist is None:
+            wl_trace = trace
+        else:
+            flows = FlowSet.generate(trace.num_flows, dist, seed=setup.seed + 5)
+            wl_trace = Trace(
+                packets=uniform_stream(flows, seed=setup.seed + 6), flows=flows
+            )
+        top_are, pkt_are = _run(wl_trace, setup, seed=setup.seed)
+        wl_tops[name] = top_are
+        wl_pkts[name] = pkt_are
+        wl_rows.append(
+            [name, wl_trace.num_packets, float(wl_trace.flows.sizes.max()), top_are, pkt_are]
+        )
+    wl_table = format_table(
+        ["workload", "packets", "max flow", "ARE (top)", "ARE (pkt-wtd)"],
+        wl_rows,
+        title="Workload-shape sweep (same memory ratios)",
+    )
+
+    return ExperimentResult(
+        experiment_id="robustness",
+        title="Robustness: seeds, hash families, workload shapes",
+        tables=[seed_table, fam_table, wl_table],
+        measured={
+            "seed_top_are_spread": float(np.max(seed_tops) - np.min(seed_tops)),
+            "family_top_are_gap": abs(fam_tops["splitmix64"] - fam_tops["tabulation"]),
+            "light_tail_pkt_are": wl_pkts["geometric (light tail)"],
+            "heavy_tail_pkt_are": wl_pkts["calibrated zipf"],
+            "light_tail_top_are": wl_tops["geometric (light tail)"],
+        },
+        paper_reference={
+            "seed_top_are_spread": "small: results not seed artifacts",
+            "family_top_are_gap": "small: results not mixer artifacts",
+            "light_tail_pkt_are": "<< heavy tail: clustering noise is "
+            "tail-driven (docs/theory.md)",
+        },
+        notes=[
+            "The light-tail control cuts the traffic-weighted error "
+            "several-fold (no elephants -> no clustering noise) while "
+            "*raising* the top-flow relative error — its largest flows "
+            "are only a few times the per-counter noise. Shared-counter "
+            "accuracy is relative to how far a flow stands above the "
+            "noise floor, not to tail heaviness per se.",
+        ],
+    )

@@ -1,0 +1,136 @@
+"""Theory validation — Sections 4-5 closed forms vs the mechanism.
+
+Not a paper figure: this experiment Monte-Carlo-simulates the exact
+random mechanism the paper analyzes (uniform eviction values split
+over k counters; shared-counter noise on a known flow-size
+distribution) and compares every closed form:
+
+- Eq. (10) expected evictions,
+- Eq. (12)/(14) own-portion mean and variance (and the exact-mechanism
+  variance — the paper's Eq. 8 carries a spurious factor k, see
+  ``repro.core.theory.portion_variance``),
+- Eq. (15)/(16) noise mean and variance, plus the whole-flow
+  clustering term the paper omits,
+- Eq. (21) CSM unbiasedness and Eq. (22) CSM variance against the
+  *measured* estimator spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.split import split_value
+from repro.experiments.base import ExperimentResult
+from repro.experiments.trace_setup import ExperimentSetup, standard_setup
+from repro.traffic.distributions import EmpiricalDist
+
+
+def _simulate_own_portion(
+    x: int, y: int, k: int, trials: int, rng: np.random.Generator
+) -> tuple[float, float, float]:
+    """(mean eviction count, mean portion, portion variance) of a
+    flow of size x evicted in uniform chunks of {1..y}."""
+    counts = np.empty(trials)
+    portions = np.empty(trials)
+    for t in range(trials):
+        remaining, evictions = x, 0
+        total = np.zeros(k, dtype=np.int64)
+        while remaining > 0:
+            chunk = min(int(rng.integers(1, y + 1)), remaining)
+            total += split_value(chunk, k, rng)
+            remaining -= chunk
+            evictions += 1
+        counts[t] = evictions
+        portions[t] = total[0]
+    return float(counts.mean()), float(portions.mean()), float(portions.var())
+
+
+def run(setup: ExperimentSetup | None = None, trials: int = 2000) -> ExperimentResult:
+    setup = setup or standard_setup()
+    rng = np.random.default_rng(setup.seed + 1000)
+    y, k = setup.entry_capacity, setup.k
+    x = 20 * y  # a flow large enough for the asymptotic formulas
+
+    # -- own-portion mechanism vs Eqs. 10/12/14 ----------------------------
+    mean_t, mean_y, var_y = _simulate_own_portion(x, y, k, trials, rng)
+    own_rows = [
+        ["E(t) evictions", theory.expected_evictions(x, y), mean_t],
+        ["E(Y) portion mean (Eq.12)", theory.portion_mean(x, k), mean_y],
+        ["D(Y) paper (Eq.14)", theory.portion_variance(x, k, y), var_y],
+        ["D(Y) exact mechanism", theory.portion_variance_exact(x, k, y), var_y],
+    ]
+
+    # -- CSM estimator on the real trace vs Eqs. 21/22 -----------------------
+    caesar = Caesar(
+        CaesarConfig.for_budgets(
+            sram_kb=setup.sram_kb_main,
+            cache_kb=setup.cache_kb,
+            num_packets=setup.trace.num_packets,
+            num_flows=setup.trace.num_flows,
+            k=k,
+            seed=setup.seed,
+        )
+    )
+    caesar.process(setup.trace.packets)
+    caesar.finalize()
+    est = caesar.estimate(setup.trace.flows.ids, "csm", clip_negative=False)
+    resid = est - setup.trace.flows.sizes
+    n = setup.trace.num_packets
+    bank = caesar.config.bank_size
+    dist = EmpiricalDist(setup.trace.flows.sizes)
+    second_moment_total = float(dist.second_moment * setup.trace.num_flows)
+    # Mechanism CSM variance: own-split terms cancel in the sum, so the
+    # spread is pure sharing noise — Poisson-like mass spread plus the
+    # clustering term the paper omits.
+    poisson_term = k * n / (k * bank)  # Binomial thinning of n over kL counters, summed over k
+    # Whole-flow clustering: each other flow hits our bank-r counter
+    # independently per bank w.p. 1/L with ~z/k mass, so the k-counter
+    # sum has variance ~ sum(z^2)/(L k) = k x the per-counter term.
+    clustering_term = k * theory.clustering_noise_variance(second_moment_total, k, bank)
+    csm_rows = [
+        ["CSM bias (Eq.21 says 0)", 0.0, float(resid.mean())],
+        ["CSM variance, paper (Eq.22, at mean flow)",
+         float(theory.csm_variance(setup.trace.mean_flow_size, k, y, bank, n)),
+         float(resid.var())],
+        ["CSM variance, noise-only model (split cancels)",
+         poisson_term + clustering_term, float(resid.var())],
+    ]
+
+    measured = {
+        "eviction_count_rel_err": abs(mean_t - theory.expected_evictions(x, y))
+        / theory.expected_evictions(x, y),
+        "portion_mean_rel_err": abs(mean_y - theory.portion_mean(x, k))
+        / theory.portion_mean(x, k),
+        "portion_var_vs_exact": var_y / float(theory.portion_variance_exact(x, k, y)),
+        "portion_var_vs_paper": var_y / float(theory.portion_variance(x, k, y)),
+        "csm_bias_abs": abs(float(resid.mean())),
+        "csm_var_ratio_noise_model": float(resid.var())
+        / (poisson_term + clustering_term),
+    }
+    return ExperimentResult(
+        experiment_id="theory",
+        title="Monte-Carlo validation of the Sections 4-5 closed forms",
+        tables=[
+            format_table(["quantity", "theory", "measured"], own_rows,
+                         title=f"Own-portion mechanism (x={x}, y={y}, k={k}, {trials} trials)"),
+            format_table(["quantity", "theory", "measured"], csm_rows,
+                         title="CSM estimator on the full trace"),
+        ],
+        measured=measured,
+        paper_reference={
+            "portion_var_vs_paper": "~1/k: Eq. (8)'s remainder mean carries a spurious factor k",
+            "csm_var_ratio_noise_model": "~1: split noise cancels in the sum; clustering dominates",
+            "csm_bias_abs": "0 (Eq. 21)",
+        },
+        notes=[
+            "The noise-only CSM variance model (Binomial thinning + "
+            "whole-flow clustering) is a reproduction contribution; the "
+            "paper's Eq. (22) both overstates (independent-counters "
+            "assumption) and understates (no clustering term) depending "
+            "on the tail.",
+        ],
+    )

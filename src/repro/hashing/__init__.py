@@ -1,0 +1,28 @@
+"""Deterministic hashing substrate.
+
+CAESAR maps each flow to ``k`` SRAM counters with ``k`` collision-free
+hash functions of the flow ID. This package provides:
+
+- :mod:`repro.hashing.mix` — fast 64-bit integer mixers (splitmix64 and
+  an xxhash-style finalizer), scalar and NumPy-vectorized;
+- :mod:`repro.hashing.family` — seeded hash families and the banked
+  counter-index derivation used by all sharing schemes;
+- :mod:`repro.hashing.flowid` — 5-tuple → 64-bit flow-ID digesting,
+  both the paper's SHA-1/APHash pipeline and the fast mixer path.
+"""
+
+from repro.hashing.family import BankedIndexer, HashFamily
+from repro.hashing.flowid import aphash, flow_id_from_five_tuple, flow_ids_from_headers
+from repro.hashing.mix import splitmix64, splitmix64_array, xxmix64, xxmix64_array
+
+__all__ = [
+    "BankedIndexer",
+    "HashFamily",
+    "aphash",
+    "flow_id_from_five_tuple",
+    "flow_ids_from_headers",
+    "splitmix64",
+    "splitmix64_array",
+    "xxmix64",
+    "xxmix64_array",
+]

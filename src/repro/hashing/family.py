@@ -1,0 +1,104 @@
+"""Seeded hash families and banked counter-index derivation.
+
+A :class:`HashFamily` holds ``k`` independent hash functions derived
+from one master seed; a :class:`BankedIndexer` specializes the family to
+the banked SRAM layout described in DESIGN.md: the SRAM is organized as
+``k`` banks of ``bank_size`` counters, and hash ``r`` selects flow
+``f``'s counter inside bank ``r``. Distinct banks make the ``k`` mapped
+counters collision-free by construction, exactly realizing the paper's
+"k different collision-free hash functions".
+
+Both scalar and batched (whole flow-ID array) lookups are provided; the
+batched path returns a ``(num_flows, k)`` matrix of *global* counter
+indices and is what the query phase and the vectorized update paths use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing import mix
+
+
+class HashFamily:
+    """``k`` independent 64-bit hash functions derived from one seed.
+
+    Function ``r`` is ``h_r(x) = splitmix64(seed_r ^ x)`` where the
+    per-function seeds are themselves produced by iterating splitmix64
+    on the master seed, so families with different master seeds or
+    different ``r`` are (empirically) independent.
+    """
+
+    def __init__(self, k: int, seed: int = 0x5EED) -> None:
+        if k < 1:
+            raise ConfigError(f"hash family needs k >= 1, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+        # Derive one well-mixed sub-seed per function.
+        s = self.seed
+        seeds = []
+        for _ in range(self.k):
+            s = mix.splitmix64(s)
+            seeds.append(s)
+        self._seeds = tuple(seeds)
+        self._seed_arr = np.array(seeds, dtype=np.uint64)
+
+    def hash_one(self, r: int, x: int) -> int:
+        """Apply function ``r`` to a single value."""
+        return mix.combine(self._seeds[r], x)
+
+    def hash_array(self, r: int, x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+        """Apply function ``r`` elementwise to an array of values."""
+        return mix.combine_array(self._seeds[r], x)
+
+    def hash_all(self, x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+        """Apply all ``k`` functions to an array; returns shape ``(len(x), k)``."""
+        x = np.asarray(x, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            # Broadcast (n, 1) ^ (k,) -> (n, k), then mix elementwise.
+            return mix.splitmix64_array(x[:, None] ^ self._seed_arr[None, :])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(k={self.k}, seed={self.seed:#x})"
+
+
+class BankedIndexer:
+    """Maps flow IDs to ``k`` distinct counters in a banked array.
+
+    Bank ``r`` occupies global indices ``[r * bank_size, (r+1) * bank_size)``.
+    Flow ``f``'s counter in bank ``r`` is ``r * bank_size + h_r(f) % bank_size``.
+    """
+
+    def __init__(self, k: int, bank_size: int, seed: int = 0x5EED) -> None:
+        if bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {bank_size}")
+        self.family = HashFamily(k, seed)
+        self.k = int(k)
+        self.bank_size = int(bank_size)
+        self.total_counters = self.k * self.bank_size
+        self._offsets = (np.arange(self.k, dtype=np.int64) * self.bank_size)
+
+    def indices_one(self, flow_id: int) -> np.ndarray:
+        """The ``k`` global counter indices for one flow (int64, shape (k,))."""
+        out = np.empty(self.k, dtype=np.int64)
+        for r in range(self.k):
+            out[r] = r * self.bank_size + self.family.hash_one(r, flow_id) % self.bank_size
+        return out
+
+    def indices(self, flow_ids: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
+        """Global counter indices for many flows; shape ``(len(flow_ids), k)``.
+
+        Row ``i`` holds flow ``i``'s counters ordered by bank; all k are
+        distinct because banks are disjoint.
+        """
+        h = self.family.hash_all(np.asarray(flow_ids, dtype=np.uint64))
+        local = (h % np.uint64(self.bank_size)).astype(np.int64)
+        return local + self._offsets[None, :]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BankedIndexer(k={self.k}, bank_size={self.bank_size}, "
+            f"total={self.total_counters}, seed={self.family.seed:#x})"
+        )

@@ -1,0 +1,99 @@
+"""Tabulation hashing — a strongly-universal alternative family.
+
+The splitmix-based family in :mod:`repro.hashing.family` is fast and
+empirically excellent, but offers no independence guarantee. Simple
+tabulation hashing (Zobrist; analyzed by Patrascu & Thorup 2012) is
+3-independent and behaves like full randomness for the balls-into-bins
+loads that drive counter sharing — a useful cross-check that none of
+the accuracy results hinge on mixer quirks (swap it into
+:class:`~repro.hashing.family.BankedIndexer` via the ``family``
+argument of :class:`TabulationIndexer`).
+
+The 64-bit key is split into 8 bytes; each byte indexes a seeded
+256-entry table of random 64-bit words; the hash is the XOR of the 8
+looked-up words. Vectorized via one table-gather per byte position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+
+_NUM_CHUNKS = 8
+
+
+class TabulationHash:
+    """One simple-tabulation 64-bit hash function."""
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        # (8, 256) random words: one table per key byte.
+        self._tables = rng.integers(
+            0, 2**64, size=(_NUM_CHUNKS, 256), dtype=np.uint64
+        )
+
+    def hash_array(self, keys: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+        """Hash a key array (vectorized, one gather per byte)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.shape, dtype=np.uint64)
+        for chunk in range(_NUM_CHUNKS):
+            byte = (keys >> np.uint64(8 * chunk)) & np.uint64(0xFF)
+            out ^= self._tables[chunk][byte.astype(np.int64)]
+        return out
+
+    def hash_one(self, key: int) -> int:
+        """Scalar convenience wrapper."""
+        return int(self.hash_array(np.array([key], dtype=np.uint64))[0])
+
+
+class TabulationFamily:
+    """Drop-in replacement for :class:`repro.hashing.family.HashFamily`."""
+
+    def __init__(self, k: int, seed: int = 0x7AB) -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self._functions = [TabulationHash(seed=seed + 977 * r) for r in range(k)]
+
+    def hash_one(self, r: int, x: int) -> int:
+        return self._functions[r].hash_one(x)
+
+    def hash_array(self, r: int, x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+        return self._functions[r].hash_array(x)
+
+    def hash_all(self, x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
+        x = np.asarray(x, dtype=np.uint64)
+        return np.stack([f.hash_array(x) for f in self._functions], axis=1)
+
+
+class TabulationIndexer:
+    """Banked counter indexing over tabulation hashing.
+
+    Mirrors :class:`repro.hashing.family.BankedIndexer`'s interface so
+    it can be monkey-wired into a Caesar instance for the hash-family
+    ablation (``caesar.indexer = TabulationIndexer(...)`` before
+    processing).
+    """
+
+    def __init__(self, k: int, bank_size: int, seed: int = 0x7AB) -> None:
+        if bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {bank_size}")
+        self.family = TabulationFamily(k, seed)
+        self.k = int(k)
+        self.bank_size = int(bank_size)
+        self.total_counters = self.k * self.bank_size
+        self._offsets = np.arange(self.k, dtype=np.int64) * self.bank_size
+
+    def indices_one(self, flow_id: int) -> npt.NDArray[np.int64]:
+        out = np.empty(self.k, dtype=np.int64)
+        for r in range(self.k):
+            out[r] = r * self.bank_size + self.family.hash_one(r, flow_id) % self.bank_size
+        return out
+
+    def indices(self, flow_ids: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
+        h = self.family.hash_all(np.asarray(flow_ids, dtype=np.uint64))
+        local = (h % np.uint64(self.bank_size)).astype(np.int64)
+        return local + self._offsets[None, :]

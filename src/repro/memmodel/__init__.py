@@ -1,0 +1,28 @@
+"""Memory/time cost model — the FPGA-experiment substitute.
+
+The paper's Figure 8 measures packet-processing time of CAESAR, CASE,
+and RCS on a Xilinx Virtex-7 prototype. We cannot synthesize VHDL
+here, so this package reproduces the *mechanism* that figure measures:
+per-packet operation mixes (cache hits, hash computations, off-chip
+SRAM read-modify-writes, CASE's power operations) priced with the
+paper's own latency numbers (on-chip ~1 ns, off-chip SRAM 3-10 ns,
+DRAM ~40 ns), plus a line-rate ingress model with a bounded FIFO that
+produces RCS's "drastic increase" beyond the buffer capacity and its
+packet-loss rates.
+"""
+
+from repro.memmodel.technologies import LatencyModel, MemoryTechnology, TECHNOLOGIES
+from repro.memmodel.costmodel import OperationCounts, caesar_counts, case_counts, rcs_counts
+from repro.memmodel.pipeline import IngressModel, PipelineResult
+
+__all__ = [
+    "IngressModel",
+    "LatencyModel",
+    "MemoryTechnology",
+    "OperationCounts",
+    "PipelineResult",
+    "TECHNOLOGIES",
+    "caesar_counts",
+    "case_counts",
+    "rcs_counts",
+]

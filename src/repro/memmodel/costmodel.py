@@ -1,0 +1,134 @@
+"""Per-scheme operation accounting.
+
+Each scheme's construction phase is summarized as an
+:class:`OperationCounts` — how many cache accesses, hash evaluations,
+off-chip SRAM read-modify-writes, and power operations a packet stream
+induced, split between the **front end** (the per-packet critical path
+that must keep line rate) and the **back end** (work that drains
+through the FIFO to the off-chip SRAM, off the critical path — the
+paper's prototype uses dual-port RAM precisely so eviction handling
+overlaps packet capture).
+
+The counts come either from an *instrumented run* (the cache
+statistics of an actual simulation) or from the closed-form eviction
+rate ``E(t) = 2x/y`` summed over flows. Splitting counting (what
+happened) from pricing (what it costs, via
+:class:`~repro.memmodel.technologies.LatencyModel`) keeps the Figure-8
+reproduction auditable: the benchmark prints both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.base import CacheStats
+from repro.errors import ConfigError
+from repro.memmodel.technologies import LatencyModel
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Operation totals for one scheme processing one stream."""
+
+    packets: int
+    # Front end: on the per-packet critical path.
+    front_cache_accesses: int = 0
+    front_hashes: int = 0
+    front_power_ops: int = 0
+    # Back end: drains through the FIFO to off-chip SRAM.
+    back_hashes: int = 0
+    back_power_ops: int = 0
+    back_sram_rmws: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packets < 0:
+            raise ConfigError("packets must be >= 0")
+        for name in (
+            "front_cache_accesses",
+            "front_hashes",
+            "front_power_ops",
+            "back_hashes",
+            "back_power_ops",
+            "back_sram_rmws",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    # -- pricing -----------------------------------------------------------
+
+    def front_ns(self, lat: LatencyModel) -> float:
+        """Critical-path time: what bounds ingress consumption."""
+        return (
+            self.front_cache_accesses * lat.cache_access_ns
+            + self.front_hashes * lat.hash_ns
+            + self.front_power_ops * lat.power_op_ns
+        )
+
+    def back_ns(self, lat: LatencyModel) -> float:
+        """Off-critical-path time: what drains through the FIFO."""
+        return (
+            self.back_hashes * lat.hash_ns
+            + self.back_power_ops * lat.power_op_ns
+            + self.back_sram_rmws * lat.sram_rmw_ns
+        )
+
+    @property
+    def back_items(self) -> int:
+        """FIFO work items (one per off-chip counter update)."""
+        return self.back_sram_rmws
+
+    def service_time_ns(self, lat: LatencyModel) -> float:
+        """Total engine busy time (front + back)."""
+        return self.front_ns(lat) + self.back_ns(lat)
+
+    def per_packet_ns(self, lat: LatencyModel) -> float:
+        """Average busy time per packet."""
+        return self.service_time_ns(lat) / self.packets if self.packets else 0.0
+
+
+def caesar_counts(stats: CacheStats, k: int) -> OperationCounts:
+    """CAESAR: the critical path is one cache access per packet; each
+    eviction sends one FIFO item whose ``k`` counter updates issue *in
+    parallel* — the banked layout exists precisely so each of the k
+    hash functions owns a physically separate SRAM bank, making an
+    eviction one SRAM cycle, not k. (The final dump is offline and not
+    charged, matching the paper.) ``k`` is accepted to document the
+    parallel width even though it does not scale the serialized cost."""
+    del k  # updates issue bank-parallel; latency is one SRAM cycle
+    evictions = stats.total_evictions
+    return OperationCounts(
+        packets=stats.accesses,
+        front_cache_accesses=stats.accesses,
+        back_hashes=evictions,
+        back_sram_rmws=evictions,
+    )
+
+
+def case_counts(stats: CacheStats) -> OperationCounts:
+    """CASE: every packet traverses the compression pipeline (one
+    power-unit stage per packet — the compression datapath bounds
+    CASE's clock, which is why the paper finds CASE slow even on short
+    streams), and each eviction additionally costs a hash, a power
+    operation, and a counter update on the back end."""
+    evictions = stats.total_evictions
+    return OperationCounts(
+        packets=stats.accesses,
+        front_cache_accesses=stats.accesses,
+        front_power_ops=stats.accesses,
+        back_hashes=evictions,
+        back_power_ops=evictions,
+        back_sram_rmws=evictions,
+    )
+
+
+def rcs_counts(packets: int) -> OperationCounts:
+    """RCS (cache-free): the front end hashes and enqueues each packet;
+    *every* packet is one off-chip counter update on the back end —
+    the structural reason RCS cannot keep line rate."""
+    if packets < 0:
+        raise ConfigError("packets must be >= 0")
+    return OperationCounts(
+        packets=packets,
+        front_hashes=packets,
+        back_sram_rmws=packets,
+    )

@@ -1,0 +1,91 @@
+"""Memory technologies and operation latencies.
+
+Numbers follow the paper's Section 1.1: on-chip memory ~1 ns per
+access, QDRII+ SRAM 3-10 ns, DRAM ~40 ns. The power-operation latency
+models CASE's compression unit (exponentiation/root on the FPGA's DSP
+path), which the paper identifies as CASE's per-packet bottleneck; the
+hash latency models one pipelined hash evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """One memory technology with its per-access latency."""
+
+    name: str
+    access_ns: float
+
+    def __post_init__(self) -> None:
+        if self.access_ns <= 0:
+            raise ConfigError(f"access_ns must be > 0, got {self.access_ns}")
+
+
+#: The technologies the paper's architecture discussion prices.
+TECHNOLOGIES: dict[str, MemoryTechnology] = {
+    "onchip": MemoryTechnology("on-chip cache RAM", 1.0),
+    "sram": MemoryTechnology("QDRII+ off-chip SRAM", 10.0),
+    "sram_fast": MemoryTechnology("QDRII+ off-chip SRAM (best case)", 3.0),
+    "dram": MemoryTechnology("DRAM", 40.0),
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-operation latencies (ns) used to price a scheme's run.
+
+    Defaults reproduce the paper's relative costs: line-rate packet
+    arrival of one packet per ns (the normalized ingress clock), cache
+    accesses at on-chip speed, SRAM read-modify-write at 2x the SRAM
+    access time, hashes at one pipeline cycle, and CASE's power
+    operation at 4 cycles (dominating its per-packet path, per the
+    paper's Section 6.4 discussion).
+    """
+
+    packet_interarrival_ns: float = 1.0
+    cache_access_ns: float = TECHNOLOGIES["onchip"].access_ns
+    sram_access_ns: float = TECHNOLOGIES["sram"].access_ns
+    hash_ns: float = 1.0
+    power_op_ns: float = 4.0
+    add_ns: float = 0.0  # adders are free on the FPGA datapath
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "packet_interarrival_ns",
+            "cache_access_ns",
+            "sram_access_ns",
+            "hash_ns",
+            "power_op_ns",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+        if self.add_ns < 0:
+            raise ConfigError("add_ns must be >= 0")
+
+    @property
+    def sram_rmw_ns(self) -> float:
+        """Off-chip read-modify-write.
+
+        QDRII+ SRAM has independent read and write ports (the paper
+        notes the prototype's dual-port RAM "supports duplex reading
+        and writing"), so a pipelined read-modify-write costs one
+        access time, not two.
+        """
+        return self.sram_access_ns
+
+    def loss_rate_at_line_rate(self, service_ns: float) -> float:
+        """Fraction of packets a ``service_ns``-per-packet engine drops
+        when packets arrive every ``packet_interarrival_ns``.
+
+        With the paper's cache/SRAM speed ratios of 3x and 10x this
+        yields exactly the empirical loss rates 2/3 and 9/10 used in
+        Figure 7.
+        """
+        if service_ns <= self.packet_interarrival_ns:
+            return 0.0
+        return 1.0 - self.packet_interarrival_ns / service_ns

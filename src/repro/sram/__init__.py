@@ -1,0 +1,24 @@
+"""Off-chip shared SRAM counter substrate.
+
+A banked, saturating counter array (k banks of L counters, DESIGN.md
+Section 1) plus the memory-size accounting used throughout the paper's
+evaluation (SRAM KB ↔ (k, L, counter bits)).
+"""
+
+from repro.sram.counterarray import BankedCounterArray
+from repro.sram.layout import (
+    bank_size_for_budget,
+    cache_entries_for_budget,
+    cache_kilobytes,
+    counter_bits,
+    sram_kilobytes,
+)
+
+__all__ = [
+    "BankedCounterArray",
+    "bank_size_for_budget",
+    "cache_entries_for_budget",
+    "cache_kilobytes",
+    "counter_bits",
+    "sram_kilobytes",
+]

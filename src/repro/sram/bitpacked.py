@@ -1,0 +1,122 @@
+"""Bit-packed counter storage — the physical layout behind the KB math.
+
+Everywhere else the library stores counters as int64 and *accounts*
+for their modeled width. This module implements the width for real: an
+array of ``width``-bit fields packed into a contiguous uint64 buffer
+(fields may straddle word boundaries), with vectorized gather/scatter.
+It exists to validate the memory accounting physically — a
+:class:`BitPackedArray` of the Fig. 4 geometry really is 91.55 KB — and
+doubles as a space-efficient export format for counter snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import CapacityError, ConfigError
+
+_WORD = 64
+
+
+class BitPackedArray:
+    """``size`` unsigned fields of ``width`` bits each, densely packed."""
+
+    def __init__(self, size: int, width: int) -> None:
+        if size < 1:
+            raise ConfigError(f"size must be >= 1, got {size}")
+        if not 1 <= width <= 63:
+            raise ConfigError(f"width must be in [1, 63], got {width}")
+        self.size = int(size)
+        self.width = int(width)
+        self.max_value = (1 << width) - 1
+        total_bits = self.size * self.width
+        self._words = np.zeros((total_bits + _WORD - 1) // _WORD, dtype=np.uint64)
+
+    # -- element access --------------------------------------------------------
+
+    def _field_coords(
+        self, idx: npt.NDArray[np.int64]
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+        bit = idx.astype(np.int64) * self.width
+        return bit // _WORD, bit % _WORD
+
+    def get(self, idx: npt.NDArray[np.int64] | int) -> npt.NDArray[np.int64]:
+        """Read fields (vectorized; scalar in, scalar-shaped out)."""
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        if len(idx) and (idx.min() < 0 or idx.max() >= self.size):
+            raise ConfigError("index out of range")
+        word, offset = self._field_coords(idx)
+        mask = np.uint64(self.max_value)
+        lo = self._words[word] >> offset.astype(np.uint64)
+        # Fields straddling into the next word need its low bits too.
+        spill = (offset + self.width) > _WORD
+        out = lo
+        if spill.any():
+            nxt = np.zeros_like(lo)
+            nxt[spill] = self._words[word[spill] + 1] << (
+                np.uint64(_WORD) - offset[spill].astype(np.uint64)
+            )
+            out = lo | nxt
+        return (out & mask).astype(np.int64)
+
+    def set(self, idx: npt.NDArray[np.int64] | int, values: npt.NDArray[np.int64] | int) -> None:
+        """Write fields. Values beyond the width raise CapacityError.
+
+        Writes are sequential per element (fields straddle words, so a
+        fully vectorized read-modify-write would race on shared words);
+        intended for snapshots, not per-packet hot paths.
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        values = np.broadcast_to(np.asarray(values, dtype=np.int64), idx.shape)
+        if len(idx) and (idx.min() < 0 or idx.max() >= self.size):
+            raise ConfigError("index out of range")
+        if len(values) and (values.min() < 0 or values.max() > self.max_value):
+            raise CapacityError(
+                f"value out of range for a {self.width}-bit field"
+            )
+        words = self._words
+        mask = self.max_value
+        for i, v in zip(idx.tolist(), values.tolist()):
+            bit = i * self.width
+            word, offset = divmod(bit, _WORD)
+            cur = int(words[word])
+            cur &= ~(mask << offset) & 0xFFFFFFFFFFFFFFFF
+            cur |= (v << offset) & 0xFFFFFFFFFFFFFFFF
+            words[word] = cur
+            if offset + self.width > _WORD:
+                high_bits = self.width - (_WORD - offset)
+                high_mask = (1 << high_bits) - 1
+                nxt = int(words[word + 1])
+                nxt &= ~high_mask & 0xFFFFFFFFFFFFFFFF
+                nxt |= v >> (_WORD - offset)
+                words[word + 1] = nxt
+
+    # -- bulk conversion -----------------------------------------------------------
+
+    @classmethod
+    def pack(cls, values: npt.NDArray[np.int64], width: int) -> "BitPackedArray":
+        """Pack an int64 vector (e.g. a counter snapshot)."""
+        arr = cls(len(values), width)
+        arr.set(np.arange(len(values)), np.asarray(values, dtype=np.int64))
+        return arr
+
+    def unpack(self) -> npt.NDArray[np.int64]:
+        """The full field vector as int64."""
+        return self.get(np.arange(self.size))
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def memory_bits(self) -> int:
+        """Exact payload bits (``size * width``)."""
+        return self.size * self.width
+
+    @property
+    def memory_kilobytes(self) -> float:
+        return self.memory_bits / 8192.0
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Actual allocated buffer (rounded up to whole words)."""
+        return self._words.nbytes

@@ -1,0 +1,134 @@
+"""Banked saturating counter array.
+
+The off-chip SRAM of Figure 1, organized as ``k`` banks of ``bank_size``
+counters (the banked layout under which every formula in the paper's
+Sections 4-5 is exact; see DESIGN.md). Counters saturate at
+``counter_capacity`` — the paper's ``l`` — and the array tracks how
+much mass was lost to saturation so experiments can verify the chosen
+width never clips.
+
+Updates go through :meth:`add_at`, a vectorized scatter-add
+(``np.add.at``) over global counter indices, so bulk phases (RCS's
+per-packet updates, CAESAR's final dump) cost one NumPy call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+
+#: Counters are stored as int64 regardless of the modeled bit width;
+#: ``counter_capacity`` enforces the modeled width by saturation.
+_COUNTER_DTYPE = np.int64
+
+
+class BankedCounterArray:
+    """``k`` banks of ``bank_size`` counters, each holding at most
+    ``counter_capacity``."""
+
+    def __init__(self, k: int, bank_size: int, counter_capacity: int) -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        if bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {bank_size}")
+        if counter_capacity < 1:
+            raise ConfigError(f"counter_capacity must be >= 1, got {counter_capacity}")
+        self.k = int(k)
+        self.bank_size = int(bank_size)
+        self.counter_capacity = int(counter_capacity)
+        self.total_counters = self.k * self.bank_size
+        self._values = np.zeros(self.total_counters, dtype=_COUNTER_DTYPE)
+        #: Packet mass dropped because a counter was saturated.
+        self.saturated_mass = 0
+
+    # -- updates ---------------------------------------------------------
+
+    def add_at(
+        self,
+        indices: npt.NDArray[np.int64],
+        amounts: npt.NDArray[np.int64] | int = 1,
+    ) -> None:
+        """Scatter-add ``amounts`` into global ``indices`` with saturation.
+
+        Duplicate indices accumulate (``np.add.at`` semantics). Mass
+        that would push a counter beyond capacity is discarded and
+        accounted in :attr:`saturated_mass`.
+        """
+        np.add.at(self._values, indices, amounts)
+        # Saturation check only on the touched counters (deduplicated so
+        # each over-capacity counter's excess is counted once).
+        touched = np.unique(indices)
+        vals = self._values[touched]
+        over = vals > self.counter_capacity
+        if over.any():
+            self.saturated_mass += int((vals[over] - self.counter_capacity).sum())
+            self._values[touched[over]] = self.counter_capacity
+
+    def add_one(self, index: int, amount: int = 1) -> None:
+        """Single-counter add with saturation (per-eviction hot path)."""
+        v = self._values[index] + amount
+        if v > self.counter_capacity:
+            self.saturated_mass += int(v - self.counter_capacity)
+            v = self.counter_capacity
+        self._values[index] = v
+
+    # -- reads -----------------------------------------------------------
+
+    def gather(self, indices: npt.NDArray[np.int64]) -> npt.NDArray[np.int64]:
+        """Read counters at (possibly 2-D) global indices."""
+        return self._values[indices]
+
+    @property
+    def values(self) -> npt.NDArray[np.int64]:
+        """All counters, bank-major (read-only view)."""
+        v = self._values.view()
+        v.flags.writeable = False
+        return v
+
+    def bank(self, r: int) -> npt.NDArray[np.int64]:
+        """Counters of bank ``r`` (read-only view)."""
+        if not 0 <= r < self.k:
+            raise ConfigError(f"bank index {r} out of range [0, {self.k})")
+        v = self._values[r * self.bank_size : (r + 1) * self.bank_size].view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def total_mass(self) -> int:
+        """Sum of all counters (== packets recorded, absent saturation)."""
+        return int(self._values.sum())
+
+    @property
+    def saturated_counters(self) -> int:
+        """How many counters sit at the capacity ceiling."""
+        return int(np.count_nonzero(self._values == self.counter_capacity))
+
+    # -- memory accounting --------------------------------------------------
+
+    @property
+    def bits_per_counter(self) -> int:
+        """Modeled counter width: ``ceil(log2(l + 1))`` bits."""
+        return max(1, int(np.ceil(np.log2(self.counter_capacity + 1))))
+
+    @property
+    def memory_bits(self) -> int:
+        """Total modeled SRAM footprint in bits."""
+        return self.total_counters * self.bits_per_counter
+
+    @property
+    def memory_kilobytes(self) -> float:
+        """Total modeled SRAM footprint in KB (paper's unit)."""
+        return self.memory_bits / 8192.0
+
+    def reset(self) -> None:
+        """Zero all counters and the saturation account."""
+        self._values[:] = 0
+        self.saturated_mass = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BankedCounterArray(k={self.k}, bank_size={self.bank_size}, "
+            f"capacity={self.counter_capacity}, {self.memory_kilobytes:.2f} KB)"
+        )

@@ -1,0 +1,72 @@
+"""Memory-size accounting: KB budgets ↔ structure parameters.
+
+The paper sizes everything in kilobytes:
+
+- SRAM: ``L * log2(l) / (1024 * 8)`` KB — with the banked layout the
+  total counter count is ``k * L``, so total SRAM bits are
+  ``k * L * log2(l)``;
+- cache: ``M * log2(y) / (1024 * 8)`` KB (only the count field is
+  charged; Section 6.2).
+
+These helpers convert between a KB budget and the integer structure
+parameters, always rounding *down* so a configuration never exceeds
+its stated budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+def counter_bits(counter_capacity: int) -> int:
+    """Bits to store values ``0..counter_capacity``."""
+    if counter_capacity < 1:
+        raise ConfigError(f"counter_capacity must be >= 1, got {counter_capacity}")
+    return max(1, math.ceil(math.log2(counter_capacity + 1)))
+
+
+def sram_kilobytes(k: int, bank_size: int, counter_capacity: int) -> float:
+    """Modeled SRAM footprint of a banked array, in KB."""
+    return k * bank_size * counter_bits(counter_capacity) / 8192.0
+
+
+def bank_size_for_budget(budget_kb: float, k: int, counter_capacity: int) -> int:
+    """Largest bank size L whose banked array fits in ``budget_kb``.
+
+    This answers the paper's setup question "the off-chip SRAM table
+    contains L counters with uniform capacity of l" for a given KB
+    budget: ``L = floor(budget_bits / (k * bits(l)))``.
+    """
+    if budget_kb <= 0:
+        raise ConfigError(f"budget_kb must be > 0, got {budget_kb}")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    bits = counter_bits(counter_capacity)
+    bank = int(budget_kb * 8192 // (k * bits))
+    if bank < 1:
+        raise ConfigError(
+            f"budget of {budget_kb} KB cannot hold even one {bits}-bit "
+            f"counter per bank with k={k}"
+        )
+    return bank
+
+
+def cache_kilobytes(num_entries: int, entry_capacity: int) -> float:
+    """Modeled cache footprint ``M * log2(y) / 8192`` KB (paper's accounting)."""
+    if num_entries < 1:
+        raise ConfigError(f"num_entries must be >= 1, got {num_entries}")
+    bits = max(1, math.ceil(math.log2(max(2, entry_capacity))))
+    return num_entries * bits / 8192.0
+
+
+def cache_entries_for_budget(budget_kb: float, entry_capacity: int) -> int:
+    """Largest entry count M whose cache fits in ``budget_kb``."""
+    if budget_kb <= 0:
+        raise ConfigError(f"budget_kb must be > 0, got {budget_kb}")
+    bits = max(1, math.ceil(math.log2(max(2, entry_capacity))))
+    entries = int(budget_kb * 8192 // bits)
+    if entries < 1:
+        raise ConfigError(f"budget of {budget_kb} KB holds no cache entries")
+    return entries

@@ -1,0 +1,239 @@
+"""Heavy-tailed flow-size distributions.
+
+Section 4.1 of the paper assumes flow sizes follow a known distribution
+``P_i`` over ``i = 1..N`` with mean ``mu`` and variance ``sigma^2``
+(Eq. 1), and Section 6.1 observes the real trace is heavy-tailed with
+more than 92 % of flows smaller than the mean. These classes provide
+that substrate: discrete distributions on ``{1, ..., N}`` with exact
+pmf/moments (consumed by :mod:`repro.core.theory`) and fast inverse-CDF
+sampling (consumed by the flow generator).
+
+All distributions precompute their pmf as a NumPy vector once;
+sampling is a single ``searchsorted`` over the cdf — no Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.types import SIZE_DTYPE
+
+
+class FlowSizeDistribution:
+    """A discrete flow-size distribution on ``{1, ..., N}``.
+
+    Subclasses provide the unnormalized weight vector; this base class
+    normalizes it, exposes exact moments, and implements sampling.
+    """
+
+    def __init__(self, weights: npt.NDArray[np.float64]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ConfigError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ConfigError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ConfigError("weights must have positive mass")
+        self._pmf = weights / total
+        self._cdf = np.cumsum(self._pmf)
+        # Guard against floating rounding on the last cdf entry.
+        self._cdf[-1] = 1.0
+        self._support = np.arange(1, len(self._pmf) + 1, dtype=SIZE_DTYPE)
+
+    # -- exact quantities (used by the theory module) -------------------
+
+    @property
+    def max_size(self) -> int:
+        """Upper bound ``N`` of the support."""
+        return len(self._pmf)
+
+    @property
+    def pmf(self) -> npt.NDArray[np.float64]:
+        """Probability of each size ``1..N`` (read-only view)."""
+        v = self._pmf.view()
+        v.flags.writeable = False
+        return v
+
+    def probability(self, size: int) -> float:
+        """``P_i`` — probability that a flow has exactly ``size`` packets."""
+        if size < 1 or size > self.max_size:
+            return 0.0
+        return float(self._pmf[size - 1])
+
+    @property
+    def mean(self) -> float:
+        """``mu = E(z)`` per paper Eq. (1)."""
+        return float(self._support @ self._pmf)
+
+    @property
+    def variance(self) -> float:
+        """``sigma^2 = D(z)`` per paper Eq. (1)."""
+        mu = self.mean
+        return float(((self._support - mu) ** 2) @ self._pmf)
+
+    @property
+    def second_moment(self) -> float:
+        """``E(z^2)`` — drives the flow-clustering noise variance."""
+        return float((self._support.astype(np.float64) ** 2) @ self._pmf)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Probability mass on sizes strictly below ``threshold``.
+
+        The paper's heavy-tail check: more than 92 % of flows are below
+        the mean, and with ``y = 2 * mean`` more than 95 % are below
+        the cache-entry capacity.
+        """
+        cut = int(np.ceil(threshold)) - 1  # sizes 1..cut are < threshold
+        if cut <= 0:
+            return 0.0
+        cut = min(cut, self.max_size)
+        return float(self._cdf[cut - 1])
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, count: int, rng: np.random.Generator) -> npt.NDArray[np.int64]:
+        """Draw ``count`` iid sizes via inverse-CDF lookup."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        u = rng.random(count)
+        return (np.searchsorted(self._cdf, u, side="right") + 1).astype(SIZE_DTYPE)
+
+
+class BoundedZipf(FlowSizeDistribution):
+    """Zipf (power-law) sizes: ``P_i proportional to i^-alpha`` on ``1..N``.
+
+    The workhorse heavy-tail model; ``alpha`` around 1.6-2.2 with a
+    bounded support reproduces the paper's trace shape (Figure 3).
+    """
+
+    def __init__(self, alpha: float, max_size: int) -> None:
+        if alpha <= 0:
+            raise ConfigError(f"alpha must be > 0, got {alpha}")
+        if max_size < 1:
+            raise ConfigError(f"max_size must be >= 1, got {max_size}")
+        self.alpha = float(alpha)
+        sizes = np.arange(1, max_size + 1, dtype=np.float64)
+        super().__init__(sizes**-self.alpha)
+
+
+class DiscreteParetoDist(FlowSizeDistribution):
+    """Discretized bounded Pareto: ``P_i ~ i^-(alpha+1)`` tail with scale.
+
+    ``P(size = i) = F(i) - F(i-1)`` for a Pareto(alpha, x_min=1) cdf
+    truncated at ``max_size``. Slightly lighter head than Zipf for the
+    same tail index.
+    """
+
+    def __init__(self, alpha: float, max_size: int) -> None:
+        if alpha <= 0:
+            raise ConfigError(f"alpha must be > 0, got {alpha}")
+        if max_size < 1:
+            raise ConfigError(f"max_size must be >= 1, got {max_size}")
+        self.alpha = float(alpha)
+        edges = np.arange(0, max_size + 1, dtype=np.float64) + 1.0  # 1..N+1
+        cdf = 1.0 - edges**-self.alpha
+        super().__init__(np.diff(cdf))
+
+
+class GeometricDist(FlowSizeDistribution):
+    """Truncated geometric sizes — a *light*-tailed contrast model.
+
+    Useful in ablations to show how CAESAR behaves when the heavy-tail
+    assumption (which justifies ``p_y -> 0``) is violated or satisfied
+    trivially.
+    """
+
+    def __init__(self, success_prob: float, max_size: int) -> None:
+        if not 0 < success_prob < 1:
+            raise ConfigError(f"success_prob must be in (0, 1), got {success_prob}")
+        if max_size < 1:
+            raise ConfigError(f"max_size must be >= 1, got {max_size}")
+        self.success_prob = float(success_prob)
+        i = np.arange(1, max_size + 1, dtype=np.float64)
+        super().__init__((1.0 - success_prob) ** (i - 1) * success_prob)
+
+
+class MixtureDist(FlowSizeDistribution):
+    """A weighted mixture of flow-size distributions.
+
+    The canonical use is an explicit mice + elephants model — e.g. a
+    geometric body with a Zipf tail — which stresses the schemes with
+    sharper bimodality than a single power law. Components may have
+    different support bounds; the mixture's support is the largest.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[FlowSizeDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) < 1 or len(components) != len(weights):
+            raise ConfigError("need one weight per component, at least one component")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ConfigError("weights must be non-negative with positive sum")
+        w = w / w.sum()
+        max_n = max(c.max_size for c in components)
+        pmf = np.zeros(max_n, dtype=np.float64)
+        for comp, weight in zip(components, w):
+            pmf[: comp.max_size] += weight * comp.pmf
+        self.components = tuple(components)
+        self.weights = tuple(float(x) for x in w)
+        super().__init__(pmf)
+
+
+class EmpiricalDist(FlowSizeDistribution):
+    """Distribution fit from an observed multiset of flow sizes.
+
+    This is how a deployment would instantiate the theory formulas
+    from a measured trace: build the empirical pmf, feed it to
+    :mod:`repro.core.theory`.
+    """
+
+    def __init__(self, sizes: Sequence[int] | npt.NDArray[np.int64]) -> None:
+        sizes = np.asarray(sizes, dtype=SIZE_DTYPE)
+        if len(sizes) == 0:
+            raise ConfigError("need at least one observed size")
+        if sizes.min() < 1:
+            raise ConfigError("flow sizes must be >= 1")
+        counts = np.bincount(sizes, minlength=int(sizes.max()) + 1)[1:]
+        super().__init__(counts.astype(np.float64))
+
+
+def calibrate_zipf_to_mean(
+    target_mean: float,
+    max_size: int,
+    *,
+    alpha_lo: float = 0.5,
+    alpha_hi: float = 4.0,
+    tol: float = 1e-3,
+    max_iter: int = 100,
+) -> BoundedZipf:
+    """Find the bounded Zipf whose mean matches ``target_mean``.
+
+    The paper's trace has mean flow size ``n/Q ~= 27.3``; given a
+    support bound, this bisects on ``alpha`` (the mean of a bounded
+    Zipf is strictly decreasing in ``alpha``) until the mean matches.
+    """
+    if target_mean <= 1:
+        raise ConfigError(f"target_mean must be > 1, got {target_mean}")
+    if BoundedZipf(alpha_hi, max_size).mean > target_mean:
+        raise ConfigError("target_mean too small for the given alpha range")
+    if BoundedZipf(alpha_lo, max_size).mean < target_mean:
+        raise ConfigError("target_mean too large for the given support bound")
+    lo, hi = alpha_lo, alpha_hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        m = BoundedZipf(mid, max_size).mean
+        if abs(m - target_mean) <= tol:
+            return BoundedZipf(mid, max_size)
+        if m > target_mean:
+            lo = mid  # mean too big -> need larger alpha
+        else:
+            hi = mid
+    return BoundedZipf(0.5 * (lo + hi), max_size)

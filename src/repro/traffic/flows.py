@@ -1,0 +1,90 @@
+"""Flow-set synthesis: (flow ID, true size) pairs.
+
+A :class:`FlowSet` is the ground truth of a measurement run — the
+mapping from each distinct flow to its actual packet count. It is what
+the accuracy metrics compare estimates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing.flowid import unique_flow_ids
+from repro.traffic.distributions import FlowSizeDistribution
+
+
+@dataclass(frozen=True)
+class FlowSet:
+    """Distinct flows with their true sizes.
+
+    Attributes
+    ----------
+    ids:
+        uint64 flow IDs, all distinct.
+    sizes:
+        int64 true packet counts, aligned with ``ids``, all >= 1.
+    """
+
+    ids: npt.NDArray[np.uint64]
+    sizes: npt.NDArray[np.int64]
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.sizes.shape or self.ids.ndim != 1:
+            raise ConfigError("ids and sizes must be aligned 1-D arrays")
+        if len(self.ids) and self.sizes.min() < 1:
+            raise ConfigError("flow sizes must be >= 1")
+        if len(np.unique(self.ids)) != len(self.ids):
+            raise ConfigError("flow IDs must be distinct")
+
+    @classmethod
+    def generate(
+        cls,
+        num_flows: int,
+        dist: FlowSizeDistribution,
+        seed: int = 0,
+    ) -> "FlowSet":
+        """Draw ``num_flows`` flows with iid sizes from ``dist``."""
+        if num_flows < 1:
+            raise ConfigError(f"num_flows must be >= 1, got {num_flows}")
+        rng = np.random.default_rng(seed)
+        ids = unique_flow_ids(num_flows, seed=seed)
+        sizes = dist.sample(num_flows, rng)
+        return cls(ids=ids, sizes=sizes)
+
+    @property
+    def num_flows(self) -> int:
+        """``Q`` — the number of distinct flows."""
+        return len(self.ids)
+
+    @property
+    def num_packets(self) -> int:
+        """``n`` — the total number of packets across all flows."""
+        return int(self.sizes.sum())
+
+    @property
+    def mean_size(self) -> float:
+        """``mu = n / Q`` — the average flow size."""
+        return self.num_packets / self.num_flows
+
+    def fraction_below_mean(self) -> float:
+        """Fraction of flows strictly smaller than the mean size.
+
+        The paper's heavy-tail sanity check (> 0.92 on its trace).
+        """
+        return float(np.mean(self.sizes < self.mean_size))
+
+    def size_of(self, flow_id: int) -> int:
+        """True size of one flow (O(Q) lookup; tests/examples only)."""
+        idx = np.nonzero(self.ids == np.uint64(flow_id))[0]
+        if len(idx) == 0:
+            raise KeyError(f"unknown flow id {flow_id}")
+        return int(self.sizes[idx[0]])
+
+    def top(self, count: int) -> "FlowSet":
+        """The ``count`` largest flows (elephants), descending by size."""
+        order = np.argsort(self.sizes)[::-1][:count]
+        return FlowSet(ids=self.ids[order].copy(), sizes=self.sizes[order].copy())

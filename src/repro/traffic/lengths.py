@@ -1,0 +1,76 @@
+"""Per-packet byte-length synthesis (flow-volume measurement support).
+
+Section 3.1 of the paper lets cache entries count "either packets or
+bytes", and Section 6 observes that "flow size and flow volume have
+almost the same distribution, except for the magnitude". This module
+synthesizes per-packet lengths so the volume path can be exercised:
+
+- :func:`imix_lengths` — the classic trimodal Internet mix (40 / 576 /
+  1500-byte packets at 7:4:1), the standard benchmark distribution for
+  router datapaths;
+- :func:`uniform_lengths` / :func:`constant_lengths` — controls;
+- :func:`flow_volumes` — ground-truth byte totals per flow.
+
+Lengths are drawn i.i.d. per packet, independent of the flow, which is
+exactly what produces the paper's observation: per-flow volume is then
+``size x mean_length`` plus noise, i.e. the same distribution as size
+up to magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.types import SIZE_DTYPE
+
+#: Classic IMIX: (length, parts-of-12) = (40, 7), (576, 4), (1500, 1).
+IMIX_LENGTHS = np.array([40, 576, 1500], dtype=np.int64)
+IMIX_WEIGHTS = np.array([7, 4, 1], dtype=np.float64) / 12.0
+IMIX_MEAN = float(IMIX_LENGTHS @ IMIX_WEIGHTS)  # ~340.3 bytes
+
+
+def imix_lengths(num_packets: int, seed: int = 0) -> npt.NDArray[np.int64]:
+    """IMIX-distributed byte lengths for ``num_packets`` packets."""
+    if num_packets < 0:
+        raise ConfigError(f"num_packets must be >= 0, got {num_packets}")
+    rng = np.random.default_rng(seed)
+    return IMIX_LENGTHS[rng.choice(3, size=num_packets, p=IMIX_WEIGHTS)]
+
+
+def uniform_lengths(
+    num_packets: int,
+    low: int = 40,
+    high: int = 1500,
+    seed: int = 0,
+) -> npt.NDArray[np.int64]:
+    """Uniform byte lengths on ``[low, high]``."""
+    if not 1 <= low <= high:
+        raise ConfigError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high + 1, size=num_packets).astype(SIZE_DTYPE)
+
+
+def constant_lengths(num_packets: int, length: int = 576) -> npt.NDArray[np.int64]:
+    """Every packet the same size — volume == length x size exactly."""
+    if length < 1:
+        raise ConfigError(f"length must be >= 1, got {length}")
+    return np.full(num_packets, length, dtype=SIZE_DTYPE)
+
+
+def flow_volumes(
+    packets: npt.NDArray[np.uint64],
+    lengths: npt.NDArray[np.int64],
+) -> tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64]]:
+    """Ground-truth byte volume per flow: ``(flow_ids, volumes)``.
+
+    Flow IDs are returned sorted (the order :func:`numpy.unique` gives),
+    matching what :meth:`Trace.from_packets` produces for sizes.
+    """
+    if len(packets) != len(lengths):
+        raise ConfigError("packets and lengths must align")
+    ids, inverse = np.unique(packets, return_inverse=True)
+    volumes = np.zeros(len(ids), dtype=SIZE_DTYPE)
+    np.add.at(volumes, inverse, lengths)
+    return ids, volumes

@@ -1,0 +1,102 @@
+"""Packet-stream synthesis: turning a flow set into an arrival order.
+
+Section 4.2 of the paper assumes "all packets from all flows can be
+regarded as arriving uniformly and with equal probability" — that is
+the :func:`uniform_stream` model (a global random interleave). The
+other interleavers exercise the schemes under arrival patterns that
+violate that assumption:
+
+- :func:`round_robin_stream` — maximal interleaving (worst case for a
+  small cache: every flow stays "hot" simultaneously);
+- :func:`bursty_stream` — packets of a flow arrive in contiguous
+  bursts (best case for the cache: temporal locality concentrates a
+  flow's packets, so one cache residency absorbs many packets).
+
+All are pure NumPy constructions; no per-packet Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.traffic.flows import FlowSet
+
+
+def uniform_stream(flows: FlowSet, seed: int = 0) -> npt.NDArray[np.uint64]:
+    """Globally shuffled arrival order (the paper's uniform assumption)."""
+    packets = np.repeat(flows.ids, flows.sizes)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(packets)
+    return packets
+
+
+def round_robin_stream(flows: FlowSet) -> npt.NDArray[np.uint64]:
+    """Strict round-robin over all still-active flows.
+
+    Pass ``r`` emits one packet from every flow whose size exceeds
+    ``r``; deterministic. Equivalent to sorting packet slots by
+    (per-flow sequence number, flow index).
+    """
+    sizes = flows.sizes
+    n = int(sizes.sum())
+    # For each flow, its packets occupy rounds 0..size-1; emit packets
+    # ordered by (round, flow position). Build via repeat + argsort.
+    flow_pos = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    # Per-packet round index: 0,1,...,size_f-1 within each flow block.
+    block_starts = np.repeat(np.cumsum(sizes) - sizes, sizes)
+    rounds = np.arange(n, dtype=np.int64) - block_starts
+    order = np.lexsort((flow_pos, rounds))
+    return np.repeat(flows.ids, sizes)[order]
+
+
+def bursty_stream(
+    flows: FlowSet,
+    burst_length: int,
+    seed: int = 0,
+) -> npt.NDArray[np.uint64]:
+    """Burst-level shuffle: each flow's packets form contiguous bursts
+    of up to ``burst_length`` packets; bursts are then shuffled globally.
+
+    ``burst_length = 1`` degenerates to :func:`uniform_stream`;
+    ``burst_length >= max flow size`` yields fully clustered flows.
+    """
+    if burst_length < 1:
+        raise ConfigError(f"burst_length must be >= 1, got {burst_length}")
+    sizes = flows.sizes
+    # Number of bursts per flow and each burst's length.
+    full, rem = np.divmod(sizes, burst_length)
+    burst_counts = full + (rem > 0)
+    total_bursts = int(burst_counts.sum())
+    burst_flow = np.repeat(np.arange(len(sizes), dtype=np.int64), burst_counts)
+    burst_len = np.full(total_bursts, burst_length, dtype=np.int64)
+    # The last burst of each flow holds the remainder (if any).
+    last_idx = np.cumsum(burst_counts) - 1
+    has_rem = rem > 0
+    burst_len[last_idx[has_rem]] = rem[has_rem]
+    # Shuffle burst order, then expand bursts to packets.
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(total_bursts)
+    return np.repeat(flows.ids[burst_flow[perm]], burst_len[perm])
+
+
+def apply_loss(
+    packets: npt.NDArray[np.uint64],
+    loss_rate: float,
+    seed: int = 0,
+) -> npt.NDArray[np.uint64]:
+    """Drop each packet independently with probability ``loss_rate``.
+
+    Models the paper's "realistic loss assumption" for cache-free RCS
+    (Figure 7): when per-packet SRAM updates cannot keep line rate, a
+    fraction of packets is simply never recorded. Loss rates of 2/3 and
+    9/10 correspond to the empirical cache/SRAM speed gap (Section 6.3.3).
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ConfigError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if loss_rate == 0.0:
+        return packets
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(packets)) >= loss_rate
+    return packets[keep]

@@ -1,0 +1,109 @@
+"""Shared type aliases and small value objects.
+
+Flow identifiers are 64-bit unsigned integers throughout the library
+(the paper derives them from the 5-tuple header via SHA-1/APHash; see
+:mod:`repro.hashing.flowid`). Packet streams are NumPy arrays of flow
+IDs, one element per packet, which keeps the hot measurement loops
+vectorizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import numpy.typing as npt
+
+#: A single flow identifier (64-bit unsigned).
+FlowId = int
+
+#: Array of flow IDs, one per packet, dtype=uint64.
+FlowIdArray = npt.NDArray[np.uint64]
+
+#: Array of per-flow sizes (packet counts), dtype=int64.
+SizeArray = npt.NDArray[np.int64]
+
+#: dtype used for flow identifiers everywhere.
+FLOW_ID_DTYPE = np.uint64
+
+#: dtype used for counters and sizes everywhere.
+SIZE_DTYPE = np.int64
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """A classic IPv4 5-tuple packet header key.
+
+    Used by the synthetic header generator and the flow-ID digest path;
+    the measurement schemes themselves only ever see the derived
+    64-bit flow ID.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.src_ip <= 0xFFFFFFFF and 0 <= self.dst_ip <= 0xFFFFFFFF):
+            raise ValueError("IPv4 addresses must fit in 32 bits")
+        if not (0 <= self.src_port <= 0xFFFF and 0 <= self.dst_port <= 0xFFFF):
+            raise ValueError("ports must fit in 16 bits")
+        if not 0 <= self.protocol <= 0xFF:
+            raise ValueError("protocol must fit in 8 bits")
+
+    def pack(self) -> bytes:
+        """Serialize to the canonical 13-byte wire layout."""
+        return (
+            self.src_ip.to_bytes(4, "big")
+            + self.dst_ip.to_bytes(4, "big")
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.protocol.to_bytes(1, "big")
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FiveTuple":
+        """Inverse of :meth:`pack`."""
+        if len(data) != 13:
+            raise ValueError(f"expected 13 bytes, got {len(data)}")
+        return cls(
+            src_ip=int.from_bytes(data[0:4], "big"),
+            dst_ip=int.from_bytes(data[4:8], "big"),
+            src_port=int.from_bytes(data[8:10], "big"),
+            dst_port=int.from_bytes(data[10:12], "big"),
+            protocol=data[12],
+        )
+
+
+@runtime_checkable
+class FlowSizeEstimator(Protocol):
+    """Anything that can answer offline per-flow size queries.
+
+    All measurement schemes in this library (CAESAR, RCS, CASE, the
+    compressed-counter baselines) implement this protocol so the
+    analysis and experiment harnesses treat them uniformly.
+    """
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Return the estimated size of each queried flow."""
+        ...
+
+
+@runtime_checkable
+class StreamProcessor(Protocol):
+    """Anything that consumes a packet stream in the construction phase."""
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Feed a batch of packets (flow IDs) through the online phase."""
+        ...
+
+
+def as_flow_ids(values) -> FlowIdArray:
+    """Coerce a sequence of flow IDs to the canonical uint64 array."""
+    arr = np.asarray(values, dtype=FLOW_ID_DTYPE)
+    if arr.ndim != 1:
+        raise ValueError(f"flow-ID arrays must be 1-D, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,35 @@
+"""Shared fixtures: small deterministic traces and configured schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.distributions import BoundedZipf, calibrate_zipf_to_mean
+from repro.traffic.flows import FlowSet
+from repro.traffic.packets import uniform_stream
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """~8k packets over 300 flows: fast enough for per-test use."""
+    flows = FlowSet.generate(300, calibrate_zipf_to_mean(27.32, 800), seed=3)
+    return Trace(packets=uniform_stream(flows, seed=4), flows=flows)
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """~50k packets over 2000 flows: for integration-grade checks."""
+    flows = FlowSet.generate(2000, calibrate_zipf_to_mean(27.32, 5000), seed=7)
+    return Trace(packets=uniform_stream(flows, seed=8), flows=flows)
+
+
+@pytest.fixture(scope="session")
+def heavy_dist() -> BoundedZipf:
+    return calibrate_zipf_to_mean(27.32, 5000)

@@ -1,0 +1,149 @@
+"""Unit tests for metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    binned_errors,
+    ci_coverage,
+    evaluate,
+    relative_errors,
+    top_flow_are,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.errors import ConfigError
+
+
+class TestRelativeErrors:
+    def test_signed(self):
+        rel = relative_errors(np.array([12.0, 8.0]), np.array([10, 10]))
+        np.testing.assert_allclose(rel, [0.2, -0.2])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigError):
+            relative_errors(np.array([1.0]), np.array([1, 2]))
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ConfigError):
+            relative_errors(np.array([1.0]), np.array([0]))
+
+
+class TestBinnedErrors:
+    def test_counts_conserved(self):
+        truth = np.array([1, 1, 5, 50, 500, 5000])
+        est = truth.astype(float)
+        b = binned_errors(est, truth)
+        assert b.count.sum() == 6
+
+    def test_perfect_estimates_zero_error(self):
+        truth = np.array([1, 10, 100])
+        b = binned_errors(truth.astype(float), truth)
+        valid = b.count > 0
+        np.testing.assert_allclose(b.mean_abs_rel_error[valid], 0.0)
+        assert b.overall_binned_are == 0.0
+
+    def test_bin_assignment(self):
+        truth = np.array([1, 2, 3])
+        est = np.array([2.0, 2.0, 3.0])
+        b = binned_errors(est, truth, bins_per_decade=1)
+        # First bin is [1, 10): holds all three flows.
+        assert b.count[0] == 3
+        assert b.mean_truth[0] == pytest.approx(2.0)
+
+    def test_empty_bins_are_nan(self):
+        truth = np.array([1, 10000])
+        est = truth.astype(float)
+        b = binned_errors(est, truth, bins_per_decade=1)
+        assert np.isnan(b.mean_abs_rel_error[(b.count == 0)]).all()
+
+    def test_bins_per_decade_validation(self):
+        with pytest.raises(ConfigError):
+            binned_errors(np.array([1.0]), np.array([1]), bins_per_decade=0)
+
+
+class TestEvaluate:
+    def test_aggregates(self):
+        truth = np.array([10, 10, 100])
+        est = np.array([11.0, 9.0, 110.0])
+        q = evaluate(est, truth)
+        assert q.num_flows == 3
+        assert q.per_flow_are == pytest.approx(0.1)
+        assert q.packet_weighted_are == pytest.approx(
+            (1 + 1 + 10) / 120
+        )
+        assert q.mean_signed_rel_error == pytest.approx(0.1 / 3)
+        assert q.mean_signed_error_packets == pytest.approx(10 / 3)
+        assert "ARE/flow" in q.summary()
+
+    def test_unbiased_estimator_zero_packet_bias(self):
+        rng = np.random.default_rng(0)
+        truth = np.full(5000, 100)
+        est = truth + rng.normal(0, 10, size=5000)
+        q = evaluate(est, truth)
+        assert abs(q.mean_signed_error_packets) < 1.0
+
+
+class TestTopFlowAre:
+    def test_selects_largest(self):
+        truth = np.array([1, 2, 1000, 2000])
+        est = np.array([100.0, 100.0, 1000.0, 2000.0])
+        assert top_flow_are(est, truth, top=2) == 0.0
+
+    def test_top_larger_than_population(self):
+        truth = np.array([5, 10])
+        est = np.array([5.0, 10.0])
+        assert top_flow_are(est, truth, top=100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            top_flow_are(np.array([1.0]), np.array([1]), top=0)
+
+
+class TestCiCoverage:
+    def test_full_coverage(self):
+        truth = np.array([5, 10])
+        assert ci_coverage(np.array([0.0, 0.0]), np.array([100.0, 100.0]), truth) == 1.0
+
+    def test_partial(self):
+        truth = np.array([5, 10])
+        cov = ci_coverage(np.array([0.0, 11.0]), np.array([6.0, 12.0]), truth)
+        assert cov == 0.5
+
+    def test_misaligned(self):
+        with pytest.raises(ConfigError):
+            ci_coverage(np.array([0.0]), np.array([1.0, 2.0]), np.array([1, 2]))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [10, 0.001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_format_nan_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["x"], [[1e9], [1e-9]])
+        assert "e+" in out and "e-" in out
+
+    def test_format_series(self):
+        out = format_series("n", ["a", "b"], [1, 2], [[10, 20], [30, 40]])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "n"
+        assert "10" in lines[2] and "30" in lines[2]
+        assert "20" in lines[3] and "40" in lines[3]
+
+    def test_format_series_validation(self):
+        with pytest.raises(ValueError):
+            format_series("n", ["a"], [1, 2], [[10, 20], [30, 40]])
+        with pytest.raises(ValueError):
+            format_series("n", ["a"], [1, 2], [[10]])
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out

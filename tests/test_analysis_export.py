@@ -1,0 +1,66 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import export_binned_errors, export_result, export_series
+from repro.analysis.metrics import binned_errors
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+
+
+class TestExportBinnedErrors:
+    def test_roundtrip(self, tmp_path):
+        truth = np.array([1, 2, 5, 50, 500])
+        est = truth * 1.1
+        bins = binned_errors(est, truth)
+        path = export_binned_errors(tmp_path / "bins.csv", bins)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert sum(int(r["flows"]) for r in rows) == 5
+        for r in rows:
+            assert float(r["mean_abs_rel_error"]) == pytest.approx(0.1, abs=1e-9)
+
+    def test_empty_bins_skipped(self, tmp_path):
+        truth = np.array([1, 10_000])
+        bins = binned_errors(truth.astype(float), truth, bins_per_decade=1)
+        path = export_binned_errors(tmp_path / "bins.csv", bins)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert all(int(r["flows"]) > 0 for r in rows)
+
+
+class TestExportSeries:
+    def test_writes_columns(self, tmp_path):
+        path = export_series(
+            tmp_path / "s.csv", ["n", "time"], [[1, 2, 3], [10.0, 20.0, 30.0]]
+        )
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["n", "time"]
+        assert rows[2] == ["2", "20.0"]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_series(tmp_path / "s.csv", ["a"], [[1], [2]])
+        with pytest.raises(ConfigError):
+            export_series(tmp_path / "s.csv", ["a", "b"], [[1, 2], [3]])
+
+
+class TestExportResult:
+    def test_writes_both_artifacts(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="demo",
+            tables=["a table"],
+            measured={"x": 1.5},
+            paper_reference={"x": "about 1.5"},
+        )
+        paths = export_result(result, tmp_path / "out")
+        assert len(paths) == 2
+        csv_text = (tmp_path / "out" / "demo_measured.csv").read_text()
+        assert "x,1.5,about 1.5" in csv_text
+        report = (tmp_path / "out" / "demo_report.txt").read_text()
+        assert "a table" in report

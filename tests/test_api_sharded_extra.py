@@ -1,0 +1,80 @@
+"""Additional coverage: sharded estimators beyond CSM, planner-driven
+sharding, and MeasurementResult internals."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.sharded import ShardedCaesar
+from repro.errors import ConfigError
+
+
+class TestShardedDecoders:
+    @pytest.fixture(scope="class")
+    def sharded(self, small_trace):
+        sc = ShardedCaesar(
+            repro.CaesarConfig(
+                cache_entries=256, entry_capacity=54, k=3, bank_size=2048, seed=2
+            ),
+            num_shards=3,
+            divide_budget=False,
+        )
+        sc.process(small_trace.packets)
+        sc.finalize()
+        return sc
+
+    def test_all_methods_route(self, sharded, small_trace):
+        ids = small_trace.flows.ids[:50]
+        for method in ("csm", "mlm", "median"):
+            est = sharded.estimate(ids, method)
+            assert est.shape == (50,)
+
+    def test_unknown_method_raises(self, sharded, small_trace):
+        with pytest.raises(ConfigError):
+            sharded.estimate(small_trace.flows.ids[:5], "nope")
+
+    def test_result_order_matches_input(self, sharded, small_trace):
+        ids = small_trace.flows.ids[:100]
+        fwd = sharded.estimate(ids)
+        rev = sharded.estimate(ids[::-1])
+        np.testing.assert_allclose(fwd, rev[::-1])
+
+    def test_flows_partitioned_exclusively(self, sharded, small_trace):
+        """A flow's mass lives in exactly one shard."""
+        top = small_trace.flows.top(5)
+        owners = sharded.shard_of(top.ids)
+        for fid, owner, size in zip(top.ids, owners, top.sizes):
+            own_est = sharded.shards[owner].estimate(
+                np.array([fid], dtype=np.uint64), clip_negative=True
+            )[0]
+            assert own_est == pytest.approx(size, rel=0.3)
+            for s, shard in enumerate(sharded.shards):
+                if s == owner:
+                    continue
+                ghost = shard.estimate(
+                    np.array([fid], dtype=np.uint64), clip_negative=True
+                )[0]
+                assert ghost < 0.5 * size
+
+
+class TestMeasurementResultInternals:
+    def test_top_flows_empty_measurement(self):
+        # A single-packet stream still yields a queryable result.
+        result = repro.measure(
+            np.array([5], dtype=np.uint64), sram_kb=1.0, cache_kb=0.5
+        )
+        top = result.top_flows(3)
+        assert len(top) == 1
+        assert top[0][0] == 5
+
+    def test_estimates_clipped(self, tiny_trace):
+        result = repro.measure(tiny_trace.packets, sram_kb=0.5, cache_kb=0.5)
+        est = result.estimate(tiny_trace.flows.ids)
+        assert (est >= 0).all()
+
+    def test_mlm_method_passthrough(self, tiny_trace):
+        result = repro.measure(tiny_trace.packets, sram_kb=2.0, cache_kb=1.0)
+        mlm = result.estimate(tiny_trace.flows.ids, method="mlm")
+        csm = result.estimate(tiny_trace.flows.ids, method="csm")
+        assert mlm.shape == csm.shape
+        assert not np.array_equal(mlm, csm)

@@ -1,0 +1,122 @@
+"""Unit and behavioural tests for the CASE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.case import Case, CaseConfig
+from repro.errors import ConfigError, QueryError
+
+
+def make_case(trace, bits=10, **overrides):
+    defaults = dict(
+        cache_entries=max(8, trace.num_flows // 8),
+        entry_capacity=max(2, int(2 * trace.mean_flow_size)),
+        num_counters=trace.num_flows * 2,
+        counter_capacity=(1 << bits) - 1,
+        max_value=float(trace.flows.sizes.max()),
+        seed=13,
+    )
+    defaults.update(overrides)
+    return Case(CaseConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CaseConfig(
+                cache_entries=0, entry_capacity=1, num_counters=1,
+                counter_capacity=1, max_value=10,
+            )
+        with pytest.raises(ConfigError):
+            CaseConfig(
+                cache_entries=1, entry_capacity=1, num_counters=1,
+                counter_capacity=1, max_value=10, replacement="fifo",
+            )
+
+    def test_for_budgets_one_counter_per_flow(self):
+        cfg = CaseConfig.for_budgets(
+            sram_kb=183.11, cache_kb=97.66,
+            num_packets=27_720_011, num_flows=1_014_601, max_value=1e6,
+        )
+        # 183.11 KB over 1.01M flows: 1-bit counters, L >= Q.
+        assert cfg.num_counters >= 1_014_601
+        assert cfg.counter_capacity == 1
+
+    def test_for_budgets_bigger_budget_wider_counters(self):
+        small = CaseConfig.for_budgets(
+            sram_kb=183.11, cache_kb=97.66,
+            num_packets=27_720_011, num_flows=1_014_601, max_value=1e6,
+        )
+        big = CaseConfig.for_budgets(
+            sram_kb=1.21 * 1024, cache_kb=97.66,
+            num_packets=27_720_011, num_flows=1_014_601, max_value=1e6,
+        )
+        assert big.counter_capacity > small.counter_capacity
+        # The paper's "expanding l about six times": ~10 bits vs ~1.5.
+        assert (1.21 * 1024 * 8192) // 1_014_601 in (9, 10)
+
+    def test_for_budgets_rejects_starved(self):
+        with pytest.raises(ConfigError):
+            CaseConfig.for_budgets(
+                sram_kb=0.001, cache_kb=1.0,
+                num_packets=1000, num_flows=100_000, max_value=10,
+            )
+
+
+class TestLifecycle:
+    def test_estimate_requires_finalize(self, tiny_trace):
+        case = make_case(tiny_trace)
+        case.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            case.estimate(tiny_trace.flows.ids)
+
+    def test_process_after_finalize_raises(self, tiny_trace):
+        case = make_case(tiny_trace)
+        case.process(tiny_trace.packets)
+        case.finalize()
+        with pytest.raises(QueryError):
+            case.process(tiny_trace.packets)
+
+    def test_power_operations_counted(self, tiny_trace):
+        case = make_case(tiny_trace)
+        case.process(tiny_trace.packets)
+        case.finalize()
+        # One power op per eviction + per dumped entry.
+        expected = case.cache.stats.total_evictions + case.cache.stats.dumped_entries
+        assert case.power_operations == expected
+        assert case.power_operations > 0
+
+
+class TestAccuracy:
+    def test_wide_counters_track_elephants(self, small_trace):
+        case = make_case(small_trace, bits=16)
+        case.process(small_trace.packets)
+        case.finalize()
+        est = case.estimate(small_trace.flows.ids)
+        truth = small_trace.flows.sizes
+        top = np.argsort(truth)[-10:]
+        rel = np.abs(est[top] - truth[top]) / truth[top]
+        assert rel.mean() < 0.5  # compression + collisions, but tracking
+
+    def test_one_bit_counters_collapse(self, small_trace):
+        """Figure 5(a): with ~1-bit counters estimates are almost 0."""
+        case = make_case(small_trace, bits=1)
+        case.process(small_trace.packets)
+        case.finalize()
+        est = case.estimate(small_trace.flows.ids)
+        assert float(np.mean(est < 1.0)) > 0.6
+
+    def test_estimates_nonnegative(self, tiny_trace):
+        case = make_case(tiny_trace)
+        case.process(tiny_trace.packets)
+        case.finalize()
+        assert (case.estimate(tiny_trace.flows.ids) >= 0).all()
+
+    def test_deterministic(self, tiny_trace):
+        results = []
+        for _ in range(2):
+            case = make_case(tiny_trace)
+            case.process(tiny_trace.packets)
+            case.finalize()
+            results.append(case.estimate(tiny_trace.flows.ids))
+        np.testing.assert_array_equal(results[0], results[1])

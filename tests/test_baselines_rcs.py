@@ -1,0 +1,112 @@
+"""Unit and behavioural tests for the RCS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import top_flow_are
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.errors import ConfigError, QueryError
+from repro.traffic.packets import apply_loss
+
+
+def make_rcs(trace, **overrides):
+    defaults = dict(k=3, bank_size=max(64, trace.num_flows // 3), seed=9)
+    defaults.update(overrides)
+    return RCS(RCSConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RCSConfig(k=0)
+        with pytest.raises(ConfigError):
+            RCSConfig(bank_size=0)
+        with pytest.raises(ConfigError):
+            RCSConfig(counter_capacity=0)
+
+    def test_for_budget_fits(self):
+        cfg = RCSConfig.for_budget(91.55)
+        from repro.sram.layout import sram_kilobytes
+
+        assert sram_kilobytes(cfg.k, cfg.bank_size, cfg.counter_capacity) <= 91.55
+
+
+class TestConstruction:
+    def test_mass_conservation(self, tiny_trace):
+        rcs = make_rcs(tiny_trace)
+        rcs.process(tiny_trace.packets)
+        assert rcs.counters.total_mass == tiny_trace.num_packets
+        assert rcs.num_packets == tiny_trace.num_packets
+
+    def test_empty_batch(self, tiny_trace):
+        rcs = make_rcs(tiny_trace)
+        rcs.process(np.array([], dtype=np.uint64))
+        assert rcs.num_packets == 0
+
+    def test_incremental_batches(self, tiny_trace):
+        a = make_rcs(tiny_trace)
+        a.process(tiny_trace.packets)
+        b = make_rcs(tiny_trace)
+        half = len(tiny_trace.packets) // 2
+        b.process(tiny_trace.packets[:half])
+        b.process(tiny_trace.packets[half:])
+        assert a.counters.total_mass == b.counters.total_mass
+
+    def test_packets_stay_in_own_vector(self):
+        """Every packet of a lone flow must land in one of its k counters."""
+        packets = np.full(500, 7, dtype=np.uint64)
+        rcs = RCS(RCSConfig(k=3, bank_size=100, seed=1))
+        rcs.process(packets)
+        w = rcs.counter_values(np.array([7], dtype=np.uint64))
+        assert w.sum() == 500
+        assert rcs.counters.total_mass == 500
+
+    def test_per_packet_scatter_spreads(self):
+        packets = np.full(3000, 7, dtype=np.uint64)
+        rcs = RCS(RCSConfig(k=3, bank_size=100, seed=1))
+        rcs.process(packets)
+        w = rcs.counter_values(np.array([7], dtype=np.uint64))[0]
+        # Each counter ~ Binomial(3000, 1/3): all far from 0 and from 3000.
+        assert w.min() > 800 and w.max() < 1200
+
+
+class TestEstimation:
+    def test_csm_lossless_accurate_on_elephants(self, small_trace):
+        rcs = make_rcs(small_trace)
+        rcs.process(small_trace.packets)
+        est = rcs.estimate(small_trace.flows.ids, "csm")
+        assert top_flow_are(est, small_trace.flows.sizes, top=20) < 0.35
+
+    def test_mlm_lossless_accurate_on_elephants(self, small_trace):
+        rcs = make_rcs(small_trace)
+        rcs.process(small_trace.packets)
+        est = rcs.estimate(small_trace.flows.ids, "mlm")
+        assert top_flow_are(est, small_trace.flows.sizes, top=20) < 0.35
+
+    def test_mlm_nonnegative(self, small_trace):
+        rcs = make_rcs(small_trace)
+        rcs.process(small_trace.packets)
+        est = rcs.estimate(small_trace.flows.ids, "mlm")
+        assert (est >= 0).all()
+
+    def test_mlm_requires_k2(self, tiny_trace):
+        rcs = make_rcs(tiny_trace, k=1)
+        rcs.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            rcs.estimate(tiny_trace.flows.ids, "mlm")
+
+    def test_unknown_method(self, tiny_trace):
+        rcs = make_rcs(tiny_trace)
+        rcs.process(tiny_trace.packets)
+        with pytest.raises(ConfigError):
+            rcs.estimate(tiny_trace.flows.ids, "map")
+
+    def test_lossy_estimates_scale_with_kept_fraction(self, small_trace):
+        """Figure 7's mechanism: under loss rho the elephants are
+        under-counted by exactly rho on average."""
+        for rho in (2 / 3, 9 / 10):
+            rcs = make_rcs(small_trace)
+            rcs.process(apply_loss(small_trace.packets, rho, seed=11))
+            est = rcs.estimate(small_trace.flows.ids, "csm")
+            are = top_flow_are(est, small_trace.flows.sizes, top=20)
+            assert are == pytest.approx(rho, abs=0.07)

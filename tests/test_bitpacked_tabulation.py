@@ -1,0 +1,141 @@
+"""Tests for bit-packed storage and tabulation hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.hashing.tabulation import TabulationFamily, TabulationHash, TabulationIndexer
+from repro.sram.bitpacked import BitPackedArray
+
+
+class TestBitPackedArray:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BitPackedArray(0, 8)
+        with pytest.raises(ConfigError):
+            BitPackedArray(8, 0)
+        with pytest.raises(ConfigError):
+            BitPackedArray(8, 64)
+
+    def test_set_get_roundtrip(self):
+        arr = BitPackedArray(100, 20)
+        arr.set(5, 12345)
+        arr.set(99, (1 << 20) - 1)
+        assert arr.get(5)[0] == 12345
+        assert arr.get(99)[0] == (1 << 20) - 1
+        assert arr.get(0)[0] == 0
+
+    def test_straddling_fields(self):
+        # 20-bit fields: field 3 occupies bits 60..79 — across words.
+        arr = BitPackedArray(10, 20)
+        arr.set(3, 0xABCDE)
+        assert arr.get(3)[0] == 0xABCDE
+        # Neighbours untouched.
+        assert arr.get(2)[0] == 0 and arr.get(4)[0] == 0
+
+    def test_overwrite(self):
+        arr = BitPackedArray(4, 7)
+        arr.set(1, 100)
+        arr.set(1, 27)
+        assert arr.get(1)[0] == 27
+
+    def test_value_range_enforced(self):
+        arr = BitPackedArray(4, 8)
+        with pytest.raises(CapacityError):
+            arr.set(0, 256)
+        with pytest.raises(CapacityError):
+            arr.set(0, -1)
+
+    def test_index_range_enforced(self):
+        arr = BitPackedArray(4, 8)
+        with pytest.raises(ConfigError):
+            arr.get(4)
+        with pytest.raises(ConfigError):
+            arr.set(-1, 0)
+
+    def test_pack_unpack(self):
+        values = np.array([0, 1, 255, 77, 128], dtype=np.int64)
+        arr = BitPackedArray.pack(values, 8)
+        np.testing.assert_array_equal(arr.unpack(), values)
+
+    def test_memory_accounting_matches_paper_math(self):
+        # The Fig. 4 geometry: 3 banks x 12501 counters x 20 bits.
+        arr = BitPackedArray(3 * 12501, 20)
+        assert arr.memory_kilobytes == pytest.approx(91.55, abs=0.05)
+        # The real buffer is within one word of the payload.
+        assert arr.buffer_bytes - arr.memory_bits // 8 < 16
+
+    @given(
+        st.integers(min_value=1, max_value=63),
+        st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, width, raw_values):
+        values = np.array([v & ((1 << width) - 1) for v in raw_values], dtype=np.int64)
+        arr = BitPackedArray.pack(values, width)
+        np.testing.assert_array_equal(arr.unpack(), values)
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        h = TabulationHash(seed=1)
+        assert h.hash_one(42) == h.hash_one(42)
+
+    def test_seed_dependence(self):
+        assert TabulationHash(1).hash_one(42) != TabulationHash(2).hash_one(42)
+
+    def test_array_matches_scalar(self):
+        h = TabulationHash(seed=3)
+        keys = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        arr = h.hash_array(keys)
+        for i, key in enumerate([0, 1, 2**63, 2**64 - 1]):
+            assert int(arr[i]) == h.hash_one(key)
+
+    def test_uniformity(self):
+        h = TabulationHash(seed=4)
+        buckets = h.hash_array(np.arange(32_000, dtype=np.uint64)) % np.uint64(16)
+        counts = np.bincount(buckets.astype(np.int64), minlength=16)
+        expected = 2000
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 50
+
+
+class TestTabulationIndexer:
+    def test_interface_matches_banked_indexer(self):
+        idx = TabulationIndexer(3, 128, seed=9)
+        rows = idx.indices(np.arange(100, dtype=np.uint64))
+        assert rows.shape == (100, 3)
+        for r in range(3):
+            assert (rows[:, r] >= r * 128).all() and (rows[:, r] < (r + 1) * 128).all()
+        np.testing.assert_array_equal(idx.indices_one(42), rows[42])
+
+    def test_family_validation(self):
+        with pytest.raises(ConfigError):
+            TabulationFamily(0)
+        with pytest.raises(ConfigError):
+            TabulationIndexer(3, 0)
+
+    def test_caesar_accuracy_matches_splitmix(self, small_trace):
+        """The hash-family ablation: accuracy should not depend on
+        which (good) family selects counters."""
+        from repro.analysis.metrics import top_flow_are
+        from repro.core.caesar import Caesar
+        from repro.core.config import CaesarConfig
+
+        def run(use_tabulation: bool) -> float:
+            caesar = Caesar(
+                CaesarConfig(
+                    cache_entries=256, entry_capacity=54, k=3, bank_size=1024, seed=6
+                )
+            )
+            if use_tabulation:
+                caesar.indexer = TabulationIndexer(3, 1024, seed=6)
+            caesar.process(small_trace.packets)
+            caesar.finalize()
+            est = caesar.estimate(small_trace.flows.ids)
+            return top_flow_are(est, small_trace.flows.sizes, top=20)
+
+        are_mix, are_tab = run(False), run(True)
+        assert abs(are_mix - are_tab) < 0.25

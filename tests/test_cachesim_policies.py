@@ -1,0 +1,88 @@
+"""Unit tests for the LRU and random replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.lru import LRUPolicy
+from repro.cachesim.random_replace import RandomPolicy
+from repro.errors import CapacityError
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy()
+        for fid in (1, 2, 3):
+            p.insert(fid)
+        assert p.victim() == 1
+        p.touch(1)  # now 2 is the oldest
+        assert p.victim() == 2
+
+    def test_remove(self):
+        p = LRUPolicy()
+        p.insert(1)
+        p.insert(2)
+        p.remove(1)
+        assert p.victim() == 2
+        assert len(p) == 1
+
+    def test_victim_does_not_remove(self):
+        p = LRUPolicy()
+        p.insert(7)
+        assert p.victim() == 7
+        assert len(p) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            LRUPolicy().victim()
+
+    def test_insert_then_touch_sequence(self):
+        p = LRUPolicy()
+        for fid in range(5):
+            p.insert(fid)
+        for fid in (0, 1, 2):
+            p.touch(fid)
+        assert p.victim() == 3
+
+
+class TestRandomPolicy:
+    def test_victim_is_resident(self):
+        p = RandomPolicy(seed=1)
+        for fid in (10, 20, 30):
+            p.insert(fid)
+        for _ in range(20):
+            assert p.victim() in (10, 20, 30)
+
+    def test_remove_swaps_correctly(self):
+        p = RandomPolicy(seed=1)
+        for fid in range(10):
+            p.insert(fid)
+        p.remove(0)  # head removal exercises the swap path
+        p.remove(9)  # tail removal exercises the no-swap path
+        assert len(p) == 8
+        for _ in range(50):
+            assert p.victim() in set(range(1, 9))
+
+    def test_touch_is_noop(self):
+        p = RandomPolicy(seed=1)
+        p.insert(5)
+        p.touch(5)
+        assert len(p) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            RandomPolicy().victim()
+
+    def test_victims_roughly_uniform(self):
+        p = RandomPolicy(seed=2)
+        for fid in range(4):
+            p.insert(fid)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[p.victim()] += 1
+        assert counts.min() > 800  # expected 1000 each
+
+    def test_remove_missing_raises(self):
+        p = RandomPolicy()
+        p.insert(1)
+        with pytest.raises(KeyError):
+            p.remove(2)

@@ -1,0 +1,96 @@
+"""CLI tests: subcommands, backwards compatibility, export."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_subcommand(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.command == "run"
+        assert args.experiment == "fig3"
+        assert args.scale is None
+
+    def test_all_is_valid(self):
+        assert build_parser().parse_args(["run", "all"]).experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_scale_and_seed(self):
+        args = build_parser().parse_args(
+            ["run", "fig4", "--scale", "0.01", "--seed", "7"]
+        )
+        assert args.scale == 0.01
+        assert args.seed == 7
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_measure_args(self):
+        args = build_parser().parse_args(
+            ["measure", "--trace", "t.npz", "--sram-kb", "4", "--cache-kb", "2"]
+        )
+        assert args.sram_kb == 4.0
+        assert args.method == "csm"
+
+
+class TestMain:
+    def test_bare_experiment_backwards_compatible(self, capsys):
+        assert main(["fig3", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "fraction_flows_below_mean" in out
+
+    def test_run_fig8(self, capsys):
+        assert main(["run", "fig8", "--scale", "0.005"]) == 0
+        assert "Processing time" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig8", "headline", "theory"):
+            assert name in out
+
+    def test_trace_then_measure(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "t.npz")
+        assert main(["trace", "--scale", "0.003", "--seed", "2", "--out", trace_path]) == 0
+        assert (
+            main(
+                [
+                    "measure",
+                    "--trace",
+                    trace_path,
+                    "--sram-kb",
+                    "2",
+                    "--cache-kb",
+                    "1",
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "top 3 flows" in out
+        assert "ARE/flow" in out
+
+    def test_run_with_export(self, capsys, tmp_path):
+        export = str(tmp_path / "artifacts")
+        assert main(["run", "fig3", "--scale", "0.005", "--export-dir", export]) == 0
+        assert (tmp_path / "artifacts" / "fig3_measured.csv").exists()
+        assert (tmp_path / "artifacts" / "fig3_report.txt").exists()
+
+    def test_report_command(self, capsys, tmp_path):
+        out = str(tmp_path / "REPORT.md")
+        assert main(["report", "--scale", "0.003", "--out", out]) == 0
+        text = (tmp_path / "REPORT.md").read_text()
+        assert "# CAESAR reproduction report" in text
+        for name in ("fig3", "fig8", "headline"):
+            assert f"## {name}:" in text
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,137 @@
+"""Unit tests for the compression curves and the compressed counter array."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.compression.anls import AnlsCurve, AnlsSketch
+from repro.baselines.compression.base import CompressedCounterArray
+from repro.baselines.compression.disco import DiscoCurve, DiscoSketch
+from repro.errors import ConfigError
+
+
+class TestDiscoCurve:
+    def test_endpoints(self):
+        c = DiscoCurve(gamma=2.0, capacity=100, max_value=10_000)
+        assert c.rep(np.array([0.0]))[0] == 0.0
+        assert c.rep(np.array([100.0]))[0] == pytest.approx(10_000)
+
+    def test_inverse_roundtrip(self):
+        c = DiscoCurve(gamma=2.0, capacity=100, max_value=10_000)
+        vals = np.array([1.0, 10.0, 55.5, 100.0])
+        np.testing.assert_allclose(c.inverse(c.rep(vals)), vals, rtol=1e-10)
+
+    def test_monotone(self):
+        DiscoCurve(2.0, 64, 5000).validate_monotone(64)
+
+    def test_increment_probability_decreases(self):
+        c = DiscoCurve(2.0, 100, 10_000)
+        p = c.increment_probability(np.arange(1, 100))
+        assert np.all(np.diff(p) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DiscoCurve(0.5, 10, 100)
+        with pytest.raises(ConfigError):
+            DiscoCurve(2.0, 0, 100)
+        with pytest.raises(ConfigError):
+            DiscoCurve(2.0, 10, 0)
+
+
+class TestAnlsCurve:
+    def test_rep_formula(self):
+        c = AnlsCurve(omega=0.1)
+        # rep(1) = ((1.1)^1 - 1)/0.1 = 1
+        assert c.rep(np.array([1.0]))[0] == pytest.approx(1.0)
+        assert c.rep(np.array([0.0]))[0] == 0.0
+
+    def test_inverse_roundtrip(self):
+        c = AnlsCurve(omega=0.05)
+        vals = np.array([0.0, 3.0, 17.0, 42.0])
+        np.testing.assert_allclose(c.inverse(c.rep(vals)), vals, rtol=1e-9)
+
+    def test_for_range_covers(self):
+        c = AnlsCurve.for_range(capacity=64, max_value=100_000)
+        assert c.rep(np.array([64.0]))[0] >= 100_000
+        # And it is not absurdly stretched: capacity-1 falls short.
+        assert c.rep(np.array([50.0]))[0] < 100_000
+
+    def test_unbiased_increments(self, rng):
+        """Probabilistic increments keep rep() unbiased: feed N packets
+        into one ANLS counter and check the decompressed mean."""
+        n_packets, trials = 400, 200
+        curve = AnlsCurve.for_range(capacity=127, max_value=5000)
+        finals = []
+        for t in range(trials):
+            arr = CompressedCounterArray(curve, 1, 127, seed=t)
+            for _ in range(n_packets):
+                arr.increment(0)
+            finals.append(arr.estimate(np.array([0]))[0])
+        assert np.mean(finals) == pytest.approx(n_packets, rel=0.08)
+
+
+class TestCompressedCounterArray:
+    def test_add_value_unbiased(self, rng):
+        """CASE's eviction path: adding V should move rep by ~V on average."""
+        curve = DiscoCurve(2.0, 1000, 100_000)
+        gains = []
+        for t in range(300):
+            arr = CompressedCounterArray(curve, 1, 1000, seed=t)
+            arr.add_value(0, 500)
+            gains.append(arr.estimate(np.array([0]))[0])
+        assert np.mean(gains) == pytest.approx(500, rel=0.1)
+
+    def test_add_value_zero_noop(self):
+        arr = CompressedCounterArray(DiscoCurve(2.0, 10, 100), 4, 10, seed=1)
+        arr.add_value(2, 0)
+        assert arr.values[2] == 0
+
+    def test_add_value_rejects_negative(self):
+        arr = CompressedCounterArray(DiscoCurve(2.0, 10, 100), 4, 10, seed=1)
+        with pytest.raises(ConfigError):
+            arr.add_value(0, -1)
+
+    def test_saturation_accounted(self):
+        arr = CompressedCounterArray(DiscoCurve(2.0, 4, 100), 1, 4, seed=1)
+        arr.add_value(0, 10_000)  # far beyond max_value
+        assert arr.values[0] == 4
+        assert arr.saturated_updates == 1
+
+    def test_counter_never_decreases(self, rng):
+        curve = DiscoCurve(2.0, 100, 10_000)
+        arr = CompressedCounterArray(curve, 1, 100, seed=2)
+        prev = 0
+        for _ in range(50):
+            arr.add_value(0, 37)
+            assert arr.values[0] >= prev
+            prev = int(arr.values[0])
+
+    def test_memory_accounting(self):
+        arr = CompressedCounterArray(DiscoCurve(2.0, 1023, 100), 8192, 1023, seed=0)
+        assert arr.bits_per_counter == 10
+        assert arr.memory_kilobytes == pytest.approx(10.0)
+
+    def test_increment_batch_matches_sequential(self):
+        curve = DiscoCurve(2.0, 200, 3000)
+        a = CompressedCounterArray(curve, 4, 200, seed=9)
+        idx = np.array([0, 1, 0, 2, 0, 1] * 40, dtype=np.int64)
+        a.increment_batch(idx)
+        assert a.values.sum() > 0
+        assert (a.values <= 200).all()
+
+
+class TestSketches:
+    def test_disco_sketch_pipeline(self, tiny_trace):
+        sk = DiscoSketch(tiny_trace.num_flows * 2, 255, float(tiny_trace.flows.sizes.max()))
+        sk.process(tiny_trace.packets)
+        est = sk.estimate(tiny_trace.flows.ids)
+        assert est.shape == tiny_trace.flows.sizes.shape
+        assert (est >= 0).all()
+
+    def test_anls_sketch_elephants(self, small_trace):
+        sk = AnlsSketch(small_trace.num_flows * 4, 255, float(small_trace.flows.sizes.max()))
+        sk.process(small_trace.packets)
+        est = sk.estimate(small_trace.flows.ids)
+        truth = small_trace.flows.sizes
+        top = np.argsort(truth)[-10:]
+        rel = np.abs(est[top] - truth[top]) / truth[top]
+        assert rel.mean() < 0.5

@@ -1,0 +1,138 @@
+"""Unit tests for SAC, CEDAR, and ICE-buckets."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.compression.cedar import CedarSketch, calibrate_delta, cedar_levels
+from repro.baselines.compression.icebuckets import IceBucketsSketch
+from repro.baselines.compression.sac import SacSketch
+from repro.errors import ConfigError
+
+
+class TestCedarLevels:
+    def test_levels_increasing(self):
+        levels = cedar_levels(0.1, 100)
+        assert np.all(np.diff(levels) >= 1.0)
+        assert levels[0] == 0.0
+
+    def test_small_delta_near_exact(self):
+        levels = cedar_levels(1e-6, 50)
+        np.testing.assert_allclose(levels, np.arange(51), atol=1e-3)
+
+    def test_calibrate_reaches_target(self):
+        delta = calibrate_delta(64, 100_000)
+        assert cedar_levels(delta, 64)[-1] >= 100_000
+
+    def test_calibrate_minimal(self):
+        delta = calibrate_delta(64, 100_000)
+        assert cedar_levels(delta * 0.8, 64)[-1] < 100_000
+
+    def test_rejects_unreachable(self):
+        with pytest.raises(ConfigError):
+            calibrate_delta(3, 1e12)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ConfigError):
+            cedar_levels(0.0, 10)
+
+
+class TestCedarSketch:
+    def test_estimates_are_levels(self, tiny_trace):
+        sk = CedarSketch(512, 63, float(tiny_trace.flows.sizes.max()) * 2)
+        sk.process(tiny_trace.packets)
+        est = sk.estimate(tiny_trace.flows.ids)
+        level_set = set(np.round(sk.levels, 6).tolist())
+        assert all(round(float(e), 6) in level_set for e in est)
+
+    def test_unbiased_single_counter(self):
+        n_packets, trials = 300, 150
+        finals = []
+        for t in range(trials):
+            sk = CedarSketch(1, 63, 5000, seed=t)
+            sk.process(np.full(n_packets, 7, dtype=np.uint64))
+            finals.append(sk.estimate(np.array([7], dtype=np.uint64))[0])
+        assert np.mean(finals) == pytest.approx(n_packets, rel=0.1)
+
+    def test_memory_accounting(self):
+        sk = CedarSketch(8192, 63, 1000)
+        assert sk.bits_per_counter == 6
+        assert sk.memory_kilobytes == pytest.approx(6.0)
+
+
+class TestSacSketch:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SacSketch(0)
+        with pytest.raises(ConfigError):
+            SacSketch(10, mantissa_bits=0)
+        with pytest.raises(ConfigError):
+            SacSketch(10, ell=0)
+
+    def test_small_counts_exact(self):
+        sk = SacSketch(16, seed=3)
+        packets = np.full(10, 5, dtype=np.uint64)
+        sk.process(packets)
+        # Mode stays 0 for small counts: exact counting.
+        assert sk.estimate(np.array([5], dtype=np.uint64))[0] == 10
+
+    def test_unbiased_large_counts(self):
+        n_packets, trials = 2000, 100
+        finals = []
+        for t in range(trials):
+            sk = SacSketch(1, mantissa_bits=5, exponent_bits=4, ell=2, seed=t)
+            for _ in range(n_packets):
+                sk.increment(0)
+            finals.append(sk._mantissa[0] * 2.0 ** (sk.ell * sk._exponent[0]))
+        assert np.mean(finals) == pytest.approx(n_packets, rel=0.12)
+
+    def test_renormalization_raises_exponent(self):
+        sk = SacSketch(1, mantissa_bits=3, exponent_bits=4, ell=1, seed=1)
+        for _ in range(200):
+            sk.increment(0)
+        assert sk._exponent[0] > 0
+
+    def test_memory(self):
+        sk = SacSketch(8192, mantissa_bits=6, exponent_bits=4)
+        assert sk.bits_per_counter == 10
+        assert sk.memory_kilobytes == pytest.approx(10.0)
+
+
+class TestIceBuckets:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IceBucketsSketch(0, 15, 100)
+        with pytest.raises(ConfigError):
+            IceBucketsSketch(10, 15, 100, bucket_size=0)
+        with pytest.raises(ConfigError):
+            IceBucketsSketch(10, 3, 1e15, num_scales=2)
+
+    def test_small_flows_near_exact(self, tiny_trace):
+        """Fine initial scale: buckets without elephants count ~exactly."""
+        sk = IceBucketsSketch(4096, 255, 1e6, seed=4)
+        mice = np.repeat(
+            np.arange(100, dtype=np.uint64), 3
+        )  # 100 flows of size 3
+        sk.process(mice)
+        est = sk.estimate(np.arange(100, dtype=np.uint64))
+        # Collisions are rare at this load; most estimates exactly 3.
+        assert float(np.mean(np.abs(est - 3) < 0.5)) > 0.9
+
+    def test_upgrades_triggered_by_elephants(self):
+        sk = IceBucketsSketch(64, 31, 1e6, bucket_size=8, seed=5)
+        sk.process(np.full(50_000, 9, dtype=np.uint64))
+        assert sk.upgrades > 0
+
+    def test_elephant_tracked_after_upgrades(self):
+        # Coarse-scale levels are geometric, so one run quantizes
+        # heavily; the estimator is unbiased on average over seeds.
+        finals = []
+        for seed in range(30):
+            sk = IceBucketsSketch(64, 255, 1e6, bucket_size=8, seed=seed)
+            sk.process(np.full(30_000, 9, dtype=np.uint64))
+            finals.append(sk.estimate(np.array([9], dtype=np.uint64))[0])
+        assert np.mean(finals) == pytest.approx(30_000, rel=0.25)
+
+    def test_memory_includes_scale_bits(self):
+        sk = IceBucketsSketch(1024, 63, 1e5, bucket_size=64, num_scales=8)
+        expected = (1024 * 6 + 16 * 3) / 8192
+        assert sk.memory_kilobytes == pytest.approx(expected)

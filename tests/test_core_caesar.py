@@ -1,0 +1,185 @@
+"""Unit and integration tests for the Caesar scheme."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import top_flow_are
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError, QueryError
+
+
+def make_caesar(trace, **overrides):
+    defaults = dict(
+        cache_entries=max(8, trace.num_flows // 8),
+        entry_capacity=max(2, int(2 * trace.mean_flow_size)),
+        k=3,
+        bank_size=max(64, trace.num_flows // 3),
+        counter_capacity=2**30,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return Caesar(CaesarConfig(**defaults))
+
+
+class TestLifecycle:
+    def test_estimate_before_finalize_raises(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        caesar.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            caesar.estimate(tiny_trace.flows.ids)
+
+    def test_process_after_finalize_raises(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        with pytest.raises(QueryError):
+            caesar.process(tiny_trace.packets)
+
+    def test_finalize_idempotent(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        mass = caesar.counters.total_mass
+        caesar.finalize()
+        assert caesar.counters.total_mass == mass
+
+    def test_unknown_method_rejected(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        with pytest.raises(ConfigError):
+            caesar.estimate(tiny_trace.flows.ids, "map")
+
+
+class TestConservation:
+    @pytest.mark.parametrize("replacement", ["lru", "random"])
+    @pytest.mark.parametrize("remainder", ["random", "even"])
+    def test_counter_mass_equals_packets(self, tiny_trace, replacement, remainder):
+        """Key invariant: after finalize, sum of all SRAM counters is n."""
+        caesar = make_caesar(tiny_trace, replacement=replacement, remainder=remainder)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == tiny_trace.num_packets
+        assert caesar.num_packets == tiny_trace.num_packets
+
+    def test_incremental_processing_equivalent_mass(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        half = len(tiny_trace.packets) // 2
+        caesar.process(tiny_trace.packets[:half])
+        caesar.process(tiny_trace.packets[half:])
+        caesar.finalize()
+        assert caesar.counters.total_mass == tiny_trace.num_packets
+
+
+class TestEstimation:
+    def test_isolated_flow_exact(self):
+        """A single flow with an empty SRAM: estimate == truth exactly
+        (no sharing noise, CSM subtracts n/L of itself... small)."""
+        packets = np.full(100, 42, dtype=np.uint64)
+        caesar = Caesar(
+            CaesarConfig(cache_entries=4, entry_capacity=10, k=3, bank_size=1000)
+        )
+        caesar.process(packets)
+        caesar.finalize()
+        est = caesar.estimate(np.array([42], dtype=np.uint64))
+        assert est[0] == pytest.approx(100 - 100 / 1000)
+
+    def test_large_flows_accurate(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        for method in ("csm", "mlm"):
+            est = caesar.estimate(small_trace.flows.ids, method)
+            assert top_flow_are(est, small_trace.flows.sizes, top=20) < 0.35
+
+    def test_csm_unbiased_in_aggregate(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(small_trace.flows.ids, "csm")
+        resid = est - small_trace.flows.sizes
+        # Mean absolute bias far below the per-flow noise scale.
+        assert abs(resid.mean()) < 0.1 * np.abs(resid).mean() + 1.0
+
+    def test_clip_negative_flag(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        raw = caesar.estimate(small_trace.flows.ids, "csm", clip_negative=False)
+        clipped = caesar.estimate(small_trace.flows.ids, "csm", clip_negative=True)
+        assert clipped.min() >= 0.0
+        assert (raw < 0).any()  # with this much sharing, some go negative
+        np.testing.assert_array_equal(clipped, np.maximum(raw, 0.0))
+
+    def test_median_method_available(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(small_trace.flows.ids, "median")
+        assert top_flow_are(est, small_trace.flows.sizes, top=20) < 0.5
+
+    def test_counter_values_shape(self, tiny_trace):
+        caesar = make_caesar(tiny_trace)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        w = caesar.counter_values(tiny_trace.flows.ids[:7])
+        assert w.shape == (7, 3)
+
+    def test_deterministic_given_seed(self, tiny_trace):
+        results = []
+        for _ in range(2):
+            caesar = make_caesar(tiny_trace, seed=77)
+            caesar.process(tiny_trace.packets)
+            caesar.finalize()
+            results.append(caesar.estimate(tiny_trace.flows.ids, "csm"))
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_estimate(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        for method in ("csm", "mlm"):
+            est = caesar.estimate(small_trace.flows.ids, method, clip_negative=False)
+            lo, hi = caesar.confidence_interval(small_trace.flows.ids, method)
+            assert (lo <= est + 1e-9).all() and (est <= hi + 1e-9).all()
+
+    def test_empirical_interval_covers(self, small_trace):
+        """The clustering-aware CI (extension) reaches near-nominal
+        coverage where the paper's Eq. 26 under-covers."""
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        ids = small_trace.flows.ids
+        truth = small_trace.flows.sizes
+        lo_p, hi_p = caesar.confidence_interval(ids, "csm", alpha=0.95)
+        lo_e, hi_e = caesar.confidence_interval(
+            ids, "csm", alpha=0.95, variance_model="empirical"
+        )
+        cover_paper = float(np.mean((truth >= lo_p) & (truth <= hi_p)))
+        cover_emp = float(np.mean((truth >= lo_e) & (truth <= hi_e)))
+        assert cover_emp > 0.85
+        assert cover_emp > cover_paper
+
+    def test_empirical_interval_csm_only(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        with pytest.raises(ConfigError):
+            caesar.confidence_interval(
+                small_trace.flows.ids, "mlm", variance_model="empirical"
+            )
+        with pytest.raises(ConfigError):
+            caesar.confidence_interval(
+                small_trace.flows.ids, "csm", variance_model="bayesian"
+            )
+
+    def test_higher_alpha_wider(self, small_trace):
+        caesar = make_caesar(small_trace)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        lo90, hi90 = caesar.confidence_interval(small_trace.flows.ids, "csm", alpha=0.90)
+        lo99, hi99 = caesar.confidence_interval(small_trace.flows.ids, "csm", alpha=0.99)
+        assert ((hi99 - lo99) >= (hi90 - lo90) - 1e-9).all()

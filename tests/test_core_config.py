@@ -1,0 +1,73 @@
+"""Unit tests for CaesarConfig."""
+
+import pytest
+
+from repro.core.config import CaesarConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = CaesarConfig(cache_entries=100, entry_capacity=54)
+        assert cfg.k == 3
+        assert cfg.replacement == "lru"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cache_entries=0, entry_capacity=10),
+            dict(cache_entries=10, entry_capacity=0),
+            dict(cache_entries=10, entry_capacity=10, k=0),
+            dict(cache_entries=10, entry_capacity=10, bank_size=0),
+            dict(cache_entries=10, entry_capacity=10, counter_capacity=5),
+            dict(cache_entries=10, entry_capacity=10, replacement="mru"),
+            dict(cache_entries=10, entry_capacity=10, remainder="weird"),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CaesarConfig(**kwargs)
+
+
+class TestMemoryAccounting:
+    def test_sram_kilobytes(self):
+        cfg = CaesarConfig(
+            cache_entries=10, entry_capacity=10, k=3, bank_size=1000,
+            counter_capacity=2**20 - 1,
+        )
+        assert cfg.sram_kilobytes == pytest.approx(3 * 1000 * 20 / 8192)
+
+    def test_cache_kilobytes(self):
+        cfg = CaesarConfig(cache_entries=1024, entry_capacity=63)
+        assert cfg.cache_kilobytes == pytest.approx(1024 * 6 / 8192)
+
+
+class TestForBudgets:
+    def test_paper_sizing_rule(self):
+        cfg = CaesarConfig.for_budgets(
+            sram_kb=91.55, cache_kb=97.66, num_packets=27_720_011, num_flows=1_014_601
+        )
+        # y = floor(2 * 27.32) = 54
+        assert cfg.entry_capacity == 54
+        assert cfg.sram_kilobytes <= 91.55
+        assert cfg.cache_kilobytes <= 97.66
+        # The derived bank size matches the paper geometry (20-bit l).
+        assert 12000 <= cfg.bank_size <= 13000
+
+    def test_budget_never_exceeded(self):
+        for sram_kb in (1.0, 4.5, 91.55):
+            cfg = CaesarConfig.for_budgets(
+                sram_kb=sram_kb, cache_kb=2.0, num_packets=100_000, num_flows=5_000
+            )
+            assert cfg.sram_kilobytes <= sram_kb
+
+    def test_rejects_empty_traffic(self):
+        with pytest.raises(ConfigError):
+            CaesarConfig.for_budgets(
+                sram_kb=1, cache_kb=1, num_packets=0, num_flows=10
+            )
+
+    def test_describe_mentions_key_params(self):
+        cfg = CaesarConfig(cache_entries=100, entry_capacity=54)
+        text = cfg.describe()
+        assert "M=100" in text and "y=54" in text and "k=3" in text

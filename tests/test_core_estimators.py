@@ -1,0 +1,144 @@
+"""Unit tests for the CSM and MLM estimators (pure functions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.csm import counter_median_estimate, csm_confidence_interval, csm_estimate
+from repro.core.mlm import mlm_confidence_interval, mlm_estimate
+from repro.errors import ConfigError
+
+
+class TestCsmEstimate:
+    def test_single_flow_vector(self):
+        # Eq. 20: x_hat = sum(counters) - n/L.
+        est = csm_estimate(np.array([10, 12, 8]), num_packets=3000, bank_size=100)
+        assert est == pytest.approx(30 - 30)
+
+    def test_matrix_form(self):
+        w = np.array([[1, 2, 3], [4, 5, 6]])
+        est = csm_estimate(w, num_packets=0, bank_size=10)
+        np.testing.assert_allclose(est, [6, 15])
+
+    def test_clipping(self):
+        est = csm_estimate(np.array([[1, 1, 1]]), num_packets=1000, bank_size=10)
+        assert est[0] == pytest.approx(3 - 100)
+        est_c = csm_estimate(
+            np.array([[1, 1, 1]]), num_packets=1000, bank_size=10, clip_negative=True
+        )
+        assert est_c[0] == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            csm_estimate(np.array([1.0]), num_packets=10, bank_size=0)
+        with pytest.raises(ConfigError):
+            csm_estimate(np.array([1.0]), num_packets=-1, bank_size=10)
+
+
+class TestCounterMedianEstimate:
+    def test_agrees_with_csm_when_counters_equal(self):
+        w = np.array([[100, 100, 100]])
+        med = counter_median_estimate(w, num_packets=1000, bank_size=100)
+        csm = csm_estimate(w, num_packets=1000, bank_size=100)
+        assert med[0] == pytest.approx(csm[0])
+
+    def test_ignores_one_polluted_counter(self):
+        # One counter inflated by a colliding elephant: median unmoved.
+        clean = counter_median_estimate(
+            np.array([[100, 100, 100]]), num_packets=0, bank_size=10
+        )
+        polluted = counter_median_estimate(
+            np.array([[100, 100, 99_999]]), num_packets=0, bank_size=10
+        )
+        assert polluted[0] == clean[0]
+
+    def test_csm_is_moved_by_pollution(self):
+        clean = csm_estimate(np.array([[100, 100, 100]]), 0, 10)
+        polluted = csm_estimate(np.array([[100, 100, 99_999]]), 0, 10)
+        assert polluted[0] > clean[0] + 90_000
+
+    def test_clip(self):
+        est = counter_median_estimate(
+            np.array([[0, 0, 0]]), num_packets=1000, bank_size=10, clip_negative=True
+        )
+        assert est[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            counter_median_estimate(np.array([1.0]), 10, 0)
+
+
+class TestMlmEstimate:
+    def test_zero_noise_recovers_truth(self):
+        # With equal counters x/k and no noise, MLM ~ CSM ~ x.
+        x, k, y = 900, 3, 54
+        w = np.full((1, k), x / k)
+        est = mlm_estimate(w, num_packets=0, bank_size=1000, entry_capacity=y)
+        # x_hat = 0.5*(sqrt(c^2 + 4k * k*(x/k)^2) - c) with c=(k-1)^2/y
+        c = (k - 1) ** 2 / y
+        expected = 0.5 * (np.sqrt(c * c + 4 * k * k * (x / k) ** 2) - c)
+        assert est[0] == pytest.approx(expected)
+        assert est[0] == pytest.approx(x, rel=0.01)
+
+    def test_noise_subtraction(self):
+        w = np.full((1, 3), 100.0)
+        noisy = mlm_estimate(w, num_packets=5000, bank_size=100, entry_capacity=54)
+        clean = mlm_estimate(w, num_packets=0, bank_size=100, entry_capacity=54)
+        assert noisy[0] == pytest.approx(clean[0] - 50.0)  # minus 2*(n/L)/2
+
+    def test_k1_degenerates_to_identity(self):
+        w = np.array([[42.0]])
+        est = mlm_estimate(w, num_packets=0, bank_size=10, entry_capacity=54)
+        assert est[0] == pytest.approx(42.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            mlm_estimate(np.array([1.0]), 10, 0, entry_capacity=5)
+        with pytest.raises(ConfigError):
+            mlm_estimate(np.array([1.0]), 10, 5, entry_capacity=0)
+
+    def test_clip(self):
+        w = np.zeros((1, 3))
+        est = mlm_estimate(
+            w, num_packets=10000, bank_size=10, entry_capacity=54, clip_negative=True
+        )
+        assert est[0] == 0.0
+
+
+class TestConfidenceIntervals:
+    kwargs = dict(k=3, entry_capacity=54, bank_size=1000, num_packets=100_000)
+
+    def test_csm_interval_symmetric(self):
+        est = np.array([100.0, 500.0])
+        lo, hi = csm_confidence_interval(est, **self.kwargs, alpha=0.95)
+        np.testing.assert_allclose((lo + hi) / 2, est)
+        assert ((hi - lo) > 0).all()
+
+    def test_csm_width_grows_with_size(self):
+        est = np.array([10.0, 10_000.0])
+        lo, hi = csm_confidence_interval(est, **self.kwargs)
+        assert hi[1] - lo[1] > hi[0] - lo[0]
+
+    def test_mlm_interval_valid(self):
+        est = np.array([250.0])
+        lo, hi = mlm_confidence_interval(est, **self.kwargs, alpha=0.95)
+        assert lo[0] < est[0] < hi[0]
+
+    def test_mlm_requires_k2(self):
+        with pytest.raises(ConfigError):
+            mlm_confidence_interval(
+                np.array([1.0]), k=1, entry_capacity=5, bank_size=5, num_packets=5
+            )
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            csm_confidence_interval(np.array([1.0]), **self.kwargs, alpha=1.5)
+        with pytest.raises(ConfigError):
+            mlm_confidence_interval(np.array([1.0]), **self.kwargs, alpha=0.0)
+
+    def test_mlm_tighter_than_csm(self):
+        # Section 5.2: MLM is the more accurate method under the
+        # paper's variance model, so its CI must be narrower.
+        est = np.array([1000.0])
+        lo_c, hi_c = csm_confidence_interval(est, **self.kwargs)
+        lo_m, hi_m = mlm_confidence_interval(est, **self.kwargs)
+        assert hi_m[0] - lo_m[0] < hi_c[0] - lo_c[0]

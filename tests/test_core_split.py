@@ -1,0 +1,81 @@
+"""Unit tests for eviction-value splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.split import split_evenly, split_value, split_values_batch
+from repro.errors import ConfigError
+
+
+class TestSplitValue:
+    def test_sums_to_value(self, rng):
+        for value in (0, 1, 5, 54, 1000):
+            parts = split_value(value, 3, rng)
+            assert parts.sum() == value
+
+    def test_aliquot_floor(self, rng):
+        parts = split_value(10, 3, rng)  # p=3, q=1
+        assert parts.min() >= 3
+        assert parts.max() <= 3 + 1  # one extra unit max... q=1
+
+    def test_divisible_case_deterministic(self, rng):
+        parts = split_value(9, 3, rng)
+        assert parts.tolist() == [3, 3, 3]
+
+    def test_k1_gets_everything(self, rng):
+        assert split_value(42, 1, rng).tolist() == [42]
+
+    def test_remainder_marginal_binomial(self, rng):
+        # Section 4.2: each remainder unit lands uniformly; counter 0's
+        # share of q=2 units is Binomial(2, 1/3) with mean 2/3.
+        samples = np.array([split_value(5, 3, rng)[0] for _ in range(4000)])
+        # p=1 plus Binomial(2, 1/3): mean 1 + 2/3
+        assert abs(samples.mean() - (1 + 2 / 3)) < 0.05
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ConfigError):
+            split_value(-1, 3, rng)
+        with pytest.raises(ConfigError):
+            split_value(5, 0, rng)
+
+
+class TestSplitEvenly:
+    def test_sums_and_shape(self):
+        parts = split_evenly(11, 3)  # p=3, q=2
+        assert parts.tolist() == [4, 4, 3]
+
+    def test_divisible(self):
+        assert split_evenly(6, 3).tolist() == [2, 2, 2]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigError):
+            split_evenly(-1, 3)
+        with pytest.raises(ConfigError):
+            split_evenly(3, 0)
+
+
+class TestSplitValuesBatch:
+    def test_rows_sum_to_values(self, rng):
+        values = np.array([0, 1, 7, 54, 100, 3], dtype=np.int64)
+        out = split_values_batch(values, 3, rng)
+        assert out.shape == (6, 3)
+        np.testing.assert_array_equal(out.sum(axis=1), values)
+
+    def test_aliquot_bounds(self, rng):
+        values = np.full(100, 10, dtype=np.int64)  # p=3, q=1
+        out = split_values_batch(values, 3, rng)
+        assert out.min() >= 3 and out.max() <= 4
+
+    def test_matches_multinomial_marginals(self, rng):
+        values = np.full(6000, 5, dtype=np.int64)  # p=1, q=2
+        out = split_values_batch(values, 3, rng)
+        # Every column mean should be 5/3.
+        np.testing.assert_allclose(out.mean(axis=0), 5 / 3, atol=0.05)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ConfigError):
+            split_values_batch(np.array([-1]), 3, rng)
+        with pytest.raises(ConfigError):
+            split_values_batch(np.array([[1, 2]]), 3, rng)
+        with pytest.raises(ConfigError):
+            split_values_batch(np.array([1]), 0, rng)

@@ -1,0 +1,128 @@
+"""Tests validating the closed forms of Sections 4-5 — both internal
+consistency and agreement with Monte-Carlo simulation of the mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.split import split_value
+from repro.errors import ConfigError
+
+
+class TestClosedForms:
+    def test_expected_evictions(self):
+        # Eq. 10: E(t) = 2x/y.
+        assert theory.expected_evictions(54, 54) == pytest.approx(2.0)
+        assert theory.expected_evictions(270, 54) == pytest.approx(10.0)
+
+    def test_remainder_mean(self):
+        # Eq. 8: ev_i2 ~ k(k-1)/2.
+        assert theory.expected_remainder_per_eviction(3) == 3.0
+        assert theory.expected_remainder_per_eviction(1) == 0.0
+
+    def test_portion_moments(self):
+        # Eqs. 12 and 14.
+        assert theory.portion_mean(90, 3) == pytest.approx(30.0)
+        assert theory.portion_variance(90, 3, 54) == pytest.approx(90 * 4 / (54 * 3))
+
+    def test_noise_moments(self):
+        # Eqs. 15 and 16 with n = Q*mu.
+        n, k, y, L = 1_000_000, 3, 54, 12500
+        assert theory.noise_mean(n, k, L) == pytest.approx(n / (L * k))
+        assert theory.noise_variance(n, k, y, L) == pytest.approx(n * 4 / (y * k * L))
+
+    def test_counter_moments_are_sums(self):
+        # Eq. 18 = Eq. 12 + Eq. 15 (mean), Eq. 14 + Eq. 16 (variance).
+        x, k, y, L, n = 100, 3, 54, 1000, 50_000
+        assert theory.counter_mean(x, k, L, n) == pytest.approx(
+            theory.portion_mean(x, k) + theory.noise_mean(n, k, L)
+        )
+        assert theory.counter_variance(x, k, y, L, n) == pytest.approx(
+            theory.portion_variance(x, k, y) + theory.noise_variance(n, k, y, L)
+        )
+
+    def test_csm_variance_formula(self):
+        # Eq. 22 = k^2 * Eq. 18 variance.
+        x, k, y, L, n = 100, 3, 54, 1000, 50_000
+        assert theory.csm_variance(x, k, y, L, n) == pytest.approx(
+            k * k * theory.counter_variance(x, k, y, L, n)
+        )
+
+    def test_mlm_variance_below_csm(self):
+        # The paper's Section 5.2 claim, checked across sizes.
+        x = np.logspace(0, 5, 30)
+        assert theory.mlm_beats_csm(x, 3, 54, 12500, 27_720_011).all()
+
+    def test_mlm_variance_positive(self):
+        v = theory.mlm_variance(np.array([1.0, 100.0, 1e5]), 3, 54, 1000, 10**6)
+        assert (v > 0).all()
+
+    def test_mlm_requires_k2(self):
+        with pytest.raises(ConfigError):
+            theory.mlm_variance(10.0, 1, 54, 100, 1000)
+
+    def test_k1_portion_variance_zero(self):
+        # With k = 1 there is no remainder scatter: D(Y) = 0.
+        assert theory.portion_variance(100, 1, 54) == 0.0
+
+    def test_csm_variance_mechanism(self):
+        # Pure noise: n/L thinning + clustering over k.
+        v = theory.csm_variance_mechanism(3, 1000, 60_000, 9e6)
+        assert v == pytest.approx(60_000 / 1000 + 9e6 / 3000)
+        with pytest.raises(ConfigError):
+            theory.csm_variance_mechanism(3, 1000, 100, -1.0)
+
+    def test_rcs_reference_variance(self):
+        v = theory.rcs_csm_variance(100, 3, 3000, 100_000)
+        assert v == pytest.approx(100 * 2 + 3 * 100_000 / 3000)
+        with pytest.raises(ConfigError):
+            theory.rcs_csm_variance(1, 3, 0, 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            theory.csm_variance(1.0, 0, 54, 100, 10)
+        with pytest.raises(ConfigError):
+            theory.csm_variance(1.0, 3, 0, 100, 10)
+        with pytest.raises(ConfigError):
+            theory.csm_variance(1.0, 3, 54, 0, 10)
+
+
+class TestMonteCarloAgreement:
+    """Simulate the split mechanism directly and compare with Eqs. 12/14."""
+
+    def test_portion_mean_and_variance(self, rng):
+        """Simulate the paper's own model — eviction values uniform on
+        {1..y}, remainders scattered Binomial(q, 1/k) — and check the
+        exact-mechanism variance (the paper's Eq. 14 is k times it;
+        see theory.portion_variance docstring)."""
+        k, y = 3, 54
+        x = 1080
+        trials = 4000
+        ys = np.empty(trials)
+        for t in range(trials):
+            total = np.zeros(k, dtype=np.int64)
+            remaining = x
+            while remaining > 0:
+                chunk = min(int(rng.integers(1, y + 1)), remaining)
+                total += split_value(chunk, k, rng)
+                remaining -= chunk
+            ys[t] = total[0]
+        assert ys.mean() == pytest.approx(theory.portion_mean(x, k), rel=0.01)
+        exact = theory.portion_variance_exact(x, k, y)
+        assert ys.var() == pytest.approx(exact, rel=0.25)
+        # And the paper's published formula is k times the exact one.
+        assert theory.portion_variance(x, k, y) == pytest.approx(k * exact)
+
+    def test_eviction_count_formula(self, rng):
+        # With eviction values uniform on {1..y}, E(t) ~ 2x/y (Eq. 10).
+        y, x = 54, 5000
+        trials = 400
+        counts = []
+        for _ in range(trials):
+            remaining, t = x, 0
+            while remaining > 0:
+                e = int(rng.integers(1, y + 1))
+                remaining -= e
+                t += 1
+            counts.append(t)
+        assert np.mean(counts) == pytest.approx(theory.expected_evictions(x, y), rel=0.05)

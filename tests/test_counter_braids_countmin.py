@@ -1,0 +1,81 @@
+"""Unit tests for Counter Braids and Count-Min."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.counter_braids import CounterBraids, CounterBraidsConfig
+from repro.baselines.countmin import CountMin, CountMinConfig
+from repro.errors import ConfigError, QueryError
+
+
+class TestCounterBraids:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CounterBraidsConfig(d=1)
+        with pytest.raises(ConfigError):
+            CounterBraidsConfig(bank_size=0)
+
+    def test_mass_is_d_times_packets(self, tiny_trace):
+        cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=512))
+        cb.process(tiny_trace.packets)
+        assert cb.counters.total_mass == 3 * tiny_trace.num_packets
+
+    def test_sparse_decoding_exact(self):
+        """With light counter load, message passing recovers exactly."""
+        rng = np.random.default_rng(5)
+        ids = rng.integers(0, 2**63, size=40, dtype=np.uint64)
+        sizes = rng.integers(1, 100, size=40)
+        packets = np.repeat(ids, sizes)
+        cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=400))
+        cb.process(packets)
+        est = cb.decode(ids)
+        np.testing.assert_allclose(est, sizes, atol=0.5)
+
+    def test_decode_is_upper_bound_at_load(self, small_trace):
+        cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=small_trace.num_flows))
+        cb.process(small_trace.packets)
+        est = cb.decode(small_trace.flows.ids)
+        # Counters only over-count: estimates never fall below zero and
+        # the initial min-counter bound only shrinks toward truth.
+        assert (est >= 0).all()
+
+    def test_estimate_requires_data(self, tiny_trace):
+        cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=64))
+        with pytest.raises(QueryError):
+            cb.estimate(tiny_trace.flows.ids)
+
+    def test_decode_empty_query(self, tiny_trace):
+        cb = CounterBraids(CounterBraidsConfig(d=3, bank_size=64))
+        cb.process(tiny_trace.packets)
+        assert cb.decode(np.array([], dtype=np.uint64)).shape == (0,)
+
+
+class TestCountMin:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CountMinConfig(depth=0)
+        with pytest.raises(ConfigError):
+            CountMinConfig(width=0)
+
+    def test_never_underestimates(self, small_trace):
+        cm = CountMin(CountMinConfig(depth=3, width=small_trace.num_flows // 2))
+        cm.process(small_trace.packets)
+        est = cm.estimate(small_trace.flows.ids)
+        assert (est >= small_trace.flows.sizes).all()
+
+    def test_conservative_update_tighter(self, tiny_trace):
+        plain = CountMin(CountMinConfig(depth=3, width=128, conservative=False))
+        cons = CountMin(CountMinConfig(depth=3, width=128, conservative=True))
+        plain.process(tiny_trace.packets)
+        cons.process(tiny_trace.packets)
+        e_plain = plain.estimate(tiny_trace.flows.ids)
+        e_cons = cons.estimate(tiny_trace.flows.ids)
+        assert (e_cons <= e_plain + 1e-9).all()
+        assert (e_cons >= tiny_trace.flows.sizes).all()  # CU is still an upper bound
+
+    def test_exact_when_no_collisions(self):
+        ids = np.array([1, 2, 3], dtype=np.uint64)
+        packets = np.repeat(ids, [5, 7, 9])
+        cm = CountMin(CountMinConfig(depth=3, width=4096))
+        cm.process(packets)
+        np.testing.assert_allclose(cm.estimate(ids), [5, 7, 9])

@@ -1,0 +1,129 @@
+"""Tests for epoch-based measurement and online (live) queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.epochs import EpochalCaesar
+from repro.errors import ConfigError, QueryError
+
+
+def make_config(trace, **overrides):
+    defaults = dict(
+        cache_entries=max(8, trace.num_flows // 8),
+        entry_capacity=max(2, int(2 * trace.mean_flow_size)),
+        k=3,
+        bank_size=max(64, trace.num_flows // 2),
+        seed=21,
+    )
+    defaults.update(overrides)
+    return CaesarConfig(**defaults)
+
+
+class TestOnlineQuery:
+    def test_live_estimates_track_resident_flows(self, tiny_trace):
+        caesar = Caesar(make_config(tiny_trace))
+        caesar.process(tiny_trace.packets)
+        # No finalize: live query must still see the full mass.
+        est = caesar.estimate_online(tiny_trace.flows.ids)
+        top = np.argsort(tiny_trace.flows.sizes)[-5:]
+        rel = np.abs(est[top] - tiny_trace.flows.sizes[top]) / tiny_trace.flows.sizes[top]
+        assert rel.mean() < 0.4
+
+    def test_online_equals_offline_after_finalize(self, tiny_trace):
+        caesar = Caesar(make_config(tiny_trace))
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        online = caesar.estimate_online(tiny_trace.flows.ids)
+        offline = caesar.estimate(tiny_trace.flows.ids, clip_negative=True)
+        np.testing.assert_allclose(online, offline)
+
+    def test_online_mass_accounting(self, tiny_trace):
+        caesar = Caesar(make_config(tiny_trace))
+        half = len(tiny_trace.packets) // 2
+        caesar.process(tiny_trace.packets[:half])
+        est = caesar.estimate_online(tiny_trace.flows.ids, clip_negative=False)
+        # Estimated total at half time ~ packets seen so far (the
+        # unclipped CSM sum is conserved in expectation; clipping
+        # would bias it upward).
+        assert est.sum() == pytest.approx(half, rel=0.3)
+
+
+class TestReset:
+    def test_reset_clears_state_keeps_mapping(self, tiny_trace):
+        caesar = Caesar(make_config(tiny_trace))
+        mapping_before = caesar.indexer.indices_one(12345)
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        caesar.reset()
+        assert caesar.counters.total_mass == 0
+        assert caesar.num_packets == 0
+        assert caesar.recorded_mass == 0
+        np.testing.assert_array_equal(caesar.indexer.indices_one(12345), mapping_before)
+        # And it can measure again.
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == tiny_trace.num_packets
+
+
+class TestEpochalCaesar:
+    def test_epoch_lifecycle(self, tiny_trace):
+        ec = EpochalCaesar(make_config(tiny_trace))
+        third = len(tiny_trace.packets) // 3
+        for i in range(3):
+            ec.process(tiny_trace.packets[i * third : (i + 1) * third])
+            rec = ec.close_epoch()
+            assert rec.index == i
+            assert rec.num_packets == third
+        assert ec.num_epochs == 3
+        assert len(ec.history) == 3
+
+    def test_epoch_estimates_independent(self, tiny_trace):
+        """Each epoch's estimates reflect only that epoch's packets."""
+        ec = EpochalCaesar(make_config(tiny_trace))
+        # Epoch 0: full trace; epoch 1: only the first flow repeated.
+        ec.process(tiny_trace.packets)
+        ec.close_epoch()
+        lone = tiny_trace.flows.ids[0]
+        ec.process(np.full(500, lone, dtype=np.uint64))
+        ec.close_epoch()
+        est1 = ec.estimate(1, np.array([lone], dtype=np.uint64))
+        assert est1[0] == pytest.approx(500, rel=0.05)
+        # A different flow in epoch 1 should be ~0.
+        other = tiny_trace.flows.ids[1]
+        est_other = ec.estimate(1, np.array([other], dtype=np.uint64), clip_negative=True)
+        assert est_other[0] < 50
+
+    def test_flow_series(self, tiny_trace):
+        ec = EpochalCaesar(make_config(tiny_trace))
+        fid = int(tiny_trace.flows.ids[0])
+        for count in (100, 300, 200):
+            ec.process(np.full(count, fid, dtype=np.uint64))
+            ec.close_epoch()
+        series = ec.flow_series(fid)
+        assert series.shape == (3,)
+        np.testing.assert_allclose(series, [100, 300, 200], rtol=0.1)
+
+    def test_unclosed_epoch_query_raises(self, tiny_trace):
+        ec = EpochalCaesar(make_config(tiny_trace))
+        ec.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            ec.epoch(0)
+
+    def test_live_query_of_open_epoch(self, tiny_trace):
+        ec = EpochalCaesar(make_config(tiny_trace))
+        fid = int(tiny_trace.flows.ids[0])
+        ec.process(np.full(400, fid, dtype=np.uint64))
+        est = ec.estimate_current(np.array([fid], dtype=np.uint64))
+        assert est[0] == pytest.approx(400, rel=0.1)
+
+    def test_all_methods_supported(self, tiny_trace):
+        ec = EpochalCaesar(make_config(tiny_trace))
+        ec.process(tiny_trace.packets)
+        ec.close_epoch()
+        ids = tiny_trace.flows.ids[:10]
+        for method in ("csm", "mlm", "median"):
+            assert ec.estimate(0, ids, method).shape == (10,)
+        with pytest.raises(ConfigError):
+            ec.estimate(0, ids, "nope")

@@ -1,0 +1,96 @@
+"""Deeper estimator behaviour: monotonicity, orderings, internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.core.csm import counter_median_estimate, csm_estimate
+from repro.core.mlm import mlm_estimate
+
+
+class TestCsmStructure:
+    def test_linear_in_counters(self):
+        w1 = np.array([[10, 20, 30]])
+        w2 = np.array([[20, 40, 60]])
+        e1 = csm_estimate(w1, 0, 100)
+        e2 = csm_estimate(w2, 0, 100)
+        assert e2[0] == pytest.approx(2 * e1[0])
+
+    def test_noise_term_additive(self):
+        w = np.array([[5, 5, 5]])
+        for n in (0, 100, 10_000):
+            assert csm_estimate(w, n, 50)[0] == pytest.approx(15 - n / 50)
+
+    def test_median_between_min_and_max_decode(self):
+        w = np.array([[10, 50, 90]])
+        med = counter_median_estimate(w, 0, 100)[0]
+        assert 3 * 10 <= med <= 3 * 90
+        assert med == pytest.approx(150)  # 3 * median(10,50,90)
+
+
+class TestMlmStructure:
+    def test_monotone_in_counter_values(self):
+        base = mlm_estimate(np.array([[10, 10, 10]]), 100, 50, entry_capacity=54)
+        bigger = mlm_estimate(np.array([[20, 20, 20]]), 100, 50, entry_capacity=54)
+        assert bigger[0] > base[0]
+
+    def test_sensitive_to_imbalance_unlike_csm(self):
+        balanced = np.array([[30, 30, 30]])
+        skewed = np.array([[0, 0, 90]])
+        csm_b = csm_estimate(balanced, 0, 100)[0]
+        csm_s = csm_estimate(skewed, 0, 100)[0]
+        assert csm_b == pytest.approx(csm_s)  # sum-only
+        mlm_b = mlm_estimate(balanced, 0, 100, entry_capacity=54)[0]
+        mlm_s = mlm_estimate(skewed, 0, 100, entry_capacity=54)[0]
+        assert mlm_s > mlm_b  # sum-of-squares rewards concentration
+
+    def test_entry_capacity_regularization_direction(self):
+        # Larger y shrinks the (k-1)^2/y penalty -> estimate grows
+        # toward the zero-noise sqrt form.
+        w = np.array([[40, 40, 40]])
+        small_y = mlm_estimate(w, 0, 100, entry_capacity=4)[0]
+        large_y = mlm_estimate(w, 0, 100, entry_capacity=4000)[0]
+        assert large_y > small_y
+
+
+class TestRcsMlmInternals:
+    @pytest.fixture(scope="class")
+    def loaded_rcs(self, small_trace):
+        rcs = RCS(RCSConfig(k=3, bank_size=700, seed=2))
+        rcs.process(small_trace.packets)
+        return rcs
+
+    def test_more_iterations_converge(self, loaded_rcs, small_trace):
+        ids = small_trace.flows.ids[:200]
+        coarse = loaded_rcs.estimate(ids, "mlm", mlm_iterations=15)
+        fine = loaded_rcs.estimate(ids, "mlm", mlm_iterations=60)
+        finer = loaded_rcs.estimate(ids, "mlm", mlm_iterations=80)
+        # Geometric convergence: 60 vs 80 indistinguishable, 15 close.
+        np.testing.assert_allclose(fine, finer, atol=1e-3)
+        np.testing.assert_allclose(coarse, fine, rtol=0.05, atol=1.0)
+
+    def test_mlm_zero_counters_zero_estimate(self, loaded_rcs):
+        ghost = np.array([2**63 + 12345], dtype=np.uint64)
+        w = loaded_rcs.counter_values(ghost)
+        if (w == 0).all():  # only meaningful if the ghost missed all mass
+            assert loaded_rcs.estimate(ghost, "mlm")[0] == 0.0
+
+    def test_csm_and_mlm_agree_on_elephants(self, loaded_rcs, small_trace):
+        top = small_trace.flows.top(10)
+        csm = loaded_rcs.estimate(top.ids, "csm")
+        mlm = loaded_rcs.estimate(top.ids, "mlm")
+        rel_gap = np.abs(csm - mlm) / np.maximum(csm, 1.0)
+        assert rel_gap.mean() < 0.25
+
+
+class TestDecoderOrderings:
+    def test_median_robust_csm_fragile_under_injection(self, small_trace):
+        """Inject one polluted counter per flow and compare decoders."""
+        rng = np.random.default_rng(3)
+        truth = np.array([100, 500, 2000])
+        w = np.stack([np.full(3, t / 3.0) for t in truth])
+        polluted = w.copy()
+        polluted[np.arange(3), rng.integers(0, 3, 3)] += 50_000
+        med_err = np.abs(counter_median_estimate(polluted, 0, 100) - truth)
+        csm_err = np.abs(csm_estimate(polluted, 0, 100) - truth)
+        assert (med_err < csm_err).all()

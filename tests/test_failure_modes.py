@@ -1,0 +1,155 @@
+"""Failure-injection and boundary-condition tests.
+
+Degenerate geometries, saturation, adversarial inputs — the conditions
+a deployment hits when misconfigured, which must degrade loudly (error
+or accounted loss), never silently corrupt results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import QueryError
+
+
+class TestDegenerateGeometries:
+    def test_single_entry_cache(self, tiny_trace):
+        """M = 1: every miss evicts; still conserves all mass."""
+        caesar = Caesar(
+            CaesarConfig(cache_entries=1, entry_capacity=16, k=3, bank_size=256)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == tiny_trace.num_packets
+
+    def test_entry_capacity_two(self, tiny_trace):
+        """y = 2: overflow on every second packet of a hot flow."""
+        caesar = Caesar(
+            CaesarConfig(cache_entries=128, entry_capacity=2, k=3, bank_size=256)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == tiny_trace.num_packets
+        assert caesar.cache.stats.overflow_evictions > 0
+
+    def test_single_counter_bank(self, tiny_trace):
+        """L = 1: all flows share the same k counters; estimates
+        degenerate to (total - noise) but nothing crashes."""
+        caesar = Caesar(
+            CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=1)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(tiny_trace.flows.ids)
+        # Every flow's estimate is total - total = ~0.
+        np.testing.assert_allclose(est, 0.0, atol=1e-6)
+
+    def test_k_equals_one(self, tiny_trace):
+        caesar = Caesar(
+            CaesarConfig(cache_entries=64, entry_capacity=16, k=1, bank_size=1024)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(tiny_trace.flows.ids)
+        assert est.shape == tiny_trace.flows.sizes.shape
+
+    def test_empty_stream(self):
+        caesar = Caesar(
+            CaesarConfig(cache_entries=4, entry_capacity=4, k=3, bank_size=16)
+        )
+        caesar.process(np.array([], dtype=np.uint64))
+        caesar.finalize()
+        est = caesar.estimate(np.array([1, 2], dtype=np.uint64))
+        np.testing.assert_allclose(est, 0.0)
+
+
+class TestSaturation:
+    def test_counter_saturation_accounted(self):
+        """Counters too narrow for the traffic: mass is lost but the
+        loss is visible in saturated_mass, never silent."""
+        caesar = Caesar(
+            CaesarConfig(
+                cache_entries=4, entry_capacity=8, k=3, bank_size=8,
+                counter_capacity=10,
+            )
+        )
+        packets = np.full(5000, 7, dtype=np.uint64)
+        caesar.process(packets)
+        caesar.finalize()
+        assert caesar.counters.saturated_mass > 0
+        assert (
+            caesar.counters.total_mass + caesar.counters.saturated_mass == 5000
+        )
+
+    def test_saturated_estimates_underreport_but_finite(self):
+        caesar = Caesar(
+            CaesarConfig(
+                cache_entries=4, entry_capacity=8, k=3, bank_size=8,
+                counter_capacity=10,
+            )
+        )
+        caesar.process(np.full(5000, 7, dtype=np.uint64))
+        caesar.finalize()
+        est = caesar.estimate(np.array([7], dtype=np.uint64))
+        assert np.isfinite(est).all()
+        assert est[0] <= 3 * 10  # can't exceed k * capacity
+
+
+class TestAdversarialInputs:
+    def test_all_packets_same_flow(self):
+        caesar = Caesar(
+            CaesarConfig(cache_entries=16, entry_capacity=54, k=3, bank_size=512)
+        )
+        caesar.process(np.full(50_000, 99, dtype=np.uint64))
+        caesar.finalize()
+        est = caesar.estimate(np.array([99], dtype=np.uint64))
+        assert est[0] == pytest.approx(50_000, rel=0.01)
+
+    def test_all_flows_distinct(self):
+        """Worst-case mice: every packet a new flow."""
+        packets = np.arange(20_000, dtype=np.uint64)
+        caesar = Caesar(
+            CaesarConfig(cache_entries=64, entry_capacity=54, k=3, bank_size=2048)
+        )
+        caesar.process(packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == 20_000
+        est = caesar.estimate(packets[:100], clip_negative=False)
+        # Aggregate unbiasedness holds even in the all-mice regime.
+        assert abs(est.mean() - 1.0) < 2.0
+
+    def test_query_unknown_flows(self, tiny_trace):
+        """Flows never seen should estimate ~0 (pure noise)."""
+        caesar = Caesar(
+            CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=2048)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        ghosts = np.arange(10**6, 10**6 + 200, dtype=np.uint64)
+        est = caesar.estimate(ghosts, clip_negative=False)
+        assert abs(est.mean()) < 3 * tiny_trace.mean_flow_size
+
+    def test_rcs_zero_then_query(self):
+        rcs = RCS(RCSConfig(k=3, bank_size=64))
+        est = rcs.estimate(np.array([5], dtype=np.uint64))
+        assert est[0] == 0.0
+
+    def test_double_finalize_then_estimate_stable(self, tiny_trace):
+        caesar = Caesar(
+            CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=256)
+        )
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        a = caesar.estimate(tiny_trace.flows.ids)
+        caesar.finalize()
+        b = caesar.estimate(tiny_trace.flows.ids)
+        np.testing.assert_array_equal(a, b)
+
+    def test_estimate_before_any_processing(self):
+        caesar = Caesar(
+            CaesarConfig(cache_entries=4, entry_capacity=4, k=3, bank_size=16)
+        )
+        with pytest.raises(QueryError):
+            caesar.estimate(np.array([1], dtype=np.uint64))

@@ -1,0 +1,87 @@
+"""Unit tests for hash families and the banked indexer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashing.family import BankedIndexer, HashFamily
+
+
+class TestHashFamily:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            HashFamily(0)
+
+    def test_functions_are_distinct(self):
+        fam = HashFamily(4, seed=1)
+        outs = {fam.hash_one(r, 42) for r in range(4)}
+        assert len(outs) == 4
+
+    def test_deterministic_across_instances(self):
+        a = HashFamily(3, seed=9)
+        b = HashFamily(3, seed=9)
+        assert [a.hash_one(r, 5) for r in range(3)] == [b.hash_one(r, 5) for r in range(3)]
+
+    def test_seed_changes_family(self):
+        a = HashFamily(3, seed=1)
+        b = HashFamily(3, seed=2)
+        assert a.hash_one(0, 5) != b.hash_one(0, 5)
+
+    def test_hash_array_matches_scalar(self):
+        fam = HashFamily(3, seed=11)
+        xs = np.array([1, 2, 2**63], dtype=np.uint64)
+        for r in range(3):
+            arr = fam.hash_array(r, xs)
+            for i, x in enumerate([1, 2, 2**63]):
+                assert int(arr[i]) == fam.hash_one(r, x)
+
+    def test_hash_all_shape_and_values(self):
+        fam = HashFamily(3, seed=11)
+        xs = np.array([10, 20], dtype=np.uint64)
+        all_h = fam.hash_all(xs)
+        assert all_h.shape == (2, 3)
+        for i, x in enumerate([10, 20]):
+            for r in range(3):
+                assert int(all_h[i, r]) == fam.hash_one(r, x)
+
+
+class TestBankedIndexer:
+    def test_rejects_bad_bank_size(self):
+        with pytest.raises(ConfigError):
+            BankedIndexer(3, 0)
+
+    def test_indices_in_correct_banks(self):
+        idx = BankedIndexer(3, 100, seed=5)
+        rows = idx.indices(np.arange(50, dtype=np.uint64))
+        for r in range(3):
+            assert (rows[:, r] >= r * 100).all()
+            assert (rows[:, r] < (r + 1) * 100).all()
+
+    def test_k_counters_always_distinct(self):
+        idx = BankedIndexer(4, 10, seed=5)  # tiny banks to stress it
+        rows = idx.indices(np.arange(200, dtype=np.uint64))
+        for row in rows:
+            assert len(set(row.tolist())) == 4  # disjoint banks guarantee it
+
+    def test_indices_one_matches_batch(self):
+        idx = BankedIndexer(3, 64, seed=8)
+        batch = idx.indices(np.array([42, 77], dtype=np.uint64))
+        np.testing.assert_array_equal(idx.indices_one(42), batch[0])
+        np.testing.assert_array_equal(idx.indices_one(77), batch[1])
+
+    def test_fixed_mapping_per_flow(self):
+        # Section 3.1: each flow maps to k *fixed* counters forever.
+        idx = BankedIndexer(3, 64, seed=8)
+        a = idx.indices_one(123)
+        b = idx.indices_one(123)
+        np.testing.assert_array_equal(a, b)
+
+    def test_total_counters(self):
+        idx = BankedIndexer(5, 7)
+        assert idx.total_counters == 35
+
+    def test_bank_occupancy_roughly_uniform(self):
+        idx = BankedIndexer(1, 32, seed=3)
+        rows = idx.indices(np.arange(32000, dtype=np.uint64))
+        counts = np.bincount(rows[:, 0], minlength=32)
+        assert counts.min() > 700 and counts.max() < 1300

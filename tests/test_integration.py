@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.metrics import evaluate, top_flow_are
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.traffic import headers as hdrs
+from repro.traffic.packets import apply_loss, bursty_stream, round_robin_stream
+from repro.traffic.trace import Trace
+
+
+class TestPublicApi:
+    def test_quickstart_path(self):
+        """The README quickstart, verbatim logic."""
+        trace = repro.default_paper_trace(scale=0.005, seed=3)
+        cfg = repro.CaesarConfig.for_budgets(
+            sram_kb=91.55 * 0.005,
+            cache_kb=97.66 * 0.005,
+            num_packets=trace.num_packets,
+            num_flows=trace.num_flows,
+        )
+        caesar = repro.Caesar(cfg)
+        caesar.process(trace.packets)
+        caesar.finalize()
+        estimates = caesar.estimate(trace.flows.ids)
+        quality = repro.evaluate(estimates, trace.flows.sizes)
+        assert quality.num_flows == trace.num_flows
+        assert np.isfinite(quality.packet_weighted_are)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestHeaderToEstimatePipeline:
+    def test_full_capture_pipeline(self, tmp_path):
+        """Bytes on the wire -> SHA-1/APHash IDs -> CAESAR -> estimates."""
+        rng = np.random.default_rng(2)
+        sizes = rng.integers(1, 60, size=120).astype(np.int64)
+        capture = hdrs.synthetic_capture(120, sizes, seed=9)
+        path = tmp_path / "cap.chd"
+        hdrs.write_headers(path, capture)
+        trace = hdrs.trace_from_headers(hdrs.read_headers(path))
+        caesar = Caesar(
+            CaesarConfig(cache_entries=32, entry_capacity=16, k=3, bank_size=512)
+        )
+        caesar.process(trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(trace.flows.ids)
+        assert top_flow_are(est, trace.flows.sizes, top=10) < 0.3
+
+
+class TestArrivalPatternRobustness:
+    """CAESAR's accuracy holds under arrival patterns that violate the
+    uniform assumption (bursty is *easier* for the cache)."""
+
+    @pytest.mark.parametrize("pattern", ["uniform", "round_robin", "bursty"])
+    def test_conservation_under_patterns(self, small_trace, pattern):
+        if pattern == "uniform":
+            packets = small_trace.packets
+        elif pattern == "round_robin":
+            packets = round_robin_stream(small_trace.flows)
+        else:
+            packets = bursty_stream(small_trace.flows, burst_length=32, seed=1)
+        caesar = Caesar(
+            CaesarConfig(
+                cache_entries=256,
+                entry_capacity=54,
+                k=3,
+                bank_size=1024,
+            )
+        )
+        caesar.process(packets)
+        caesar.finalize()
+        assert caesar.counters.total_mass == small_trace.num_packets
+
+    def test_bursty_reduces_evictions(self, small_trace):
+        def evictions(packets):
+            caesar = Caesar(
+                CaesarConfig(cache_entries=128, entry_capacity=1000, k=3, bank_size=1024)
+            )
+            caesar.process(packets)
+            caesar.finalize()
+            return caesar.cache.stats.replacement_evictions
+
+        uniform_ev = evictions(small_trace.packets)
+        bursty_ev = evictions(bursty_stream(small_trace.flows, burst_length=10**6, seed=2))
+        assert bursty_ev < uniform_ev
+
+
+class TestSchemeComparison:
+    """The paper's core ordering on one shared workload."""
+
+    def test_caesar_beats_lossy_rcs(self, small_trace):
+        budget_bank = 1024
+        caesar = Caesar(
+            CaesarConfig(cache_entries=256, entry_capacity=54, k=3, bank_size=budget_bank)
+        )
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        rcs = RCS(RCSConfig(k=3, bank_size=budget_bank))
+        rcs.process(apply_loss(small_trace.packets, 0.9, seed=3))
+
+        truth = small_trace.flows.sizes
+        caesar_are = top_flow_are(caesar.estimate(small_trace.flows.ids), truth, 20)
+        rcs_are = top_flow_are(rcs.estimate(small_trace.flows.ids), truth, 20)
+        assert caesar_are < rcs_are
+
+    def test_caesar_matches_lossless_rcs(self, small_trace):
+        budget_bank = 1024
+        caesar = Caesar(
+            CaesarConfig(cache_entries=256, entry_capacity=54, k=3, bank_size=budget_bank)
+        )
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        rcs = RCS(RCSConfig(k=3, bank_size=budget_bank))
+        rcs.process(small_trace.packets)
+        truth = small_trace.flows.sizes
+        caesar_q = evaluate(caesar.estimate(small_trace.flows.ids), truth)
+        rcs_q = evaluate(rcs.estimate(small_trace.flows.ids), truth)
+        # Figure 6 finding: the two are "quite similar" lossless.
+        assert caesar_q.packet_weighted_are < 2.5 * rcs_q.packet_weighted_are + 0.05
+        assert rcs_q.packet_weighted_are < 2.5 * caesar_q.packet_weighted_are + 0.05
+
+
+class TestTraceRoundtripIntoScheme:
+    def test_saved_trace_reproduces_estimates(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        tiny_trace.save(path)
+        loaded = Trace.load(path)
+
+        def run(trace):
+            caesar = Caesar(
+                CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=256, seed=4)
+            )
+            caesar.process(trace.packets)
+            caesar.finalize()
+            return caesar.estimate(trace.flows.ids)
+
+        np.testing.assert_array_equal(run(tiny_trace), run(loaded))

@@ -1,0 +1,147 @@
+"""Unit tests for the memory/time cost model (the FPGA substitute)."""
+
+import pytest
+
+from repro.cachesim.base import CacheStats
+from repro.errors import ConfigError
+from repro.memmodel.costmodel import OperationCounts, caesar_counts, case_counts, rcs_counts
+from repro.memmodel.pipeline import IngressModel
+from repro.memmodel.technologies import TECHNOLOGIES, LatencyModel, MemoryTechnology
+
+
+def stats_for(n: int, evictions: int) -> CacheStats:
+    s = CacheStats(accesses=n, hits=n - evictions, misses=evictions)
+    s.overflow_evictions = evictions
+    return s
+
+
+class TestTechnologies:
+    def test_paper_latency_ordering(self):
+        assert (
+            TECHNOLOGIES["onchip"].access_ns
+            < TECHNOLOGIES["sram_fast"].access_ns
+            <= TECHNOLOGIES["sram"].access_ns
+            < TECHNOLOGIES["dram"].access_ns
+        )
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryTechnology("bad", 0.0)
+
+    def test_loss_rates_match_paper(self):
+        """The paper's empirical 2/3 and 9/10 loss rates are exactly the
+        3x and 10x cache/SRAM speed gaps."""
+        lat = LatencyModel()
+        assert lat.loss_rate_at_line_rate(10.0) == pytest.approx(9 / 10)
+        assert lat.loss_rate_at_line_rate(3.0) == pytest.approx(2 / 3)
+        assert lat.loss_rate_at_line_rate(0.5) == 0.0
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(sram_access_ns=0)
+        with pytest.raises(ConfigError):
+            LatencyModel(add_ns=-1)
+
+
+class TestOperationCounts:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OperationCounts(packets=-1)
+        with pytest.raises(ConfigError):
+            OperationCounts(packets=1, front_hashes=-1)
+
+    def test_pricing(self):
+        lat = LatencyModel()
+        counts = OperationCounts(
+            packets=10, front_cache_accesses=10, back_sram_rmws=2, back_hashes=2
+        )
+        assert counts.front_ns(lat) == 10.0
+        assert counts.back_ns(lat) == 2 * lat.sram_rmw_ns + 2 * lat.hash_ns
+        assert counts.per_packet_ns(lat) == pytest.approx(
+            (counts.front_ns(lat) + counts.back_ns(lat)) / 10
+        )
+
+    def test_scheme_counts(self):
+        stats = stats_for(1000, 40)
+        cz = caesar_counts(stats, k=3)
+        assert cz.front_cache_accesses == 1000
+        assert cz.back_sram_rmws == 40  # bank-parallel: one item per eviction
+        ca = case_counts(stats)
+        assert ca.front_power_ops == 1000
+        assert ca.back_power_ops == 40
+        rc = rcs_counts(1000)
+        assert rc.back_sram_rmws == 1000
+        assert rc.front_cache_accesses == 0
+        with pytest.raises(ConfigError):
+            rcs_counts(-1)
+
+
+class TestIngressModel:
+    def test_line_rate_floor(self):
+        model = IngressModel(LatencyModel(), fifo_depth=1000)
+        res = model.process(rcs_counts(100))
+        # 100 packets cannot be accepted faster than line rate.
+        assert res.ingress_ns >= 100.0
+
+    def test_rcs_kink(self):
+        """Below the FIFO depth RCS runs at line rate; far above it the
+        SRAM bounds ingress (paper Fig. 8's drastic increase)."""
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        small = model.process(rcs_counts(5_000))
+        assert small.ingress_ns == pytest.approx(5_000)
+        big = model.process(rcs_counts(1_000_000))
+        per_packet = big.ingress_ns / 1_000_000
+        assert per_packet > 5.0  # SRAM-bound, not line-rate-bound
+
+    def test_caesar_always_fastest(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        for n in (100, 10_000, 1_000_000):
+            stats = stats_for(n, int(n * 0.1))
+            t_caesar = model.process(caesar_counts(stats, 3)).ingress_ns
+            t_case = model.process(case_counts(stats)).ingress_ns
+            t_rcs = model.process(rcs_counts(n)).ingress_ns
+            assert t_caesar <= t_case
+            assert t_caesar <= t_rcs
+
+    def test_case_slowest_on_short_streams(self):
+        """Paper Fig. 8: below the kink CASE is the most expensive."""
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        stats = stats_for(1_000, 10)
+        t_case = model.process(case_counts(stats)).ingress_ns
+        t_rcs = model.process(rcs_counts(1_000)).ingress_ns
+        assert t_case > t_rcs
+
+    def test_rcs_exceeds_case_beyond_kink(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        n = 2_000_000
+        stats = stats_for(n, int(n * 0.1))
+        t_case = model.process(case_counts(stats)).ingress_ns
+        t_rcs = model.process(rcs_counts(n)).ingress_ns
+        assert t_rcs > t_case
+
+    def test_rcs_loss_is_paper_rate(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        res = model.process(rcs_counts(100_000))
+        assert res.loss_rate == pytest.approx(0.9)
+        fast = IngressModel(LatencyModel(sram_access_ns=3.0))
+        assert fast.process(rcs_counts(100_000)).loss_rate == pytest.approx(2 / 3)
+
+    def test_caesar_lossless(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        stats = stats_for(100_000, 3_000)
+        res = model.process(caesar_counts(stats, 3))
+        assert res.loss_rate < 0.3  # amortized back-end below line rate
+
+    def test_drain_at_least_ingress(self):
+        model = IngressModel(LatencyModel(), fifo_depth=100)
+        res = model.process(rcs_counts(10_000))
+        assert res.drain_ns >= res.ingress_ns
+
+    def test_throughput(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10_000)
+        res = model.process(rcs_counts(1000))
+        assert res.throughput_mpps == pytest.approx(1000.0)  # 1 pkt/ns = 1000 Mpps
+
+    def test_fifo_validation(self):
+        with pytest.raises(ConfigError):
+            IngressModel(fifo_depth=-1)

@@ -1,0 +1,147 @@
+"""Event-driven pipeline simulator: unit tests + agreement with the
+analytic ingress model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memmodel.costmodel import rcs_counts
+from repro.memmodel.eventsim import simulate
+from repro.memmodel.pipeline import IngressModel
+from repro.memmodel.technologies import LatencyModel
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate(-1, interarrival_ns=1, front_ns=1, items_per_packet=1,
+                     back_ns=1, fifo_depth=1)
+        with pytest.raises(ConfigError):
+            simulate(1, interarrival_ns=0, front_ns=1, items_per_packet=1,
+                     back_ns=1, fifo_depth=1)
+        with pytest.raises(ConfigError):
+            simulate(1, interarrival_ns=1, front_ns=1, items_per_packet=-1,
+                     back_ns=1, fifo_depth=1)
+
+    def test_empty_stream(self):
+        r = simulate(0, interarrival_ns=1, front_ns=1, items_per_packet=1,
+                     back_ns=10, fifo_depth=10)
+        assert r.ingress_ns == 0.0 and r.generated_items == 0
+
+    def test_line_rate_when_underloaded(self):
+        # Fast front, no back items: ingress = arrival of the last
+        # packet plus its front service.
+        r = simulate(1000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=0.0, back_ns=0.0, fifo_depth=10)
+        assert r.ingress_ns == pytest.approx(999 * 1.0 + 0.5)
+        assert r.generated_items == 0
+
+    def test_front_bound(self):
+        # Front slower than line rate: ingress = n * front.
+        r = simulate(1000, interarrival_ns=1.0, front_ns=5.0,
+                     items_per_packet=0.0, back_ns=0.0, fifo_depth=10)
+        assert r.ingress_ns == pytest.approx(1000 * 5.0)
+
+    def test_item_generation_rate(self):
+        r = simulate(1000, interarrival_ns=1.0, front_ns=0.1,
+                     items_per_packet=0.25, back_ns=0.1, fifo_depth=10**6)
+        assert r.generated_items == 250
+
+
+class TestStallMode:
+    def test_kink_behaviour(self):
+        """Below FIFO depth the ingress stays at line rate; far above
+        it the back end dictates (the Figure-8 RCS shape)."""
+        kwargs = dict(interarrival_ns=1.0, front_ns=0.5, items_per_packet=1.0,
+                      back_ns=10.0, fifo_depth=1000, stall=True)
+        small = simulate(900, **kwargs)
+        assert small.ingress_ns < 1000  # line-rate: FIFO absorbs
+        big = simulate(20_000, **kwargs)
+        per_packet = big.ingress_ns / 20_000
+        assert 9.0 < per_packet <= 10.5  # back-end bound
+        assert big.dropped_items == 0
+
+    def test_drain_covers_all_items(self):
+        r = simulate(500, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=1.0, back_ns=10.0, fifo_depth=100)
+        assert r.drain_ns == pytest.approx(r.generated_items * 10.0, rel=0.05)
+
+    def test_queue_depth_bounded(self):
+        r = simulate(5000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=1.0, back_ns=10.0, fifo_depth=64)
+        assert r.max_queue_depth <= 64
+
+
+class TestDropMode:
+    def test_loss_rate_matches_speed_gap(self):
+        """Figure 7's mechanism: at a 10x line/SRAM gap, ~9/10 of the
+        items are dropped."""
+        r = simulate(50_000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=1.0, back_ns=10.0, fifo_depth=32,
+                     stall=False)
+        assert r.item_loss_rate == pytest.approx(0.9, abs=0.02)
+
+    def test_loss_rate_at_3x_gap(self):
+        r = simulate(50_000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=1.0, back_ns=3.0, fifo_depth=32,
+                     stall=False)
+        assert r.item_loss_rate == pytest.approx(2 / 3, abs=0.02)
+
+    def test_no_loss_when_back_keeps_up(self):
+        r = simulate(10_000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=0.05, back_ns=10.0, fifo_depth=16,
+                     stall=False)
+        assert r.dropped_items == 0
+
+    def test_ingress_stays_line_rate_in_drop_mode(self):
+        r = simulate(10_000, interarrival_ns=1.0, front_ns=0.5,
+                     items_per_packet=1.0, back_ns=10.0, fifo_depth=16,
+                     stall=False)
+        assert r.ingress_ns == pytest.approx(10_000, rel=0.01)
+
+
+class TestAgreementWithAnalyticModel:
+    """The closed forms of pipeline.IngressModel against the simulator."""
+
+    @pytest.mark.parametrize("n", [1_000, 50_000, 200_000])
+    def test_rcs_ingress_times_agree(self, n):
+        lat = LatencyModel()
+        analytic = IngressModel(lat, fifo_depth=10_000).process(rcs_counts(n))
+        sim = simulate(
+            n,
+            interarrival_ns=lat.packet_interarrival_ns,
+            front_ns=lat.hash_ns,
+            items_per_packet=1.0,
+            back_ns=lat.sram_rmw_ns,
+            fifo_depth=10_000,
+            stall=True,
+        )
+        assert sim.ingress_ns == pytest.approx(analytic.ingress_ns, rel=0.15)
+
+    def test_rcs_loss_agrees(self):
+        lat = LatencyModel()
+        analytic = IngressModel(lat, fifo_depth=1000).process(rcs_counts(100_000))
+        sim = simulate(
+            100_000,
+            interarrival_ns=lat.packet_interarrival_ns,
+            front_ns=lat.hash_ns,
+            items_per_packet=1.0,
+            back_ns=lat.sram_rmw_ns,
+            fifo_depth=1000,
+            stall=False,
+        )
+        assert sim.item_loss_rate == pytest.approx(analytic.loss_rate, abs=0.03)
+
+    def test_caesar_like_low_rate_agrees(self):
+        lat = LatencyModel()
+        sim = simulate(
+            100_000,
+            interarrival_ns=1.0,
+            front_ns=lat.cache_access_ns,
+            items_per_packet=0.04,
+            back_ns=lat.hash_ns + lat.sram_rmw_ns,
+            fifo_depth=10_000,
+            stall=True,
+        )
+        # Amortized eviction traffic fits inside line rate: no stretch.
+        assert sim.ingress_ns == pytest.approx(100_000, rel=0.01)
+        assert sim.dropped_items == 0

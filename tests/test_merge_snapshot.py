@@ -1,0 +1,123 @@
+"""Tests for distributed merging and counter snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.merge import MergedMeasurement, merge
+from repro.errors import ConfigError, QueryError, TraceFormatError
+from repro.sram.snapshot import load_counters, save_counters
+
+
+def make_caesar(seed=5, bank=512):
+    return Caesar(
+        CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=bank, seed=seed)
+    )
+
+
+class TestMerge:
+    def test_merged_equals_single_instance(self, tiny_trace):
+        """Linearity: merging two half-streams ~ measuring the whole
+        stream (identical counter sums; split randomness differs but
+        CSM's sum-decoding is invariant to it)."""
+        half = len(tiny_trace.packets) // 2
+        a, b = make_caesar(), make_caesar()
+        a.process(tiny_trace.packets[:half])
+        b.process(tiny_trace.packets[half:])
+        a.finalize()
+        b.finalize()
+        merged = merge([a, b])
+
+        single = make_caesar()
+        single.process(tiny_trace.packets)
+        single.finalize()
+
+        assert merged.recorded_mass == tiny_trace.num_packets
+        est_merged = merged.estimate(tiny_trace.flows.ids)
+        est_single = single.estimate(tiny_trace.flows.ids)
+        # Same flows' counters hold the same per-flow mass; only the
+        # random remainder placement differs (bounded by k per eviction
+        # per counter — tiny relative to the counters themselves).
+        assert np.abs(est_merged - est_single).mean() < 0.1 * max(
+            1.0, np.abs(est_single).mean()
+        )
+        # Totals match exactly.
+        assert merged.counter_values.sum() == single.counters.total_mass
+
+    def test_all_methods(self, tiny_trace):
+        a = make_caesar()
+        a.process(tiny_trace.packets)
+        a.finalize()
+        merged = merge([a])
+        for method in ("csm", "mlm", "median"):
+            assert merged.estimate(tiny_trace.flows.ids[:5], method).shape == (5,)
+        with pytest.raises(ConfigError):
+            merged.estimate(tiny_trace.flows.ids[:5], "nope")
+
+    def test_incompatible_configs_rejected(self, tiny_trace):
+        a, b = make_caesar(seed=5), make_caesar(seed=6)
+        for inst in (a, b):
+            inst.process(tiny_trace.packets)
+            inst.finalize()
+        with pytest.raises(ConfigError):
+            merge([a, b])
+        c = make_caesar(seed=5, bank=256)
+        c.process(tiny_trace.packets)
+        c.finalize()
+        with pytest.raises(ConfigError):
+            merge([a, c])
+
+    def test_unfinalized_rejected(self, tiny_trace):
+        a = make_caesar()
+        a.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            merge([a])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            MergedMeasurement([])
+
+
+class TestSnapshots:
+    def test_roundtrip(self, tmp_path):
+        values = np.array([0, 5, 1_000_000, 2**20 - 1], dtype=np.int64)
+        path = save_counters(tmp_path / "c.npz", values, counter_capacity=2**20 - 1)
+        loaded, meta = load_counters(path)
+        np.testing.assert_array_equal(loaded, values)
+        assert meta == {}
+
+    def test_metadata(self, tmp_path):
+        values = np.zeros(8, dtype=np.int64)
+        path = save_counters(
+            tmp_path / "c.npz", values, 255, metadata={"epoch": 3, "mass": 12345}
+        )
+        _, meta = load_counters(path)
+        assert meta == {"epoch": 3, "mass": 12345}
+
+    def test_compact_on_disk(self, tmp_path):
+        """A 20-bit snapshot should be far smaller than the int64 dump."""
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**20, size=37_503).astype(np.int64)
+        packed_path = save_counters(tmp_path / "packed.npz", values, 2**20 - 1)
+        raw_path = tmp_path / "raw.npz"
+        np.savez(raw_path, values=values)
+        assert packed_path.stat().st_size < 0.55 * raw_path.stat().st_size
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"junk")
+        with pytest.raises(TraceFormatError):
+            load_counters(path)
+
+    def test_caesar_counters_roundtrip(self, tiny_trace, tmp_path):
+        caesar = make_caesar()
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        path = save_counters(
+            tmp_path / "caesar.npz",
+            caesar.counters.values,
+            caesar.config.counter_capacity,
+        )
+        loaded, _ = load_counters(path)
+        np.testing.assert_array_equal(loaded, caesar.counters.values)

@@ -1,0 +1,89 @@
+"""Additional ingress-pipeline scenarios for the analytic model."""
+
+import pytest
+
+from repro.memmodel.costmodel import OperationCounts
+from repro.memmodel.pipeline import IngressModel
+from repro.memmodel.technologies import LatencyModel
+
+
+def counts(packets, front_cache=0, front_hash=0, front_power=0,
+           back_hash=0, back_power=0, back_sram=0):
+    return OperationCounts(
+        packets=packets,
+        front_cache_accesses=front_cache,
+        front_hashes=front_hash,
+        front_power_ops=front_power,
+        back_hashes=back_hash,
+        back_power_ops=back_power,
+        back_sram_rmws=back_sram,
+    )
+
+
+class TestFrontBackBoundaries:
+    def test_pure_front_bound(self):
+        model = IngressModel(LatencyModel(), fifo_depth=100)
+        res = model.process(counts(1000, front_power=1000))  # 4 ns/pkt
+        assert res.ingress_ns == pytest.approx(4000)
+        assert res.drain_ns == pytest.approx(4000)
+        assert res.back_ns_per_packet == 0.0
+
+    def test_pure_arrival_bound(self):
+        model = IngressModel(LatencyModel(), fifo_depth=100)
+        res = model.process(counts(1000, front_cache=1000))  # 1 ns/pkt = line
+        assert res.ingress_ns == pytest.approx(1000)
+
+    def test_back_bound_with_deep_fifo_hides_everything(self):
+        model = IngressModel(LatencyModel(), fifo_depth=10**9)
+        res = model.process(counts(1000, front_hash=1000, back_sram=1000))
+        # Infinite FIFO: ingress never stalls on the back end.
+        assert res.ingress_ns == pytest.approx(1000)
+        # But draining still takes the SRAM time.
+        assert res.drain_ns == pytest.approx(10_000)
+
+    def test_zero_fifo_serializes(self):
+        model = IngressModel(LatencyModel(), fifo_depth=0)
+        res = model.process(counts(1000, front_hash=1000, back_sram=1000))
+        assert res.ingress_ns == pytest.approx(10_000)
+
+    def test_crossover_point_scales_with_fifo(self):
+        lat = LatencyModel()
+        shallow = IngressModel(lat, fifo_depth=1_000)
+        deep = IngressModel(lat, fifo_depth=50_000)
+        n = 30_000
+        c = counts(n, front_hash=n, back_sram=n)
+        assert shallow.process(c).ingress_ns > deep.process(c).ingress_ns
+
+    def test_empty_stream(self):
+        model = IngressModel(LatencyModel())
+        res = model.process(counts(0))
+        assert res.ingress_ns == 0.0
+        assert res.loss_rate == 0.0
+        assert res.throughput_mpps == 0.0
+
+    def test_mixed_front_and_back(self):
+        lat = LatencyModel()
+        model = IngressModel(lat, fifo_depth=10)
+        n = 10_000
+        res = model.process(counts(n, front_power=n, back_sram=n))
+        # Front takes 4n, back takes 10n; shallow FIFO -> back governs.
+        assert res.ingress_ns == pytest.approx(10 * n, rel=0.01)
+
+
+class TestLatencyModelVariants:
+    def test_faster_sram_reduces_rcs_gap(self):
+        n = 100_000
+        c = counts(n, front_hash=n, back_sram=n)
+        slow = IngressModel(LatencyModel(sram_access_ns=10.0), fifo_depth=100).process(c)
+        fast = IngressModel(LatencyModel(sram_access_ns=3.0), fifo_depth=100).process(c)
+        assert fast.ingress_ns < slow.ingress_ns
+        assert fast.loss_rate < slow.loss_rate
+
+    def test_dram_regime(self):
+        """With DRAM latencies the paper's architecture argument only
+        sharpens: per-packet updates lose 39/40 of the traffic."""
+        lat = LatencyModel(sram_access_ns=40.0)
+        res = IngressModel(lat, fifo_depth=100).process(
+            counts(100_000, front_hash=100_000, back_sram=100_000)
+        )
+        assert res.loss_rate == pytest.approx(1 - 1 / 40)

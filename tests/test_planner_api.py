@@ -1,0 +1,136 @@
+"""Tests for the memory planner and the one-call API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.metrics import ci_coverage
+from repro.core.planner import plan
+from repro.errors import ConfigError
+from repro.traffic.distributions import EmpiricalDist
+
+
+class TestPlanner:
+    def test_plan_meets_target_on_synthetic_trace(self, small_trace):
+        size = int(np.percentile(small_trace.flows.sizes, 99.5))
+        p = plan(
+            num_packets=small_trace.num_packets,
+            num_flows=small_trace.num_flows,
+            target_rel_error=0.15,
+            size_of_interest=size,
+            distribution=EmpiricalDist(small_trace.flows.sizes),
+        )
+        caesar = repro.Caesar(p.config)
+        caesar.process(small_trace.packets)
+        caesar.finalize()
+        est = caesar.estimate(small_trace.flows.ids)
+        near = (small_trace.flows.sizes > size * 0.5) & (
+            small_trace.flows.sizes < size * 2
+        )
+        rel = np.abs(est[near] - small_trace.flows.sizes[near]) / small_trace.flows.sizes[near]
+        # One-sigma target: the mean |rel| of a half-normal is
+        # sigma*sqrt(2/pi) ~ 0.8 sigma; allow slack for model error.
+        assert rel.mean() < 2.0 * p.target_rel_error
+
+    def test_tighter_target_needs_more_memory(self):
+        kwargs = dict(
+            num_packets=1_000_000, num_flows=40_000, size_of_interest=500
+        )
+        loose = plan(target_rel_error=0.5, **kwargs)
+        tight = plan(target_rel_error=0.05, **kwargs)
+        assert tight.config.bank_size > loose.config.bank_size
+        assert tight.sram_kilobytes > loose.sram_kilobytes
+        # L scales as 1/target^2.
+        assert tight.config.bank_size == pytest.approx(
+            loose.config.bank_size * 100, rel=0.01
+        )
+
+    def test_predicted_error_at_most_target(self):
+        p = plan(
+            num_packets=1_000_000,
+            num_flows=40_000,
+            target_rel_error=0.2,
+            size_of_interest=300,
+        )
+        assert p.predicted_rel_error <= 0.2 + 1e-9
+        assert "target 20%" in p.describe()
+
+    def test_counter_capacity_covers_elephants(self, small_trace):
+        dist = EmpiricalDist(small_trace.flows.sizes)
+        p = plan(
+            num_packets=small_trace.num_packets,
+            num_flows=small_trace.num_flows,
+            target_rel_error=0.3,
+            size_of_interest=200,
+            distribution=dist,
+        )
+        assert p.config.counter_capacity > dist.max_size / p.config.k
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            plan(num_packets=0, num_flows=1, target_rel_error=0.1, size_of_interest=10)
+        with pytest.raises(ConfigError):
+            plan(
+                num_packets=100, num_flows=10, target_rel_error=0.0, size_of_interest=10
+            )
+        with pytest.raises(ConfigError):
+            plan(
+                num_packets=100, num_flows=10, target_rel_error=0.1, size_of_interest=0
+            )
+        with pytest.raises(ConfigError):
+            # mean size <= 1 packet: nothing to cache.
+            plan(
+                num_packets=10, num_flows=10, target_rel_error=0.1, size_of_interest=5
+            )
+
+
+class TestMeasureApi:
+    def test_budget_mode(self, small_trace):
+        result = repro.measure(
+            small_trace.packets, sram_kb=8.0, cache_kb=2.0
+        )
+        assert result.num_packets == small_trace.num_packets
+        assert result.num_flows_seen == small_trace.num_flows
+        est = result.estimate(small_trace.flows.ids)
+        assert (est >= 0).all()
+
+    def test_target_mode(self, small_trace):
+        result = repro.measure(
+            small_trace.packets,
+            target_rel_error=0.2,
+            size_of_interest=int(np.percentile(small_trace.flows.sizes, 99.5)),
+        )
+        top = small_trace.flows.top(10)
+        est = result.estimate(top.ids)
+        rel = np.abs(est - top.sizes) / top.sizes
+        assert rel.mean() < 0.4
+
+    def test_top_flows(self, small_trace):
+        result = repro.measure(small_trace.packets, sram_kb=16.0, cache_kb=2.0)
+        top = result.top_flows(5)
+        assert len(top) == 5
+        true_top = set(small_trace.flows.top(20).ids.tolist())
+        hits = sum(1 for fid, _ in top if fid in true_top)
+        assert hits >= 3
+
+    def test_empirical_ci_covers(self, small_trace):
+        result = repro.measure(small_trace.packets, sram_kb=8.0, cache_kb=2.0)
+        lo, hi = result.confidence_interval(small_trace.flows.ids, alpha=0.95)
+        assert ci_coverage(lo, hi, small_trace.flows.sizes) > 0.85
+
+    def test_volume_mode(self, tiny_trace):
+        from repro.traffic.lengths import constant_lengths
+
+        lengths = constant_lengths(tiny_trace.num_packets, 100)
+        result = repro.measure(
+            tiny_trace.packets, sram_kb=8.0, cache_kb=2.0, lengths=lengths
+        )
+        assert result.caesar.recorded_mass == 100 * tiny_trace.num_packets
+
+    def test_validation(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            repro.measure(np.array([], dtype=np.uint64), sram_kb=1, cache_kb=1)
+        with pytest.raises(ConfigError):
+            repro.measure(tiny_trace.packets)  # no budgets, no target
+        with pytest.raises(ConfigError):
+            repro.measure(tiny_trace.packets, target_rel_error=0.1)  # no size

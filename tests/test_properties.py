@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.compression.anls import AnlsCurve
+from repro.baselines.compression.disco import DiscoCurve
+from repro.cachesim.cache import FlowCache
+from repro.core.csm import csm_estimate
+from repro.core.mlm import mlm_estimate
+from repro.core.split import split_evenly, split_value, split_values_batch
+from repro.hashing.family import BankedIndexer, HashFamily
+from repro.hashing.mix import splitmix64, splitmix64_array
+
+
+# -- hashing ----------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_splitmix_range_and_determinism(x):
+    out = splitmix64(x)
+    assert 0 <= out < 2**64
+    assert out == splitmix64(x)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=50))
+def test_splitmix_array_consistent_with_scalar(xs):
+    arr = splitmix64_array(np.array(xs, dtype=np.uint64))
+    assert [int(v) for v in arr] == [splitmix64(x) for x in xs]
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_banked_indexer_invariants(k, bank_size, flow_id):
+    idx = BankedIndexer(k, bank_size, seed=7)
+    rows = idx.indices_one(flow_id)
+    assert len(set(rows.tolist())) == k  # collision-free
+    for r in range(k):
+        assert r * bank_size <= rows[r] < (r + 1) * bank_size
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32))
+def test_hash_family_functions_stable(k, x):
+    fam = HashFamily(k, seed=3)
+    assert [fam.hash_one(r, x) for r in range(k)] == [fam.hash_one(r, x) for r in range(k)]
+
+
+# -- splitting -----------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_split_value_conserves_mass(value, k, seed):
+    rng = np.random.default_rng(seed)
+    parts = split_value(value, k, rng)
+    assert parts.sum() == value
+    assert len(parts) == k
+    p = value // k
+    assert parts.min() >= p
+    assert parts.max() <= p + (value % k)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=8))
+def test_split_evenly_conserves_and_balances(value, k):
+    parts = split_evenly(value, k)
+    assert parts.sum() == value
+    assert parts.max() - parts.min() <= 1
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2000), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_split_batch_conserves_mass(values, k, seed):
+    rng = np.random.default_rng(seed)
+    arr = np.array(values, dtype=np.int64)
+    out = split_values_batch(arr, k, rng)
+    np.testing.assert_array_equal(out.sum(axis=1), arr)
+    assert (out >= 0).all()
+
+
+# -- cache ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=2, max_value=20),
+    st.sampled_from(["lru", "random"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_conserves_packets(stream, entries, capacity, policy):
+    """No packet is ever lost or duplicated by the cache, for any
+    arrival pattern, table size, entry capacity, and policy."""
+    cache = FlowCache(entries, capacity, policy=policy, seed=1)
+    flushed: dict[int, int] = {}
+
+    def sink(fid, value, reason):
+        assert value > 0
+        flushed[fid] = flushed.get(fid, 0) + value
+
+    cache.process(np.array(stream, dtype=np.uint64), sink)
+    cache.dump(sink)
+    truth: dict[int, int] = {}
+    for fid in stream:
+        truth[fid] = truth.get(fid, 0) + 1
+    assert flushed == truth
+    assert cache.stats.accesses == len(stream)
+    assert cache.stats.hits + cache.stats.misses == len(stream)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=200),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_never_exceeds_capacity(stream, entries):
+    cache = FlowCache(entries, 5, policy="lru")
+
+    def sink(fid, value, reason):
+        pass
+
+    for fid in stream:
+        cache.access(int(fid), sink)
+        assert len(cache) <= entries
+
+
+# -- estimators --------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=6),
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=1, max_value=10**5),
+)
+def test_csm_linear_identity(counters, n, bank):
+    w = np.array([counters], dtype=np.int64)
+    est = csm_estimate(w, n, bank)
+    assert est[0] == float(sum(counters)) - n / bank
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**5), min_size=2, max_size=6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=10**4),
+    st.integers(min_value=2, max_value=1000),
+)
+def test_mlm_bounded_by_counter_sum(counters, n, bank, y):
+    """MLM never exceeds what the counters could possibly hold."""
+    w = np.array([counters], dtype=np.float64)
+    est = mlm_estimate(w, n, bank, entry_capacity=y)
+    k = len(counters)
+    assert est[0] <= k * np.sqrt(k * (w**2).sum()) / 2 + 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=10**6),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=1000),
+)
+def test_mlm_equals_truth_when_noise_free(x, k, y):
+    """With all counters exactly x/k and no noise term, MLM recovers x
+    to within its (k-1)^2/y regularization."""
+    w = np.full((1, k), x / k)
+    est = mlm_estimate(w, 0, 10**6, entry_capacity=y)
+    assert abs(est[0] - x) <= (k - 1) ** 2 / y + 1e-6
+
+
+# -- compression curves ---------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=1.0, max_value=5.0),
+    st.integers(min_value=2, max_value=1000),
+    st.floats(min_value=10.0, max_value=1e7),
+)
+def test_disco_inverse_roundtrip(gamma, capacity, max_value):
+    curve = DiscoCurve(gamma, capacity, max_value)
+    cs = np.linspace(0, capacity, 17)
+    np.testing.assert_allclose(curve.inverse(curve.rep(cs)), cs, rtol=1e-6, atol=1e-9)
+
+
+@given(st.floats(min_value=1e-6, max_value=5.0))
+def test_anls_monotone_and_invertible(omega):
+    curve = AnlsCurve(omega)
+    cs = np.linspace(0, 60, 40)
+    reps = curve.rep(cs)
+    assert np.all(np.diff(reps) > 0)
+    np.testing.assert_allclose(curve.inverse(reps), cs, rtol=1e-6, atol=1e-6)
+
+
+@given(st.integers(min_value=8, max_value=128), st.floats(min_value=100, max_value=1e6))
+def test_anls_calibration_covers_range(capacity, max_value):
+    curve = AnlsCurve.for_range(capacity, max_value)
+    assert curve.rep(np.array([float(capacity)]))[0] >= max_value * 0.999

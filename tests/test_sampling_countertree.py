@@ -1,0 +1,107 @@
+"""Tests for the sampling baseline and Counter Tree."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import top_flow_are
+from repro.baselines.counter_tree import CounterTree, CounterTreeConfig
+from repro.baselines.sampling import SampledCounter
+from repro.errors import ConfigError
+
+
+class TestSampledCounter:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SampledCounter(0.0)
+        with pytest.raises(ConfigError):
+            SampledCounter(1.5)
+
+    def test_full_rate_is_exact(self, tiny_trace):
+        sc = SampledCounter(1.0)
+        sc.process(tiny_trace.packets)
+        est = sc.estimate(tiny_trace.flows.ids)
+        np.testing.assert_allclose(est, tiny_trace.flows.sizes)
+
+    def test_unbiased_at_low_rate(self):
+        trials, size, p = 300, 400, 0.05
+        packets = np.full(size, 3, dtype=np.uint64)
+        ests = []
+        for t in range(trials):
+            sc = SampledCounter(p, seed=t)
+            sc.process(packets)
+            ests.append(sc.estimate(np.array([3], dtype=np.uint64))[0])
+        assert np.mean(ests) == pytest.approx(size, rel=0.07)
+
+    def test_mice_are_lost(self, small_trace):
+        """The paper's critique: low-rate sampling misses small flows."""
+        sc = SampledCounter(0.01, seed=4)
+        sc.process(small_trace.packets)
+        est = sc.estimate(small_trace.flows.ids)
+        mice = small_trace.flows.sizes <= 3
+        assert float(np.mean(est[mice] == 0)) > 0.9
+
+    def test_elephants_survive(self, small_trace):
+        sc = SampledCounter(0.05, seed=4)
+        sc.process(small_trace.packets)
+        est = sc.estimate(small_trace.flows.ids)
+        assert top_flow_are(est, small_trace.flows.sizes, top=10) < 0.4
+
+    def test_state_smaller_than_flow_count(self, small_trace):
+        sc = SampledCounter(0.01, seed=4)
+        sc.process(small_trace.packets)
+        assert sc.num_tracked_flows < 0.5 * small_trace.num_flows
+        assert sc.memory_kilobytes() > 0
+
+
+class TestCounterTree:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CounterTreeConfig(num_leaves=0)
+        with pytest.raises(ConfigError):
+            CounterTreeConfig(leaf_bits=0)
+        with pytest.raises(ConfigError):
+            CounterTreeConfig(degree=0)
+
+    def test_memory_accounting(self):
+        cfg = CounterTreeConfig(num_leaves=4096, leaf_bits=6, degree=8, parent_bits=24)
+        assert cfg.num_parents == 512
+        assert cfg.memory_kilobytes == pytest.approx((4096 * 6 + 512 * 24) / 8192)
+
+    def test_mass_conservation_through_carries(self, tiny_trace):
+        tree = CounterTree(CounterTreeConfig(num_leaves=1024))
+        tree.process(tiny_trace.packets)
+        assert tree.total_mass == tiny_trace.num_packets
+
+    def test_single_flow_exact_through_wraps(self):
+        tree = CounterTree(CounterTreeConfig(num_leaves=256, leaf_bits=4))
+        tree.process(np.full(10_000, 9, dtype=np.uint64))
+        est = tree.estimate(np.array([9], dtype=np.uint64))
+        # The sibling-noise expectation correction cannot exclude the
+        # queried flow's own carries from the layer-wide average, so a
+        # flow holding most of the mass is shaved by ~(degree-1)/leaves.
+        assert est[0] == pytest.approx(10_000, rel=0.05)
+
+    def test_elephants_tracked_in_shared_tree(self, small_trace):
+        tree = CounterTree(
+            CounterTreeConfig(num_leaves=4 * small_trace.num_flows, leaf_bits=6)
+        )
+        tree.process(small_trace.packets)
+        est = tree.estimate(small_trace.flows.ids)
+        assert top_flow_are(est, small_trace.flows.sizes, top=10) < 0.5
+
+    def test_incremental_batches(self, tiny_trace):
+        a = CounterTree(CounterTreeConfig(num_leaves=512))
+        a.process(tiny_trace.packets)
+        b = CounterTree(CounterTreeConfig(num_leaves=512))
+        half = len(tiny_trace.packets) // 2
+        b.process(tiny_trace.packets[:half])
+        b.process(tiny_trace.packets[half:])
+        assert a.total_mass == b.total_mass
+        np.testing.assert_allclose(
+            a.estimate(tiny_trace.flows.ids), b.estimate(tiny_trace.flows.ids)
+        )
+
+    def test_estimates_nonnegative(self, tiny_trace):
+        tree = CounterTree(CounterTreeConfig(num_leaves=128))
+        tree.process(tiny_trace.packets)
+        assert (tree.estimate(tiny_trace.flows.ids) >= 0).all()

@@ -1,0 +1,121 @@
+"""Tests for sharded (multi-queue) CAESAR."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import top_flow_are
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.sharded import ShardedCaesar
+from repro.errors import ConfigError, QueryError
+
+
+def make_config(trace, **overrides):
+    defaults = dict(
+        cache_entries=max(16, trace.num_flows // 4),
+        entry_capacity=max(2, int(2 * trace.mean_flow_size)),
+        k=3,
+        bank_size=max(128, trace.num_flows),
+        seed=31,
+    )
+    defaults.update(overrides)
+    return CaesarConfig(**defaults)
+
+
+class TestPartitioning:
+    def test_shard_assignment_deterministic(self, tiny_trace):
+        sc = ShardedCaesar(make_config(tiny_trace), num_shards=4)
+        a = sc.shard_of(tiny_trace.flows.ids)
+        b = sc.shard_of(tiny_trace.flows.ids)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 4
+
+    def test_shards_roughly_balanced(self, small_trace):
+        sc = ShardedCaesar(make_config(small_trace), num_shards=4)
+        owners = sc.shard_of(small_trace.flows.ids)
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 0.15 * small_trace.num_flows
+
+    def test_budget_division(self, tiny_trace):
+        cfg = make_config(tiny_trace, bank_size=1024, cache_entries=256)
+        sc = ShardedCaesar(cfg, num_shards=4)
+        assert sc.shard_config.bank_size == 256
+        assert sc.shard_config.cache_entries == 64
+        sc2 = ShardedCaesar(cfg, num_shards=4, divide_budget=False)
+        assert sc2.shard_config.bank_size == 1024
+
+    def test_rejects_zero_shards(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            ShardedCaesar(make_config(tiny_trace), num_shards=0)
+
+
+class TestMeasurement:
+    def test_mass_conserved_across_shards(self, tiny_trace):
+        sc = ShardedCaesar(make_config(tiny_trace), num_shards=3)
+        sc.process(tiny_trace.packets)
+        sc.finalize()
+        total = sum(s.counters.total_mass for s in sc.shards)
+        assert total == tiny_trace.num_packets
+        assert sc.num_packets == tiny_trace.num_packets
+        assert sc.recorded_mass == tiny_trace.num_packets
+
+    def test_estimates_routed_correctly(self, small_trace):
+        sc = ShardedCaesar(
+            make_config(small_trace), num_shards=4, divide_budget=False
+        )
+        sc.process(small_trace.packets)
+        sc.finalize()
+        est = sc.estimate(small_trace.flows.ids)
+        assert top_flow_are(est, small_trace.flows.sizes, top=20) < 0.35
+
+    def test_query_before_finalize_raises(self, tiny_trace):
+        sc = ShardedCaesar(make_config(tiny_trace), num_shards=2)
+        sc.process(tiny_trace.packets)
+        with pytest.raises(QueryError):
+            sc.estimate(tiny_trace.flows.ids)
+
+    def test_process_after_finalize_raises(self, tiny_trace):
+        sc = ShardedCaesar(make_config(tiny_trace), num_shards=2)
+        sc.process(tiny_trace.packets)
+        sc.finalize()
+        with pytest.raises(QueryError):
+            sc.process(tiny_trace.packets)
+
+    def test_single_shard_matches_plain_caesar(self, tiny_trace):
+        cfg = make_config(tiny_trace)
+        sc = ShardedCaesar(cfg, num_shards=1, divide_budget=False)
+        sc.process(tiny_trace.packets)
+        sc.finalize()
+        plain = Caesar(CaesarConfig(
+            cache_entries=cfg.cache_entries, entry_capacity=cfg.entry_capacity,
+            k=cfg.k, bank_size=cfg.bank_size, seed=cfg.seed,
+        ))
+        plain.process(tiny_trace.packets)
+        plain.finalize()
+        np.testing.assert_allclose(
+            sc.estimate(tiny_trace.flows.ids),
+            plain.estimate(tiny_trace.flows.ids),
+        )
+
+    def test_parallel_construction_matches_sequential(self, tiny_trace):
+        cfg = make_config(tiny_trace)
+        seq = ShardedCaesar(cfg, num_shards=2)
+        seq.process(tiny_trace.packets)
+        seq.finalize()
+        par = ShardedCaesar(cfg, num_shards=2)
+        par.process(tiny_trace.packets, max_workers=2)
+        par.finalize()
+        np.testing.assert_allclose(
+            seq.estimate(tiny_trace.flows.ids),
+            par.estimate(tiny_trace.flows.ids),
+        )
+
+    def test_volume_through_shards(self, tiny_trace):
+        from repro.traffic.lengths import constant_lengths
+
+        cfg = make_config(tiny_trace, entry_capacity=10_000, counter_capacity=2**40)
+        sc = ShardedCaesar(cfg, num_shards=2)
+        lengths = constant_lengths(tiny_trace.num_packets, 100)
+        sc.process(tiny_trace.packets, lengths)
+        sc.finalize()
+        assert sc.recorded_mass == 100 * tiny_trace.num_packets

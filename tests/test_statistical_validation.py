@@ -1,0 +1,99 @@
+"""Seed-sweep statistical validation of the estimators.
+
+Runs the same workload through independently-seeded CAESAR instances
+and checks the *distributional* claims: unbiasedness across seeds,
+spread consistent with the mechanism-true variance, and estimator
+determinism within a seed. Slower than unit tests (multiple full
+simulations) but still seconds at the tiny-trace size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.traffic.distributions import EmpiricalDist
+
+
+def run_once(trace, seed, bank=256):
+    caesar = Caesar(
+        CaesarConfig(
+            cache_entries=64, entry_capacity=16, k=3, bank_size=bank, seed=seed
+        )
+    )
+    caesar.process(trace.packets)
+    caesar.finalize()
+    return caesar.estimate(trace.flows.ids, "csm", clip_negative=False)
+
+
+NUM_SEEDS = 12
+
+
+class TestAcrossSeeds:
+    @pytest.fixture(scope="class")
+    def estimates(self, tiny_trace):
+        return np.stack([run_once(tiny_trace, seed) for seed in range(NUM_SEEDS)])
+
+    def test_unbiased_across_seeds(self, tiny_trace, estimates):
+        """Per-flow mean over independent hash seeds approaches truth."""
+        mean_est = estimates.mean(axis=0)
+        resid = mean_est - tiny_trace.flows.sizes
+        per_seed_std = estimates.std(axis=0).mean()
+        # The mean of NUM_SEEDS independent runs shrinks the noise ~3.5x.
+        assert abs(resid.mean()) < per_seed_std
+
+    def test_spread_matches_mechanism_variance(self, tiny_trace, estimates):
+        """Across-seed variance of the estimates ~ the mechanism-true
+        CSM variance (thinning + clustering), not the paper's Eq. 22."""
+        dist = EmpiricalDist(tiny_trace.flows.sizes)
+        predicted = theory.csm_variance_mechanism(
+            k=3,
+            bank_size=256,
+            num_packets=tiny_trace.num_packets,
+            second_moment_total=dist.second_moment * tiny_trace.num_flows,
+        )
+        measured = float(estimates.var(axis=0).mean())
+        assert measured == pytest.approx(predicted, rel=0.5)
+
+    def test_elephants_stable_across_seeds(self, tiny_trace, estimates):
+        top = np.argsort(tiny_trace.flows.sizes)[-5:]
+        rel_spread = estimates[:, top].std(axis=0) / tiny_trace.flows.sizes[top]
+        assert rel_spread.max() < 0.5
+
+    def test_seeds_actually_differ(self, estimates):
+        assert not np.array_equal(estimates[0], estimates[1])
+
+
+class TestVarianceScalesWithMemory:
+    def test_variance_inversely_proportional_to_bank(self, tiny_trace):
+        """Mechanism variance ~ 1/L: quadrupling the bank should cut
+        the across-seed estimator variance ~4x."""
+        var_small = np.stack(
+            [run_once(tiny_trace, s, bank=128) for s in range(8)]
+        ).var(axis=0).mean()
+        var_big = np.stack(
+            [run_once(tiny_trace, s, bank=512) for s in range(8)]
+        ).var(axis=0).mean()
+        ratio = var_small / var_big
+        assert 2.0 < ratio < 8.0  # ~4 with heavy-tail sampling noise
+
+
+class TestMlmVsCsmEmpirical:
+    def test_both_methods_consistent_on_elephants(self, tiny_trace):
+        ests = {"csm": [], "mlm": []}
+        top = np.argsort(tiny_trace.flows.sizes)[-5:]
+        truth = tiny_trace.flows.sizes[top]
+        for seed in range(6):
+            caesar = Caesar(
+                CaesarConfig(
+                    cache_entries=64, entry_capacity=16, k=3, bank_size=512, seed=seed
+                )
+            )
+            caesar.process(tiny_trace.packets)
+            caesar.finalize()
+            for m in ests:
+                ests[m].append(caesar.estimate(tiny_trace.flows.ids, m)[top])
+        for m, values in ests.items():
+            rel = np.abs(np.stack(values).mean(axis=0) - truth) / truth
+            assert rel.max() < 0.35, m

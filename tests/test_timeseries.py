@@ -1,0 +1,91 @@
+"""Tests for per-flow time-series analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import detect_spikes, growth_rate, robust_zscores
+from repro.errors import ConfigError
+
+
+class TestRobustZscores:
+    def test_centered_on_median(self):
+        z = robust_zscores(np.array([1.0, 2.0, 3.0, 4.0, 100.0]))
+        assert z[2] == pytest.approx(0.0)  # the median itself
+        assert z[4] > 10  # the outlier
+
+    def test_outlier_does_not_inflate_scale(self):
+        base = np.array([10.0, 11.0, 9.0, 10.0, 10.0])
+        spiked = np.append(base, 1000.0)
+        z = robust_zscores(spiked)
+        # The inliers stay near zero despite the huge outlier.
+        assert np.abs(z[:5]).max() < 3
+
+    def test_constant_series(self):
+        z = robust_zscores(np.full(5, 7.0))
+        np.testing.assert_allclose(z, 0.0)
+
+
+class TestDetectSpikes:
+    def test_detects_single_spike(self):
+        series = np.array([10.0, 11, 9, 10, 300, 10, 11])
+        alerts = detect_spikes(series)
+        assert len(alerts) == 1
+        assert alerts[0].epoch == 4
+        assert alerts[0].value == 300
+        assert alerts[0].score > 3.5
+
+    def test_quiet_series_no_alerts(self):
+        rng = np.random.default_rng(2)
+        series = 100 + rng.normal(0, 3, size=50)
+        # Threshold 4: P(any |z| > 4) across 50 Gaussian samples ~ 0.3 %.
+        assert detect_spikes(series, threshold=4.0) == []
+
+    def test_noise_floor_suppresses_sketch_noise(self):
+        series = np.array([10.0, 10, 10, 10, 40, 10])
+        assert len(detect_spikes(series)) == 1
+        assert detect_spikes(series, noise_floor=50.0) == []
+
+    def test_short_series_no_alerts(self):
+        assert detect_spikes(np.array([1.0, 100.0])) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            detect_spikes(np.zeros(5), threshold=0)
+        with pytest.raises(ConfigError):
+            detect_spikes(np.zeros(5), noise_floor=-1)
+
+    def test_with_epochal_caesar(self, tiny_trace):
+        """End to end: a flow spiking in one epoch raises one alert."""
+        from repro.core.config import CaesarConfig
+        from repro.core.epochs import EpochalCaesar
+
+        ec = EpochalCaesar(
+            CaesarConfig(cache_entries=64, entry_capacity=16, k=3, bank_size=1024)
+        )
+        fid = 424242
+        for count in (100, 110, 95, 4000, 105, 98):
+            ec.process(np.full(count, fid, dtype=np.uint64))
+            ec.close_epoch()
+        series = ec.flow_series(fid)
+        alerts = detect_spikes(series, threshold=3.0)
+        assert [a.epoch for a in alerts] == [3]
+
+
+class TestGrowthRate:
+    def test_flat_series(self):
+        assert growth_rate(np.full(5, 100.0)) == pytest.approx(1.0)
+
+    def test_doubling(self):
+        series = 10 * 2.0 ** np.arange(6)
+        assert growth_rate(series) == pytest.approx(2.0, rel=1e-6)
+
+    def test_decay(self):
+        series = 1000 * 0.5 ** np.arange(5)
+        assert growth_rate(series) < 1.0
+
+    def test_zeros_floored(self):
+        assert growth_rate(np.array([0.0, 0.0, 8.0])) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            growth_rate(np.array([1.0]))

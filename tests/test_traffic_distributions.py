@@ -1,0 +1,168 @@
+"""Unit tests for the flow-size distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.distributions import (
+    BoundedZipf,
+    DiscreteParetoDist,
+    EmpiricalDist,
+    GeometricDist,
+    calibrate_zipf_to_mean,
+)
+
+
+class TestBoundedZipf:
+    def test_pmf_sums_to_one(self):
+        d = BoundedZipf(1.5, 1000)
+        assert abs(d.pmf.sum() - 1.0) < 1e-12
+
+    def test_pmf_decreasing(self):
+        d = BoundedZipf(1.2, 500)
+        assert np.all(np.diff(d.pmf) < 0)
+
+    def test_probability_lookup(self):
+        d = BoundedZipf(2.0, 100)
+        assert d.probability(1) == pytest.approx(float(d.pmf[0]))
+        assert d.probability(0) == 0.0
+        assert d.probability(101) == 0.0
+
+    def test_moments_match_manual(self):
+        d = BoundedZipf(1.8, 50)
+        support = np.arange(1, 51, dtype=float)
+        mean = float((support * d.pmf).sum())
+        assert d.mean == pytest.approx(mean)
+        var = float((((support - mean) ** 2) * d.pmf).sum())
+        assert d.variance == pytest.approx(var)
+        assert d.second_moment == pytest.approx(var + mean**2)
+
+    def test_sampling_within_support(self, rng):
+        d = BoundedZipf(1.5, 200)
+        s = d.sample(10000, rng)
+        assert s.min() >= 1 and s.max() <= 200
+
+    def test_sample_mean_converges(self, rng):
+        d = BoundedZipf(1.7, 300)
+        s = d.sample(200_000, rng)
+        assert abs(s.mean() - d.mean) < 0.1 * d.mean
+
+    def test_sample_frequencies_match_pmf_head(self, rng):
+        d = BoundedZipf(2.0, 100)
+        s = d.sample(100_000, rng)
+        freq1 = float(np.mean(s == 1))
+        assert abs(freq1 - d.probability(1)) < 0.01
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            BoundedZipf(0.0, 100)
+        with pytest.raises(ConfigError):
+            BoundedZipf(1.0, 0)
+
+    def test_fraction_below(self):
+        d = BoundedZipf(1.5, 100)
+        assert d.fraction_below(1) == 0.0
+        assert d.fraction_below(101) == pytest.approx(1.0)
+        assert d.fraction_below(2) == pytest.approx(d.probability(1))
+
+
+class TestDiscretePareto:
+    def test_pmf_valid(self):
+        d = DiscreteParetoDist(1.3, 1000)
+        assert abs(d.pmf.sum() - 1.0) < 1e-12
+        assert np.all(d.pmf >= 0)
+
+    def test_heavier_alpha_means_lighter_tail(self):
+        light = DiscreteParetoDist(2.5, 1000)
+        heavy = DiscreteParetoDist(0.8, 1000)
+        assert light.mean < heavy.mean
+
+
+class TestGeometric:
+    def test_mean_close_to_untruncated(self):
+        d = GeometricDist(0.2, 200)
+        assert d.mean == pytest.approx(1 / 0.2, rel=0.01)
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ConfigError):
+            GeometricDist(0.0, 10)
+        with pytest.raises(ConfigError):
+            GeometricDist(1.0, 10)
+
+
+class TestEmpirical:
+    def test_reconstructs_observed_frequencies(self):
+        sizes = np.array([1, 1, 1, 2, 2, 5])
+        d = EmpiricalDist(sizes)
+        assert d.probability(1) == pytest.approx(0.5)
+        assert d.probability(2) == pytest.approx(1 / 3)
+        assert d.probability(5) == pytest.approx(1 / 6)
+        assert d.probability(3) == 0.0
+        assert d.max_size == 5
+
+    def test_mean_matches_sample(self):
+        sizes = np.array([3, 3, 9])
+        assert EmpiricalDist(sizes).mean == pytest.approx(5.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigError):
+            EmpiricalDist([])
+        with pytest.raises(ConfigError):
+            EmpiricalDist([0, 1])
+
+
+class TestMixture:
+    def test_pmf_is_weighted_sum(self):
+        from repro.traffic.distributions import MixtureDist
+
+        body = GeometricDist(0.3, 50)
+        tail = BoundedZipf(1.2, 200)
+        mix = MixtureDist([body, tail], [0.9, 0.1])
+        assert mix.max_size == 200
+        expected = 0.9 * body.probability(1) + 0.1 * tail.probability(1)
+        assert mix.probability(1) == pytest.approx(expected)
+        # Beyond the body's support only the tail contributes.
+        assert mix.probability(100) == pytest.approx(0.1 * tail.probability(100))
+
+    def test_mean_is_weighted(self):
+        from repro.traffic.distributions import MixtureDist
+
+        a = GeometricDist(0.5, 100)
+        b = GeometricDist(0.1, 100)
+        mix = MixtureDist([a, b], [0.5, 0.5])
+        assert mix.mean == pytest.approx(0.5 * a.mean + 0.5 * b.mean)
+
+    def test_sampling(self, rng):
+        from repro.traffic.distributions import MixtureDist
+
+        mix = MixtureDist([GeometricDist(0.4, 30), BoundedZipf(1.5, 500)], [0.8, 0.2])
+        s = mix.sample(50_000, rng)
+        assert abs(s.mean() - mix.mean) < 0.1 * mix.mean
+
+    def test_validation(self):
+        from repro.traffic.distributions import MixtureDist
+
+        with pytest.raises(ConfigError):
+            MixtureDist([], [])
+        with pytest.raises(ConfigError):
+            MixtureDist([GeometricDist(0.5, 10)], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            MixtureDist([GeometricDist(0.5, 10)], [-1.0])
+
+
+class TestCalibration:
+    def test_hits_target_mean(self):
+        d = calibrate_zipf_to_mean(27.32, 20000)
+        assert d.mean == pytest.approx(27.32, abs=0.01)
+
+    def test_paper_tail_properties(self):
+        # The calibrated default must satisfy both Section 6 observations.
+        d = calibrate_zipf_to_mean(27.32, 20000)
+        assert d.fraction_below(d.mean) > 0.92
+        assert d.fraction_below(2 * d.mean) > 0.95
+
+    def test_unreachable_targets_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate_zipf_to_mean(1.0001, 100, alpha_hi=1.5)
+        with pytest.raises(ConfigError):
+            calibrate_zipf_to_mean(99.0, 100)

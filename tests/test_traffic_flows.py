@@ -1,0 +1,70 @@
+"""Unit tests for FlowSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.distributions import BoundedZipf
+from repro.traffic.flows import FlowSet
+
+
+class TestFlowSetGenerate:
+    def test_counts(self):
+        fs = FlowSet.generate(500, BoundedZipf(1.5, 100), seed=1)
+        assert fs.num_flows == 500
+        assert fs.num_packets == fs.sizes.sum()
+        assert fs.mean_size == pytest.approx(fs.num_packets / 500)
+
+    def test_ids_unique(self):
+        fs = FlowSet.generate(1000, BoundedZipf(1.5, 100), seed=2)
+        assert len(np.unique(fs.ids)) == 1000
+
+    def test_deterministic(self):
+        a = FlowSet.generate(100, BoundedZipf(1.5, 50), seed=3)
+        b = FlowSet.generate(100, BoundedZipf(1.5, 50), seed=3)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.sizes, b.sizes)
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ConfigError):
+            FlowSet.generate(0, BoundedZipf(1.5, 50))
+
+
+class TestFlowSetInvariants:
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigError):
+            FlowSet(ids=np.array([1, 2], dtype=np.uint64), sizes=np.array([1], dtype=np.int64))
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ConfigError):
+            FlowSet(ids=np.array([1], dtype=np.uint64), sizes=np.array([0], dtype=np.int64))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ConfigError):
+            FlowSet(
+                ids=np.array([5, 5], dtype=np.uint64), sizes=np.array([1, 2], dtype=np.int64)
+            )
+
+
+class TestFlowSetQueries:
+    def test_size_of(self):
+        fs = FlowSet(
+            ids=np.array([10, 20, 30], dtype=np.uint64),
+            sizes=np.array([1, 2, 3], dtype=np.int64),
+        )
+        assert fs.size_of(20) == 2
+        with pytest.raises(KeyError):
+            fs.size_of(99)
+
+    def test_top(self):
+        fs = FlowSet(
+            ids=np.array([10, 20, 30], dtype=np.uint64),
+            sizes=np.array([5, 50, 7], dtype=np.int64),
+        )
+        top2 = fs.top(2)
+        assert top2.sizes.tolist() == [50, 7]
+        assert top2.ids.tolist() == [20, 30]
+
+    def test_fraction_below_mean_heavy_tail(self):
+        fs = FlowSet.generate(5000, BoundedZipf(1.8, 5000), seed=4)
+        assert fs.fraction_below_mean() > 0.8

@@ -1,0 +1,78 @@
+"""Unit tests for the captured-headers binary format and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traffic import headers as hdrs
+from repro.types import FiveTuple
+
+
+class TestFiveTuplePacking:
+    def test_roundtrip(self):
+        ft = FiveTuple(0xC0A80001, 0x08080808, 54321, 443, 6)
+        assert FiveTuple.unpack(ft.pack()) == ft
+
+    def test_pack_length(self):
+        assert len(FiveTuple(1, 2, 3, 4, 5).pack()) == 13
+
+    def test_unpack_wrong_length(self):
+        with pytest.raises(ValueError):
+            FiveTuple.unpack(b"\x00" * 12)
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            FiveTuple(2**32, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 2**16, 0, 0)
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 0, 0, 256)
+
+
+class TestHeaderFile:
+    def test_roundtrip(self, tmp_path):
+        tuples = [FiveTuple(i, i * 2, 1000 + i, 80, 6) for i in range(20)]
+        path = tmp_path / "capture.chd"
+        hdrs.write_headers(path, tuples)
+        assert hdrs.read_headers(path) == tuples
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.chd"
+        hdrs.write_headers(path, [])
+        assert hdrs.read_headers(path) == []
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.chd"
+        path.write_bytes(b"NOPE" + (0).to_bytes(8, "little"))
+        with pytest.raises(TraceFormatError):
+            hdrs.read_headers(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "trunc.chd"
+        path.write_bytes(hdrs.MAGIC + (2).to_bytes(8, "little") + b"\x00" * 13)
+        with pytest.raises(TraceFormatError):
+            hdrs.read_headers(path)
+
+
+class TestCapturePipeline:
+    def test_same_header_same_flow_id(self):
+        ft = FiveTuple(1, 2, 3, 4, 6)
+        stream = hdrs.headers_to_packet_stream([ft, ft, ft])
+        assert len(np.unique(stream)) == 1
+
+    def test_synthetic_capture_sizes(self):
+        sizes = np.array([3, 1, 2], dtype=np.int64)
+        capture = hdrs.synthetic_capture(3, sizes, seed=1)
+        assert len(capture) == 6
+
+    def test_trace_from_headers_ground_truth(self):
+        sizes = np.array([5, 2, 9], dtype=np.int64)
+        capture = hdrs.synthetic_capture(3, sizes, seed=2)
+        trace = hdrs.trace_from_headers(capture)
+        assert trace.num_packets == 16
+        assert trace.num_flows == 3
+        assert sorted(trace.flows.sizes.tolist()) == [2, 5, 9]
+
+    def test_wrong_size_vector_rejected(self):
+        with pytest.raises(TraceFormatError):
+            hdrs.synthetic_capture(2, np.array([1, 2, 3], dtype=np.int64))

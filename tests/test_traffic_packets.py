@@ -1,0 +1,93 @@
+"""Unit tests for the packet-stream interleavers and the loss model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.distributions import BoundedZipf
+from repro.traffic.flows import FlowSet
+from repro.traffic.packets import apply_loss, bursty_stream, round_robin_stream, uniform_stream
+
+
+@pytest.fixture(scope="module")
+def flows() -> FlowSet:
+    return FlowSet.generate(50, BoundedZipf(1.5, 60), seed=5)
+
+
+def _counts(packets, flows):
+    ids, counts = np.unique(packets, return_counts=True)
+    order = np.argsort(flows.ids)
+    np.testing.assert_array_equal(ids, flows.ids[order])
+    np.testing.assert_array_equal(counts, flows.sizes[order])
+
+
+class TestUniformStream:
+    def test_conserves_mass(self, flows):
+        _counts(uniform_stream(flows, seed=1), flows)
+
+    def test_deterministic(self, flows):
+        np.testing.assert_array_equal(uniform_stream(flows, seed=1), uniform_stream(flows, seed=1))
+
+    def test_seed_changes_order(self, flows):
+        assert not np.array_equal(uniform_stream(flows, seed=1), uniform_stream(flows, seed=2))
+
+
+class TestRoundRobinStream:
+    def test_conserves_mass(self, flows):
+        _counts(round_robin_stream(flows), flows)
+
+    def test_first_pass_touches_every_flow(self, flows):
+        stream = round_robin_stream(flows)
+        first = stream[: flows.num_flows]
+        assert len(np.unique(first)) == flows.num_flows
+
+    def test_round_structure(self):
+        fs = FlowSet(
+            ids=np.array([1, 2, 3], dtype=np.uint64),
+            sizes=np.array([3, 1, 2], dtype=np.int64),
+        )
+        stream = round_robin_stream(fs).tolist()
+        assert stream == [1, 2, 3, 1, 3, 1]
+
+
+class TestBurstyStream:
+    def test_conserves_mass(self, flows):
+        _counts(bursty_stream(flows, burst_length=8, seed=2), flows)
+
+    def test_bursts_are_contiguous(self):
+        fs = FlowSet(
+            ids=np.array([1, 2], dtype=np.uint64), sizes=np.array([6, 4], dtype=np.int64)
+        )
+        stream = bursty_stream(fs, burst_length=100, seed=0)
+        # With bursts longer than any flow, each flow is one block.
+        changes = int((np.diff(stream.astype(np.int64)) != 0).sum())
+        assert changes == 1
+
+    def test_rejects_bad_burst(self, flows):
+        with pytest.raises(ConfigError):
+            bursty_stream(flows, burst_length=0)
+
+
+class TestApplyLoss:
+    def test_zero_loss_identity(self, flows):
+        stream = uniform_stream(flows, seed=3)
+        assert apply_loss(stream, 0.0) is stream
+
+    def test_loss_rate_approximate(self):
+        big = FlowSet.generate(400, BoundedZipf(1.5, 200), seed=6)
+        stream = uniform_stream(big, seed=3)
+        kept = apply_loss(stream, 2 / 3, seed=4)
+        assert abs(len(kept) / len(stream) - 1 / 3) < 0.02
+
+    def test_kept_packets_are_subset(self, flows):
+        stream = uniform_stream(flows, seed=3)
+        kept = apply_loss(stream, 0.5, seed=4)
+        kept_ids = set(np.unique(kept).tolist())
+        assert kept_ids <= set(np.unique(stream).tolist())
+
+    def test_rejects_bad_rate(self, flows):
+        stream = uniform_stream(flows, seed=3)
+        with pytest.raises(ConfigError):
+            apply_loss(stream, 1.0)
+        with pytest.raises(ConfigError):
+            apply_loss(stream, -0.1)

@@ -1,0 +1,98 @@
+"""Unit tests for the Trace container and the default paper trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.traffic.trace import (
+    PAPER_MEAN_FLOW_SIZE,
+    Trace,
+    default_paper_trace,
+    small_test_trace,
+)
+
+
+class TestTraceBasics:
+    def test_quantities(self, tiny_trace):
+        assert tiny_trace.num_packets == len(tiny_trace.packets)
+        assert tiny_trace.num_flows == len(tiny_trace.flows.ids)
+        assert tiny_trace.mean_flow_size == pytest.approx(
+            tiny_trace.num_packets / tiny_trace.num_flows
+        )
+
+    def test_rejects_mismatched_ground_truth(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            Trace(packets=tiny_trace.packets[:-1], flows=tiny_trace.flows)
+
+    def test_from_packets_recovers_truth(self, tiny_trace):
+        rebuilt = Trace.from_packets(tiny_trace.packets)
+        order_a = np.argsort(rebuilt.flows.ids)
+        order_b = np.argsort(tiny_trace.flows.ids)
+        np.testing.assert_array_equal(
+            rebuilt.flows.ids[order_a], tiny_trace.flows.ids[order_b]
+        )
+        np.testing.assert_array_equal(
+            rebuilt.flows.sizes[order_a], tiny_trace.flows.sizes[order_b]
+        )
+
+
+class TestHistograms:
+    def test_size_histogram_conserves_flows(self, tiny_trace):
+        _, counts = tiny_trace.size_histogram()
+        assert counts.sum() == tiny_trace.num_flows
+
+    def test_log_binned_conserves_flows(self, tiny_trace):
+        _, counts = tiny_trace.log_binned_histogram()
+        assert counts.sum() == tiny_trace.num_flows
+
+    def test_log_binned_various_granularity(self, tiny_trace):
+        for bpd in (1, 2, 5):
+            edges, counts = tiny_trace.log_binned_histogram(bins_per_decade=bpd)
+            assert counts.sum() == tiny_trace.num_flows
+            assert np.all(np.diff(edges) > 0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        tiny_trace.save(path)
+        loaded = Trace.load(path)
+        np.testing.assert_array_equal(loaded.packets, tiny_trace.packets)
+        np.testing.assert_array_equal(loaded.flows.ids, tiny_trace.flows.ids)
+        np.testing.assert_array_equal(loaded.flows.sizes, tiny_trace.flows.sizes)
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an npz file")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+
+class TestDefaultPaperTrace:
+    def test_matches_paper_statistics(self):
+        trace = default_paper_trace(scale=0.01, seed=1)
+        # Mean flow size within sampling noise of the paper's 27.32.
+        assert abs(trace.mean_flow_size - PAPER_MEAN_FLOW_SIZE) < 3.0
+        # Heavy-tail property (paper: > 92 %; allow sampling slack).
+        assert trace.fraction_below_mean() > 0.90
+
+    def test_scaling_controls_flow_count(self):
+        t1 = default_paper_trace(scale=0.01, seed=1)
+        t2 = default_paper_trace(scale=0.02, seed=1)
+        assert abs(t2.num_flows / t1.num_flows - 2.0) < 0.1
+
+    def test_deterministic(self):
+        a = default_paper_trace(scale=0.005, seed=9)
+        b = default_paper_trace(scale=0.005, seed=9)
+        np.testing.assert_array_equal(a.packets, b.packets)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            default_paper_trace(scale=0.0)
+        with pytest.raises(ConfigError):
+            default_paper_trace(scale=1.5)
+
+    def test_small_test_trace_shape(self):
+        t = small_test_trace(num_flows=500, seed=2)
+        assert t.num_flows == 500
+        assert t.fraction_below_mean() > 0.85

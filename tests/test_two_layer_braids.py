@@ -1,0 +1,91 @@
+"""Tests for the two-layer Counter Braids variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.counter_braids import (
+    TwoLayerBraidsConfig,
+    TwoLayerCounterBraids,
+    message_passing_decode,
+)
+from repro.errors import ConfigError, QueryError
+
+
+class TestMessagePassingDecode:
+    def test_exact_on_collision_free_graph(self):
+        # 3 flows, disjoint counters: decode is exact immediately.
+        values = np.array([5.0, 5.0, 9.0, 9.0, 2.0, 2.0])
+        idx = np.array([[0, 1], [2, 3], [4, 5]])
+        est = message_passing_decode(values, idx)
+        np.testing.assert_allclose(est, [5, 9, 2])
+
+    def test_resolves_single_collision(self):
+        # Flows A (size 5) and B (size 9) share counter 1.
+        values = np.array([5.0, 14.0, 9.0])
+        idx = np.array([[0, 1], [1, 2]])
+        est = message_passing_decode(values, idx)
+        np.testing.assert_allclose(est, [5, 9])
+
+    def test_empty(self):
+        assert message_passing_decode(np.zeros(4), np.zeros((0, 2), dtype=np.int64)).shape == (0,)
+
+
+class TestTwoLayerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TwoLayerBraidsConfig(d1=1)
+        with pytest.raises(ConfigError):
+            TwoLayerBraidsConfig(layer1_bits=0)
+        with pytest.raises(ConfigError):
+            TwoLayerBraidsConfig(layer2_bank=0)
+
+    def test_memory_accounting(self):
+        cfg = TwoLayerBraidsConfig(
+            d1=3, layer1_bank=1000, layer1_bits=8, d2=3, layer2_bank=100
+        )
+        # 8 value bits + 1 overflow status bit per layer-1 counter.
+        assert cfg.memory_kilobytes == pytest.approx((3000 * 9 + 300 * 32) / 8192)
+
+
+class TestTwoLayerBraids:
+    def test_no_overflow_matches_truth_sparse(self):
+        rng = np.random.default_rng(7)
+        ids = rng.integers(0, 2**63, size=30, dtype=np.uint64)
+        sizes = rng.integers(1, 100, size=30)  # below the 8-bit wrap
+        packets = np.repeat(ids, sizes)
+        braids = TwoLayerCounterBraids(TwoLayerBraidsConfig(layer1_bank=300))
+        braids.process(packets)
+        est = braids.decode(ids)
+        np.testing.assert_allclose(est, sizes, atol=0.5)
+
+    def test_carries_recovered_for_elephants(self):
+        """Flows above the 8-bit layer-1 range need layer-2 carries."""
+        rng = np.random.default_rng(8)
+        ids = rng.integers(0, 2**63, size=20, dtype=np.uint64)
+        sizes = rng.integers(300, 3000, size=20)  # all wrap layer 1
+        packets = np.repeat(ids, sizes)
+        braids = TwoLayerCounterBraids(
+            TwoLayerBraidsConfig(layer1_bank=300, layer2_bank=128)
+        )
+        braids.process(packets)
+        est = braids.decode(ids)
+        rel = np.abs(est - sizes) / sizes
+        assert rel.mean() < 0.05
+
+    def test_incremental_batches_accumulate(self):
+        ids = np.array([5], dtype=np.uint64)
+        braids = TwoLayerCounterBraids(TwoLayerBraidsConfig(layer1_bank=64))
+        for _ in range(4):
+            braids.process(np.full(200, 5, dtype=np.uint64))
+        est = braids.decode(ids)
+        assert est[0] == pytest.approx(800, rel=0.05)
+
+    def test_estimate_requires_data(self):
+        braids = TwoLayerCounterBraids(TwoLayerBraidsConfig())
+        with pytest.raises(QueryError):
+            braids.estimate(np.array([1], dtype=np.uint64))
+
+    def test_empty_query(self):
+        braids = TwoLayerCounterBraids(TwoLayerBraidsConfig())
+        braids.process(np.array([1, 1], dtype=np.uint64))
+        assert braids.decode(np.array([], dtype=np.uint64)).shape == (0,)

@@ -1,0 +1,73 @@
+"""Tests for the shared types module and protocols."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.case import Case, CaseConfig
+from repro.baselines.countmin import CountMin, CountMinConfig
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.types import (
+    FLOW_ID_DTYPE,
+    FiveTuple,
+    FlowSizeEstimator,
+    StreamProcessor,
+    as_flow_ids,
+)
+
+
+class TestAsFlowIds:
+    def test_coerces_lists(self):
+        arr = as_flow_ids([1, 2, 3])
+        assert arr.dtype == FLOW_ID_DTYPE
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_flow_ids([[1, 2], [3, 4]])
+
+    def test_passes_through_uint64(self):
+        src = np.array([5, 6], dtype=np.uint64)
+        out = as_flow_ids(src)
+        assert out.dtype == np.uint64
+
+
+class TestFiveTupleValidation:
+    def test_valid(self):
+        ft = FiveTuple(0xFFFFFFFF, 0, 0xFFFF, 0, 0xFF)
+        assert ft.src_ip == 0xFFFFFFFF
+
+    def test_hashable_and_equal(self):
+        a = FiveTuple(1, 2, 3, 4, 6)
+        b = FiveTuple(1, 2, 3, 4, 6)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_frozen(self):
+        ft = FiveTuple(1, 2, 3, 4, 6)
+        with pytest.raises(AttributeError):
+            ft.src_ip = 9
+
+
+class TestProtocols:
+    """Every measurement scheme satisfies the shared protocols."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Caesar(CaesarConfig(cache_entries=4, entry_capacity=4, bank_size=16)),
+            lambda: RCS(RCSConfig(k=3, bank_size=16)),
+            lambda: Case(
+                CaseConfig(
+                    cache_entries=4, entry_capacity=4, num_counters=16,
+                    counter_capacity=255, max_value=1000,
+                )
+            ),
+            lambda: CountMin(CountMinConfig(depth=3, width=16)),
+        ],
+    )
+    def test_estimator_protocol(self, factory):
+        scheme = factory()
+        assert isinstance(scheme, FlowSizeEstimator)
+        assert isinstance(scheme, StreamProcessor)

@@ -1,0 +1,131 @@
+"""Tests for VHC and Space-Saving."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spacesaving import SpaceSaving
+from repro.baselines.vhc import VHC, VHCConfig, hll_alpha, hll_raw_estimate
+from repro.errors import ConfigError
+
+
+class TestHllPrimitives:
+    def test_alpha_values(self):
+        assert hll_alpha(16) == 0.673
+        assert hll_alpha(32) == 0.697
+        assert hll_alpha(64) == 0.709
+        assert 0.7 < hll_alpha(1024) < 0.73
+
+    def test_raw_estimate_empty(self):
+        # All-zero registers: linear counting says ~0.
+        est = hll_raw_estimate(np.zeros(64, dtype=np.int64))
+        assert est == pytest.approx(0.0, abs=1e-9)
+
+    def test_raw_estimate_monotone_in_ranks(self):
+        low = hll_raw_estimate(np.full(64, 3, dtype=np.int64))
+        high = hll_raw_estimate(np.full(64, 6, dtype=np.int64))
+        assert high > low
+
+
+class TestVHCConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VHCConfig(num_registers=1)
+        with pytest.raises(ConfigError):
+            VHCConfig(num_registers=64, virtual_registers=64)
+
+    def test_memory(self):
+        assert VHCConfig(num_registers=8192).memory_kilobytes == pytest.approx(5.0)
+
+
+class TestVHC:
+    def test_deterministic_virtual_sets(self):
+        vhc = VHC(VHCConfig(num_registers=1024, virtual_registers=16, seed=4))
+        ids = np.array([7, 9], dtype=np.uint64)
+        a = vhc._virtual_indices(ids)
+        b = vhc._virtual_indices(ids)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (2, 16)
+
+    def test_total_estimate_tracks_stream(self):
+        vhc = VHC(VHCConfig(num_registers=4096, virtual_registers=64, seed=5))
+        rng = np.random.default_rng(1)
+        packets = rng.integers(0, 2**63, size=20_000, dtype=np.uint64)
+        vhc.process(packets)
+        assert vhc.total_estimate() == pytest.approx(20_000, rel=0.25)
+
+    def test_elephant_estimates(self):
+        """A few large flows over background: VHC recovers their sizes
+        within HLL-grade error."""
+        vhc = VHC(VHCConfig(num_registers=16384, virtual_registers=256, seed=6))
+        rng = np.random.default_rng(2)
+        background = rng.integers(100, 2**63, size=30_000, dtype=np.uint64)
+        elephants = {1: 20_000, 2: 8_000}
+        stream = [background]
+        for fid, size in elephants.items():
+            stream.append(np.full(size, fid, dtype=np.uint64))
+        packets = np.concatenate(stream)
+        rng.shuffle(packets)
+        vhc.process(packets)
+        est = vhc.estimate(np.array([1, 2], dtype=np.uint64))
+        assert est[0] == pytest.approx(20_000, rel=0.5)
+        assert est[1] == pytest.approx(8_000, rel=0.5)
+        assert est[0] > est[1]
+
+    def test_estimates_nonnegative(self):
+        vhc = VHC(VHCConfig(num_registers=2048, virtual_registers=32, seed=7))
+        vhc.process(np.arange(1000, dtype=np.uint64))
+        est = vhc.estimate(np.arange(50, dtype=np.uint64))
+        assert (est >= 0).all()
+
+    def test_empty_batch(self):
+        vhc = VHC(VHCConfig())
+        vhc.process(np.array([], dtype=np.uint64))
+        assert vhc.num_packets == 0
+
+
+class TestSpaceSaving:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpaceSaving(0)
+
+    def test_exact_when_under_capacity(self):
+        ss = SpaceSaving(10)
+        packets = np.repeat(np.arange(5, dtype=np.uint64), [9, 7, 5, 3, 1])
+        ss.process(packets)
+        top = ss.top(5)
+        assert [(fid, cnt) for fid, cnt, _ in top] == [(0, 9), (1, 7), (2, 5), (3, 3), (4, 1)]
+        assert all(err == 0 for _, _, err in top)
+        assert ss.guaranteed(0)
+
+    def test_heavy_hitters_survive_churn(self):
+        rng = np.random.default_rng(3)
+        mice = rng.integers(1000, 2**63, size=20_000, dtype=np.uint64)
+        elephant = np.full(3_000, 7, dtype=np.uint64)
+        packets = np.concatenate([mice, elephant])
+        rng.shuffle(packets)
+        ss = SpaceSaving(capacity=200)
+        ss.process(packets)
+        top_ids = [fid for fid, _, _ in ss.top(5)]
+        assert 7 in top_ids
+
+    def test_estimates_are_upper_bounds(self):
+        rng = np.random.default_rng(4)
+        packets = rng.integers(0, 50, size=5000, dtype=np.uint64)
+        truth = np.bincount(packets.astype(np.int64), minlength=50)
+        ss = SpaceSaving(capacity=20)
+        ss.process(packets)
+        est = ss.estimate(np.arange(50, dtype=np.uint64))
+        tracked = est > 0
+        assert (est[tracked] >= truth[tracked]).all()
+
+    def test_untracked_estimate_zero(self):
+        ss = SpaceSaving(4)
+        ss.update(1)
+        assert ss.estimate(np.array([99], dtype=np.uint64))[0] == 0.0
+
+    def test_weighted_updates(self):
+        ss = SpaceSaving(4)
+        ss.update(1, weight=100)
+        ss.update(1, weight=50)
+        assert ss.estimate(np.array([1], dtype=np.uint64))[0] == 150
+        assert ss.num_packets == 150
