@@ -16,7 +16,7 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.csm import csm_estimate
 from repro.core.mlm import mlm_estimate
-from repro.core.split import split_values_batch
+from repro.core.split import split_batch, split_values_batch
 from repro.hashing.family import BankedIndexer
 from repro.hashing.mix import splitmix64_array
 
@@ -45,15 +45,41 @@ def bench_cache_per_packet_loop(benchmark, packet_batch):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
-def bench_caesar_construction(benchmark, setup, packet_batch):
-    def run():
-        caesar = Caesar(
-            CaesarConfig(cache_entries=8192, entry_capacity=54, k=3, bank_size=4096)
+def _construct(packet_batch, engine: str) -> Caesar:
+    caesar = Caesar(
+        CaesarConfig(
+            cache_entries=8192, entry_capacity=54, k=3, bank_size=4096, engine=engine
         )
-        caesar.process(packet_batch)
-        caesar.finalize()
+    )
+    caesar.process(packet_batch)
+    caesar.finalize()
+    return caesar
 
-    benchmark.pedantic(run, rounds=3, iterations=1)
+
+def bench_caesar_construction_scalar(benchmark, packet_batch):
+    """Reference per-eviction path (`engine="scalar"`)."""
+    benchmark.pedantic(lambda: _construct(packet_batch, "scalar"), rounds=3, iterations=1)
+
+
+def bench_caesar_construction_batched(benchmark, packet_batch):
+    """Array-native eviction pipeline (`engine="batched"`, the default).
+
+    The acceptance bar for the batched engine is >= 3x the scalar
+    mean on this workload; compare the two bench means in
+    BENCH_micro.json (also printed by this bench)."""
+    import time
+
+    t0 = time.perf_counter()
+    _construct(packet_batch, "scalar")
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _construct(packet_batch, "batched")
+    batched_s = time.perf_counter() - t0
+    print(
+        f"\n[engines] scalar {scalar_s:.3f}s, batched {batched_s:.3f}s "
+        f"-> {scalar_s / batched_s:.2f}x on {len(packet_batch)} packets"
+    )
+    benchmark.pedantic(lambda: _construct(packet_batch, "batched"), rounds=3, iterations=1)
 
 
 def bench_rcs_vectorized_construction(benchmark, packet_batch):
@@ -68,6 +94,13 @@ def bench_split_values_batch(benchmark):
     rng = np.random.default_rng(1)
     values = rng.integers(1, 55, size=100_000)
     benchmark(split_values_batch, values, 3, rng)
+
+
+def bench_split_batch(benchmark):
+    """The batched engine's splitter: scalar-stream-compatible."""
+    rng = np.random.default_rng(1)
+    values = rng.integers(1, 55, size=100_000)
+    benchmark(split_batch, values, 3, rng)
 
 
 def bench_csm_query(benchmark):

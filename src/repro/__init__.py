@@ -40,6 +40,7 @@ from repro.baselines.rcs import RCS, RCSConfig
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.planner import Plan, plan
+from repro.core.scheme import MeasurementScheme, run_scheme
 from repro.errors import (
     CapacityError,
     ConfigError,
@@ -63,6 +64,8 @@ __all__ = [
     "evaluate",
     "measure",
     "MeasurementResult",
+    "MeasurementScheme",
+    "run_scheme",
     "plan",
     "Plan",
     "ReproError",

@@ -9,7 +9,7 @@ volume, or sharded use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 import numpy.typing as npt
@@ -43,7 +43,7 @@ class MeasurementResult:
         Uses the flow IDs the cache ever saw (memoized on eviction), so
         no external flow list is needed.
         """
-        seen = np.fromiter(self.caesar._index_memo, dtype=np.uint64)  # noqa: SLF001
+        seen = self.caesar.flows_seen()
         if len(seen) == 0:
             return []
         est = self.estimate(seen)
@@ -73,12 +73,17 @@ def measure(
     k: int = 3,
     lengths: npt.NDArray[np.int64] | None = None,
     seed: int = 0xA91,
+    engine: str = "batched",
 ) -> MeasurementResult:
     """Measure a packet stream end to end.
 
     Either give explicit memory budgets (``sram_kb`` + ``cache_kb``,
     the paper's setup) or an accuracy goal (``target_rel_error`` +
     ``size_of_interest``, solved by :mod:`repro.core.planner`).
+
+    ``engine`` picks the construction path: ``"batched"`` (default,
+    array-native eviction pipeline) or ``"scalar"`` (per-eviction
+    reference). Both are bit-identical under the same seed.
     """
     packets = np.asarray(packets, dtype=np.uint64)
     if len(packets) == 0:
@@ -89,14 +94,17 @@ def measure(
     if target_rel_error is not None:
         if size_of_interest is None:
             raise ConfigError("size_of_interest is required with target_rel_error")
-        config = plan(
-            num_packets=num_units,
-            num_flows=num_flows,
-            target_rel_error=target_rel_error,
-            size_of_interest=size_of_interest,
-            k=k,
-            seed=seed,
-        ).config
+        config = replace(
+            plan(
+                num_packets=num_units,
+                num_flows=num_flows,
+                target_rel_error=target_rel_error,
+                size_of_interest=size_of_interest,
+                k=k,
+                seed=seed,
+            ).config,
+            engine=engine,
+        )
     elif sram_kb is not None and cache_kb is not None:
         config = CaesarConfig.for_budgets(
             sram_kb=sram_kb,
@@ -105,6 +113,7 @@ def measure(
             num_flows=num_flows,
             k=k,
             seed=seed,
+            engine=engine,
         )
     else:
         raise ConfigError(

@@ -9,7 +9,11 @@ precisely why its estimates collapse to ~0 at 183.11 KB in the paper).
 
 Eviction path: fold the evicted cache value into the flow's compressed
 counter via the DISCO curve — ``c' = inverse(rep(c) + value)`` — the
-power operation the paper charges CASE's processing time with.
+power operation the paper charges CASE's processing time with. Like
+CAESAR, CASE runs either engine: ``"batched"`` (default) drains the
+eviction buffer chunk-wise into one vectorized compressed fold,
+``"scalar"`` folds per eviction; both are bit-identical under a fixed
+seed.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy.typing as npt
 from repro.baselines.compression.base import CompressedCounterArray
 from repro.baselines.compression.disco import DiscoCurve
 from repro.cachesim.base import EvictionReason
+from repro.cachesim.buffer import EvictionBuffer
 from repro.cachesim.cache import FlowCache
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import HashFamily
@@ -41,6 +46,7 @@ class CaseConfig:
     gamma: float = 2.0
     replacement: str = "lru"
     seed: int = 0xCA5E
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.cache_entries < 1:
@@ -53,6 +59,8 @@ class CaseConfig:
             raise ConfigError(f"counter_capacity must be >= 1, got {self.counter_capacity}")
         if self.replacement not in ("lru", "random"):
             raise ConfigError(f"replacement must be 'lru' or 'random', got {self.replacement!r}")
+        if self.engine not in ("batched", "scalar"):
+            raise ConfigError(f"engine must be 'batched' or 'scalar', got {self.engine!r}")
 
     @classmethod
     def for_budgets(
@@ -66,6 +74,7 @@ class CaseConfig:
         gamma: float = 2.0,
         replacement: str = "lru",
         seed: int = 0xCA5E,
+        engine: str = "batched",
     ) -> "CaseConfig":
         """Size CASE the paper's way: one counter per flow, so the SRAM
         budget fixes the per-counter width ``floor(bits / Q)``; the
@@ -87,6 +96,7 @@ class CaseConfig:
             gamma=gamma,
             replacement=replacement,
             seed=seed,
+            engine=engine,
         )
 
 
@@ -109,6 +119,8 @@ class Case:
             seed=config.seed ^ 0x50FF,
         )
         self._family = HashFamily(1, seed=config.seed)
+        self.engine = config.engine
+        self._buffer = EvictionBuffer()
         self._packets_seen = 0
         self._finalized = False
         #: Power operations performed (eviction folds) — the cost the
@@ -126,20 +138,36 @@ class Case:
         self.array.add_value(self._slot(flow_id), value)
         self.power_operations += 1
 
+    def _drain(
+        self,
+        ids: npt.NDArray[np.uint64],
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+    ) -> None:
+        """Batched eviction drain: one vectorized fold per chunk."""
+        self.array.add_values(self._slots(ids), values)
+        self.power_operations += len(ids)
+
     # -- construction phase ---------------------------------------------------
 
     def process(self, packets: FlowIdArray) -> None:
         """Feed a packet batch through the cache + compress pipeline."""
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
-        self.cache.process(packets, self._sink)
+        if self.engine == "batched":
+            self.cache.process_into(packets, self._buffer, self._drain)
+        else:
+            self.cache.process(packets, self._sink)
         self._packets_seen += len(packets)
 
     def finalize(self) -> None:
         """Dump resident cache entries into the compressed counters."""
         if self._finalized:
             return
-        self.cache.dump(self._sink)
+        if self.engine == "batched":
+            self.cache.dump_into(self._buffer, self._drain)
+        else:
+            self.cache.dump(self._sink)
         self._finalized = True
 
     # -- query phase --------------------------------------------------------------
@@ -147,6 +175,14 @@ class Case:
     @property
     def num_packets(self) -> int:
         return self._packets_seen
+
+    @property
+    def memory_bits(self) -> int:
+        """Modeled footprint, paper accounting: cache count fields plus
+        the compressed counter array."""
+        return self.cache.memory_bits(flow_id_bits=0) + (
+            self.array.num_counters * self.array.bits_per_counter
+        )
 
     def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
         """Decompressed per-flow estimates (offline query)."""

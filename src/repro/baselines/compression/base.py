@@ -102,6 +102,57 @@ class CompressedCounterArray:
             new = self.counter_capacity
         self._values[index] = max(new, self._values[index])
 
+    def add_values(
+        self,
+        indices: npt.NDArray[np.int64],
+        values: npt.NDArray[np.int64],
+    ) -> None:
+        """Batched :meth:`add_value` over one eviction chunk.
+
+        Bit-identical to the sequential scalar calls under the same
+        generator state: uniforms are drawn in one prefix-stable block,
+        and events are applied in *occurrence rounds* — the i-th update
+        of any given counter happens in round i, so within a round all
+        touched counters are distinct and the fold (``rep``/``inverse``
+        elementwise, probabilistic round, saturation, monotone store)
+        vectorizes. Chunks rarely hit the same counter twice, so round
+        one usually lands everything.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) and values.min() < 0:
+            raise ConfigError("values must be >= 0")
+        keep = values > 0  # zero-valued folds consume no randomness
+        if not keep.all():
+            indices = indices[keep]
+            values = values[keep]
+        n = len(indices)
+        if n == 0:
+            return
+        uniforms = self._rng.random(n)
+        # occurrence[i] = how many earlier events in this chunk hit the
+        # same counter as event i (stable grouped cumcount).
+        order = np.argsort(indices, kind="stable")
+        sorted_idx = indices[order]
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = sorted_idx[1:] != sorted_idx[:-1]
+        within = np.arange(n, dtype=np.int64)
+        within -= np.maximum.accumulate(np.where(group_start, within, 0))
+        occurrence = np.empty(n, dtype=np.int64)
+        occurrence[order] = within
+        cap = self.counter_capacity
+        for r in range(int(occurrence.max()) + 1):
+            sel = occurrence == r
+            idx = indices[sel]
+            c = self._values[idx].astype(np.float64)
+            target = self.curve.inverse(self.curve.rep(c) + values[sel])
+            base = np.floor(target)
+            new = (base + (uniforms[sel] < target - base)).astype(np.int64)
+            over = new > cap
+            self.saturated_updates += int(np.count_nonzero(over))
+            np.minimum(new, cap, out=new)
+            self._values[idx] = np.maximum(new, self._values[idx])
+
     def increment(self, index: int) -> None:
         """Per-packet probabilistic advance (SAC/ANLS/DISCO path)."""
         c = self._values[index]

@@ -90,27 +90,44 @@ class RCS:
 
     # -- construction phase (per-packet, vectorized) ---------------------------
 
+    #: Packets per processing chunk: bounds the transient ``(U, k)``
+    #: index matrix and per-packet draw arrays at a few MB regardless
+    #: of how large a batch the caller hands in.
+    chunk_size: int = 1 << 20
+
     def process(self, packets: FlowIdArray) -> None:
         """Record a packet batch: each packet lands on one uniformly
         random counter of its flow's vector.
 
-        Vectorized: hash the distinct flows once, draw each packet's
-        bank, and scatter-add the whole batch in one call.
+        Vectorized and chunked: per chunk, hash the distinct flows
+        once, draw each packet's bank, and scatter-add the whole chunk
+        in one call. Chunking changes only peak memory, not results —
+        bounded-integer draws are prefix-stable, so any chunk size
+        yields the same counters under the same seed.
         """
         packets = np.asarray(packets, dtype=np.uint64)
-        if len(packets) == 0:
-            return
-        uniq, inverse = np.unique(packets, return_inverse=True)
-        idx_matrix = self.indexer.indices(uniq)  # (U, k)
-        banks = self._rng.integers(0, self.config.k, size=len(packets))
-        flat = idx_matrix[inverse, banks]
-        self.counters.add_at(flat, 1)
-        self._packets_seen += len(packets)
+        for start in range(0, len(packets), self.chunk_size):
+            chunk = packets[start : start + self.chunk_size]
+            uniq, inverse = np.unique(chunk, return_inverse=True)
+            idx_matrix = self.indexer.indices(uniq)  # (U, k)
+            banks = self._rng.integers(0, self.config.k, size=len(chunk))
+            flat = idx_matrix[inverse, banks]
+            self.counters.add_at(flat, 1)
+            self._packets_seen += len(chunk)
+
+    def finalize(self) -> None:
+        """RCS has no cache to dump — provided for scheme-protocol
+        symmetry (idempotent no-op)."""
 
     @property
     def num_packets(self) -> int:
         """Packets actually recorded (after any upstream loss)."""
         return self._packets_seen
+
+    @property
+    def memory_bits(self) -> int:
+        """Modeled footprint: the banked SRAM array (RCS is cache-free)."""
+        return self.counters.memory_bits
 
     # -- query phase ---------------------------------------------------------------
 

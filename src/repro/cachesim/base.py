@@ -13,6 +13,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Protocol
 
+import numpy as np
+import numpy.typing as npt
+
 
 class EvictionReason(enum.Enum):
     """Why a value left the cache for the SRAM counters."""
@@ -23,6 +26,30 @@ class EvictionReason(enum.Enum):
     REPLACEMENT = "replacement"
     #: End-of-measurement dump of all resident entries.
     FINAL_DUMP = "final_dump"
+
+    @property
+    def code(self) -> int:
+        """Compact integer code used inside the batched eviction buffer."""
+        return _REASON_CODES[self]
+
+
+#: Integer codes the batched pipeline stores instead of enum objects.
+OVERFLOW_CODE = 0
+REPLACEMENT_CODE = 1
+FINAL_DUMP_CODE = 2
+
+_REASON_CODES = {
+    EvictionReason.OVERFLOW: OVERFLOW_CODE,
+    EvictionReason.REPLACEMENT: REPLACEMENT_CODE,
+    EvictionReason.FINAL_DUMP: FINAL_DUMP_CODE,
+}
+
+#: Inverse mapping, indexable by code.
+CODE_TO_REASON = (
+    EvictionReason.OVERFLOW,
+    EvictionReason.REPLACEMENT,
+    EvictionReason.FINAL_DUMP,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +90,38 @@ class CacheStats:
             self.replacement_evictions += 1
         self.evicted_packets += value
         self.eviction_value_counts[value] = self.eviction_value_counts.get(value, 0) + 1
+
+    def record_batch(
+        self,
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+    ) -> None:
+        """Batched :meth:`record_eviction` over one drained buffer chunk.
+
+        ``reasons`` holds the integer codes (``OVERFLOW_CODE`` etc.).
+        Final-dump rows update the dump accounting instead of the
+        eviction accounting, exactly like the scalar :meth:`record_eviction`
+        / ``dump`` pair, so both engines end a run with equal stats.
+        """
+        if len(values) == 0:
+            return
+        per_reason = np.bincount(reasons, minlength=3)
+        self.overflow_evictions += int(per_reason[OVERFLOW_CODE])
+        self.replacement_evictions += int(per_reason[REPLACEMENT_CODE])
+        dumped = reasons == FINAL_DUMP_CODE
+        if per_reason[FINAL_DUMP_CODE]:
+            self.dumped_entries += int(per_reason[FINAL_DUMP_CODE])
+            self.dumped_packets += int(values[dumped].sum())
+            evicted = values[~dumped]
+        else:
+            evicted = values
+        if len(evicted) == 0:
+            return
+        self.evicted_packets += int(evicted.sum())
+        hist = self.eviction_value_counts
+        uniq, counts = np.unique(evicted, return_counts=True)
+        for v, c in zip(uniq.tolist(), counts.tolist()):
+            hist[v] = hist.get(v, 0) + c
 
     @property
     def total_evictions(self) -> int:

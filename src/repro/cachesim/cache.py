@@ -10,9 +10,18 @@
   (LRU or random), flush its count, and hand the entry to the new flow;
 - **end of measurement** — :meth:`dump` flushes every resident entry.
 
-Evictions are delivered to a caller-supplied *sink* callable
-``sink(flow_id, value, reason)``; CAESAR's sink splits the value over
-k shared counters, CASE's folds it into a compressed counter. The
+Evictions leave the cache along one of two equivalent paths:
+
+- **scalar reference** — a caller-supplied *sink* callable
+  ``sink(flow_id, value, reason)`` fired per eviction (CAESAR's sink
+  splits the value over k shared counters, CASE's folds it into a
+  compressed counter);
+- **batched** — :meth:`FlowCache.process_into` appends evictions into a
+  preallocated :class:`~repro.cachesim.buffer.EvictionBuffer` and hands
+  full chunks to a *drain* callable as array views, letting the scheme
+  land a whole chunk with a few vectorized calls.
+
+Both paths produce the identical eviction sequence and statistics; the
 cache itself is scheme-agnostic.
 """
 
@@ -23,7 +32,16 @@ from typing import Callable, Iterator
 import numpy as np
 import numpy.typing as npt
 
-from repro.cachesim.base import CachePolicy, CacheStats, Eviction, EvictionReason
+from repro.cachesim.base import (
+    FINAL_DUMP_CODE,
+    OVERFLOW_CODE,
+    REPLACEMENT_CODE,
+    CachePolicy,
+    CacheStats,
+    Eviction,
+    EvictionReason,
+)
+from repro.cachesim.buffer import EvictionBuffer, EvictionDrain
 from repro.cachesim.lru import LRUPolicy
 from repro.cachesim.random_replace import RandomPolicy
 from repro.errors import ConfigError
@@ -132,6 +150,125 @@ class FlowCache:
         for fid, w in zip(packets.tolist(), weights.tolist()):
             access(fid, sink, w)
 
+    # -- batched (buffered) path --------------------------------------------
+
+    def _flush(self, buffer: EvictionBuffer, drain: EvictionDrain) -> None:
+        """Record stats for the pending chunk, hand it to the drain, clear."""
+        if buffer.length == 0:
+            return
+        ids, values, reasons = buffer.chunk()
+        self.stats.record_batch(values, reasons)
+        drain(ids, values, reasons)
+        buffer.clear()
+
+    def process_into(
+        self,
+        packets: npt.NDArray[np.uint64],
+        buffer: EvictionBuffer,
+        drain: EvictionDrain,
+        weights: npt.NDArray[np.int64] | None = None,
+    ) -> None:
+        """Batched counterpart of :meth:`process`: evictions are appended
+        to ``buffer`` and delivered to ``drain`` in array chunks.
+
+        Produces the *identical* eviction sequence (and final
+        :class:`CacheStats`) as the scalar path — chunking only changes
+        when work is done, not what is done. The buffer is always
+        flushed before returning, so counters downstream of ``drain``
+        are up to date at every API boundary. ``drain`` must not touch
+        this cache (it runs mid-loop).
+        """
+        counts = self._counts
+        policy = self._policy
+        touch, insert, remove, pick_victim = (
+            policy.touch,
+            policy.insert,
+            policy.remove,
+            policy.victim,
+        )
+        get = counts.get
+        append = buffer.append
+        y = self.entry_capacity
+        limit = self.num_entries
+        # Unit-weight inserts overflow a fresh entry only when y == 1.
+        insert_overflows = y <= 1
+        hits = 0
+        n_packets = len(packets)
+        if weights is None:
+            for fid in packets.tolist():
+                cur = get(fid)
+                if cur is not None:
+                    hits += 1
+                    touch(fid)
+                    cur += 1
+                    if cur >= y:
+                        if append(fid, cur, OVERFLOW_CODE):
+                            self._flush(buffer, drain)
+                        counts[fid] = 0
+                    else:
+                        counts[fid] = cur
+                    continue
+                if len(counts) >= limit:
+                    victim = pick_victim()
+                    value = counts.pop(victim)
+                    remove(victim)
+                    if value > 0:
+                        if append(victim, value, REPLACEMENT_CODE):
+                            self._flush(buffer, drain)
+                counts[fid] = 1
+                insert(fid)
+                if insert_overflows:
+                    if append(fid, 1, OVERFLOW_CODE):
+                        self._flush(buffer, drain)
+                    counts[fid] = 0
+        else:
+            if len(weights) != n_packets:
+                raise ConfigError("weights must align with packets")
+            for fid, w in zip(packets.tolist(), weights.tolist()):
+                cur = get(fid)
+                if cur is not None:
+                    hits += 1
+                    touch(fid)
+                    cur += w
+                    if cur >= y:
+                        if append(fid, cur, OVERFLOW_CODE):
+                            self._flush(buffer, drain)
+                        counts[fid] = 0
+                    else:
+                        counts[fid] = cur
+                    continue
+                if len(counts) >= limit:
+                    victim = pick_victim()
+                    value = counts.pop(victim)
+                    remove(victim)
+                    if value > 0:
+                        if append(victim, value, REPLACEMENT_CODE):
+                            self._flush(buffer, drain)
+                counts[fid] = w
+                insert(fid)
+                if w >= y:
+                    # A single jumbo update overflows a fresh entry outright.
+                    if append(fid, w, OVERFLOW_CODE):
+                        self._flush(buffer, drain)
+                    counts[fid] = 0
+        stats = self.stats
+        stats.accesses += n_packets
+        stats.hits += hits
+        stats.misses += n_packets - hits
+        self._flush(buffer, drain)
+
+    def dump_into(self, buffer: EvictionBuffer, drain: EvictionDrain) -> None:
+        """Batched counterpart of :meth:`dump` (buffer flushed on return)."""
+        append = buffer.append
+        remove = self._policy.remove
+        for flow_id, value in self._counts.items():
+            if value > 0:
+                if append(flow_id, value, FINAL_DUMP_CODE):
+                    self._flush(buffer, drain)
+            remove(flow_id)
+        self._counts.clear()
+        self._flush(buffer, drain)
+
     # -- end of measurement --------------------------------------------------
 
     def dump(self, sink: EvictionSink) -> None:
@@ -164,6 +301,27 @@ class FlowCache:
     def get(self, flow_id: int, default: int = 0) -> int:
         """Current cached count, or ``default`` if not resident."""
         return self._counts.get(flow_id, default)
+
+    def resident_values(
+        self, flow_ids: npt.NDArray[np.uint64]
+    ) -> npt.NDArray[np.int64]:
+        """Vectorized :meth:`get`: cached counts for an array of flows
+        (0 for non-resident), via one sorted gather over the resident
+        table instead of a Python dict lookup per queried flow."""
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        out = np.zeros(len(flow_ids), dtype=np.int64)
+        counts = self._counts
+        if not counts:
+            return out
+        ids = np.fromiter(counts.keys(), dtype=np.uint64, count=len(counts))
+        vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+        order = np.argsort(ids)
+        ids = ids[order]
+        vals = vals[order]
+        pos = np.minimum(np.searchsorted(ids, flow_ids), len(ids) - 1)
+        match = ids[pos] == flow_ids
+        out[match] = vals[pos[match]]
+        return out
 
     def reset_stats(self) -> None:
         """Start a fresh statistics epoch (contents untouched)."""

@@ -15,15 +15,19 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.csm import csm_confidence_interval, csm_estimate
 from repro.core.mlm import mlm_confidence_interval, mlm_estimate
-from repro.core.split import split_evenly, split_value
+from repro.core.scheme import MeasurementScheme, run_scheme
+from repro.core.split import split_batch, split_evenly, split_value
 
 __all__ = [
     "Caesar",
     "CaesarConfig",
+    "MeasurementScheme",
     "csm_confidence_interval",
     "csm_estimate",
     "mlm_confidence_interval",
     "mlm_estimate",
+    "run_scheme",
+    "split_batch",
     "split_evenly",
     "split_value",
 ]

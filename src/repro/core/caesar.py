@@ -10,6 +10,21 @@ into the two-phase architecture of Figure 1:
 - :meth:`Caesar.finalize` — dump resident cache entries to SRAM
   (required before querying; the query phase is strictly offline);
 - :meth:`Caesar.estimate` — offline query via CSM or MLM.
+
+Two construction engines implement the same dataflow:
+
+- ``engine="batched"`` (default) — evictions stream through a
+  preallocated :class:`~repro.cachesim.EvictionBuffer`; each drained
+  chunk is resolved to counter indices by the array-backed
+  :class:`~repro.hashing.family.BankedIndexMemo`, split in one
+  vectorized :func:`~repro.core.split.split_batch` call, and landed
+  with a single scatter-add;
+- ``engine="scalar"`` — the per-eviction callback reference path.
+
+Both are *bit-identical* under a fixed seed: the batched splitter
+consumes the generator exactly like the scalar loop, so evictions,
+counters, statistics, and generator state all match (enforced by
+``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -18,15 +33,24 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.cachesim.base import EvictionReason
+from repro.cachesim.buffer import DEFAULT_BUFFER_CAPACITY, EvictionBuffer
 from repro.cachesim.cache import FlowCache
 from repro.core import csm as csm_mod
 from repro.core import mlm as mlm_mod
 from repro.core.config import CaesarConfig
-from repro.core.split import split_evenly, split_value
+from repro.core.split import split_batch, split_evenly, split_evenly_batch, split_value
 from repro.errors import ConfigError, QueryError
-from repro.hashing.family import BankedIndexer
+from repro.hashing.family import BankedIndexer, BankedIndexMemo
 from repro.sram.counterarray import BankedCounterArray
 from repro.types import FlowIdArray
+
+
+def _discard_drain(
+    ids: npt.NDArray[np.uint64],
+    values: npt.NDArray[np.int64],
+    reasons: npt.NDArray[np.uint8],
+) -> None:
+    """Drain that drops the chunk (epoch reset discards cache residue)."""
 
 
 class Caesar:
@@ -43,7 +67,12 @@ class Caesar:
     >>> est = caesar.estimate(trace.flows.ids, "mlm")   # MLM
     """
 
-    def __init__(self, config: CaesarConfig) -> None:
+    def __init__(
+        self,
+        config: CaesarConfig,
+        *,
+        buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+    ) -> None:
         self.config = config
         self.cache = FlowCache(
             num_entries=config.cache_entries,
@@ -58,17 +87,36 @@ class Caesar:
             counter_capacity=config.counter_capacity,
         )
         self._rng = np.random.default_rng(config.seed ^ 0x5011D)
-        # Flow -> mapped-counter indices; flows are mapped to k *fixed*
-        # counters across all their evictions (Section 3.1), so memoize.
-        self._index_memo: dict[int, np.ndarray] = {}
+        self.engine = config.engine
+        self._buffer = EvictionBuffer(buffer_capacity)
         self._packets_seen = 0
         self._mass_seen = 0  # == packets when counting packets; bytes when counting volume
         self._finalized = False
 
+    @property
+    def indexer(self) -> BankedIndexer:
+        """The flow → k-counter index mapper.
+
+        Assignable before processing starts (the hash-family ablation
+        swaps in a tabulation indexer); assignment rebuilds the index
+        memos of both engines so construction and query stay consistent.
+        """
+        return self._indexer
+
+    @indexer.setter
+    def indexer(self, indexer: BankedIndexer) -> None:
+        self._indexer = indexer
+        # Flows are mapped to k *fixed* counters across all their
+        # evictions (Section 3.1), so both engines memoize the mapping:
+        # the scalar reference in a per-flow dict of index rows, the
+        # batched engine in one growing array-backed table.
+        self._index_memo: dict[int, np.ndarray] = {}
+        self._memo = BankedIndexMemo(indexer)
+
     # -- construction phase ----------------------------------------------------
 
     def _sink(self, flow_id: int, value: int, reason: EvictionReason) -> None:
-        """Eviction sink: split the value over the flow's k counters."""
+        """Scalar eviction sink: split the value over the flow's k counters."""
         idx = self._index_memo.get(flow_id)
         if idx is None:
             idx = self.indexer.indices_one(flow_id)
@@ -82,6 +130,24 @@ class Caesar:
         add_one = self.counters.add_one
         for r in range(self.config.k):
             add_one(int(idx[r]), int(parts[r]))
+
+    def _drain(
+        self,
+        ids: npt.NDArray[np.uint64],
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+    ) -> None:
+        """Batched eviction drain: land one buffer chunk on the SRAM.
+
+        One memoized index resolution, one vectorized split, one
+        scatter-add — regardless of chunk size.
+        """
+        idx = self._memo.indices_for(ids)  # (n, k)
+        if self.config.remainder == "random":
+            parts = split_batch(values, self.config.k, self._rng)
+        else:
+            parts = split_evenly_batch(values, self.config.k)
+        self.counters.add_at(idx.ravel(), parts.ravel())
 
     def process(
         self,
@@ -98,7 +164,10 @@ class Caesar:
         """
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
-        self.cache.process(packets, self._sink, weights=lengths)
+        if self.engine == "batched":
+            self.cache.process_into(packets, self._buffer, self._drain, weights=lengths)
+        else:
+            self.cache.process(packets, self._sink, weights=lengths)
         self._packets_seen += len(packets)
         self._mass_seen += int(lengths.sum()) if lengths is not None else len(packets)
 
@@ -109,7 +178,10 @@ class Caesar:
         """
         if self._finalized:
             return
-        self.cache.dump(self._sink)
+        if self.engine == "batched":
+            self.cache.dump_into(self._buffer, self._drain)
+        else:
+            self.cache.dump(self._sink)
         self._finalized = True
 
     # -- query phase -------------------------------------------------------------
@@ -126,6 +198,21 @@ class Caesar:
         This is the ``n = Q * mu`` the estimators de-noise with.
         """
         return self._mass_seen
+
+    @property
+    def memory_bits(self) -> int:
+        """Modeled footprint, paper accounting: on-chip cache count
+        fields plus the off-chip SRAM counter array."""
+        return self.cache.memory_bits(flow_id_bits=0) + self.counters.memory_bits
+
+    def flows_seen(self) -> npt.NDArray[np.uint64]:
+        """Every flow the cache ever evicted or dumped (after
+        :meth:`finalize`: every flow that appeared in the stream)."""
+        if self.engine == "batched":
+            return self._memo.flows()
+        return np.fromiter(
+            self._index_memo, dtype=np.uint64, count=len(self._index_memo)
+        )
 
     def counter_values(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
         """The raw mapped-counter values ``S_f[r]``, shape ``(F, k)``."""
@@ -181,7 +268,8 @@ class Caesar:
 
         Combines what has already been flushed to SRAM (CSM-decoded
         against the flushed mass only) with the flow's still-cached
-        residue, so a monitoring loop can watch flows grow without
+        residue — one vectorized gather against the cache's resident
+        table — so a monitoring loop can watch flows grow without
         stopping the measurement.
         """
         flow_ids = np.asarray(flow_ids, dtype=np.uint64)
@@ -190,10 +278,7 @@ class Caesar:
         est = csm_mod.csm_estimate(
             w, flushed_mass, self.config.bank_size, clip_negative=False
         )
-        resident = np.fromiter(
-            (self.cache.get(int(f)) for f in flow_ids), dtype=np.float64, count=len(flow_ids)
-        )
-        est = est + resident
+        est = est + self.cache.resident_values(flow_ids)
         return np.maximum(est, 0.0) if clip_negative else est
 
     def reset(self) -> None:
@@ -203,7 +288,10 @@ class Caesar:
         preserved — Section 3.1's fixed mapping — but counters, cache,
         statistics, and the recorded-mass accounting start over.
         """
-        self.cache.dump(lambda fid, value, reason: None)
+        if self.engine == "batched":
+            self.cache.dump_into(self._buffer, _discard_drain)
+        else:
+            self.cache.dump(lambda fid, value, reason: None)
         self.cache.reset_stats()
         self.counters.reset()
         self._packets_seen = 0
@@ -251,4 +339,4 @@ class Caesar:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finalized" if self._finalized else f"{self._packets_seen} packets"
-        return f"Caesar({self.config.describe()}, {state})"
+        return f"Caesar({self.config.describe()}, {self.engine}, {state})"

@@ -8,6 +8,11 @@ one :class:`~repro.core.caesar.Caesar` instance: at each epoch
 boundary it finalizes, snapshots the SRAM state, and resets for the
 next epoch — keeping the flow → counter mapping fixed across epochs
 (Section 3.1's fixed hashing), so per-flow time series are comparable.
+
+The epoch loop only drives the scheme-protocol lifecycle
+(``process``/``finalize``/``reset``) plus CAESAR's snapshot surface, so
+the construction engine selected by the config — batched by default —
+carries through every epoch untouched.
 """
 
 from __future__ import annotations

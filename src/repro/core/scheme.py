@@ -1,0 +1,82 @@
+"""The unified measurement-scheme protocol.
+
+Every per-flow measurement scheme in this repository — CAESAR, the
+CASE and RCS baselines, and the sharded/epochal composites built on
+top of them — exposes the same two-phase lifecycle:
+
+1. **construction** — :meth:`~MeasurementScheme.process` absorbs
+   packet batches (repeatable);
+2. **query** — :meth:`~MeasurementScheme.finalize` closes the
+   measurement (flushing any cache residue), after which
+   :meth:`~MeasurementScheme.estimate` answers per-flow size queries.
+
+:class:`MeasurementScheme` captures that contract as a structural
+:class:`~typing.Protocol`, so orchestration layers (the one-call API,
+sharding, epochs, experiment runners) are written once against the
+protocol instead of branching per scheme — and any engine change
+behind a scheme (e.g. the batched eviction pipeline) reaches every
+layer for free.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.types import FlowIdArray
+
+
+@runtime_checkable
+class MeasurementScheme(Protocol):
+    """Structural contract of a per-flow measurement scheme.
+
+    ``isinstance(obj, MeasurementScheme)`` checks attribute presence
+    (structural typing); semantics are by convention:
+
+    - :meth:`process` may be called any number of times before
+      :meth:`finalize`, never after;
+    - :meth:`finalize` is idempotent;
+    - :meth:`estimate` returns one float per queried flow ID, aligned
+      with the input;
+    - :attr:`num_packets` counts packets absorbed so far;
+    - :attr:`memory_bits` is the scheme's modeled memory footprint
+      (paper accounting — count fields only, no flow-ID storage).
+    """
+
+    def process(self, packets: FlowIdArray) -> None:
+        """Absorb one packet batch (construction phase)."""
+        ...
+
+    def finalize(self) -> None:
+        """Close the measurement; flush any cached residue (idempotent)."""
+        ...
+
+    def estimate(self, flow_ids: FlowIdArray) -> npt.NDArray[np.float64]:
+        """Per-flow size estimates, aligned with ``flow_ids``."""
+        ...
+
+    @property
+    def num_packets(self) -> int:
+        """Packets absorbed so far."""
+        ...
+
+    @property
+    def memory_bits(self) -> int:
+        """Modeled memory footprint in bits (paper accounting)."""
+        ...
+
+
+def run_scheme(
+    scheme: MeasurementScheme,
+    packets: FlowIdArray,
+    query_ids: FlowIdArray,
+) -> npt.NDArray[np.float64]:
+    """Drive any scheme through its whole lifecycle in one call:
+    construction over ``packets``, finalize, then estimate
+    ``query_ids``. The protocol-level analogue of the per-scheme
+    build helpers in :mod:`repro.experiments.common`."""
+    scheme.process(packets)
+    scheme.finalize()
+    return scheme.estimate(query_ids)

@@ -1,73 +1,70 @@
-"""Sharded CAESAR for multi-queue line cards (library extension).
+"""Sharded measurement for multi-queue line cards (library extension).
 
 Modern NICs/line cards spread packets over ``W`` hardware queues by
 hashing the flow key (RSS). Measurement then runs one independent
-CAESAR instance per queue: flows are *partitioned* (a flow's packets
+scheme instance per queue: flows are *partitioned* (a flow's packets
 always land in its own shard), so shards never share counters and the
 paper's single-instance analysis applies per shard unchanged.
 
-:class:`ShardedCaesar` manages the partitioning, the per-shard
-instances (optionally splitting one total memory budget across
-shards), query routing, and an optional process-parallel construction
-phase — the packet loops are pure Python, so on multi-core hosts the
-simulation itself parallelizes near-linearly across shards.
+:class:`ShardedScheme` manages the partitioning, query routing, and an
+optional process-parallel construction phase for *any*
+:class:`~repro.core.scheme.MeasurementScheme`; :class:`ShardedCaesar`
+specializes it to CAESAR with the paper's budget-splitting rule. Since
+the sharded layer only speaks the scheme protocol, each shard runs
+whatever construction engine its config selects — the batched eviction
+pipeline by default.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
+from typing import Callable, Sequence
 
 import numpy as np
 import numpy.typing as npt
 
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
+from repro.core.scheme import MeasurementScheme
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import HashFamily
 from repro.types import FlowIdArray
 
 
 def _run_shard(
-    caesar: Caesar,
+    scheme: MeasurementScheme,
     packets: npt.NDArray[np.uint64],
     lengths: npt.NDArray[np.int64] | None,
-) -> Caesar:
+) -> MeasurementScheme:
     """Worker: run one shard's construction phase (module-level so it
     pickles under the spawn start method)."""
-    caesar.process(packets, lengths)
-    return caesar
+    if lengths is None:
+        scheme.process(packets)
+    else:
+        scheme.process(packets, lengths)  # type: ignore[call-arg]
+    return scheme
 
 
-class ShardedCaesar:
-    """``num_shards`` independent CAESAR instances behind one facade."""
+class ShardedScheme:
+    """``num_shards`` independent scheme instances behind one facade.
+
+    ``make_shard`` builds shard ``i``'s instance; give each shard a
+    distinct seed so shards stay hash-independent.
+    """
 
     def __init__(
         self,
-        config: CaesarConfig,
+        make_shard: Callable[[int], MeasurementScheme],
         num_shards: int,
         *,
-        divide_budget: bool = True,
         shard_seed: int = 0x5AA2D,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
-        if divide_budget:
-            # Split the total memory across shards so a W-way deployment
-            # is budget-comparable to one big instance.
-            shard_config = replace(
-                config,
-                cache_entries=max(1, config.cache_entries // num_shards),
-                bank_size=max(1, config.bank_size // num_shards),
-            )
-        else:
-            shard_config = config
-        self.shard_config = shard_config
-        # Distinct per-shard seeds so shards are hash-independent.
-        self.shards = [
-            Caesar(replace(shard_config, seed=shard_config.seed + 0x9E37 * i))
-            for i in range(num_shards)
+        self.shards: Sequence[MeasurementScheme] = [
+            make_shard(i) for i in range(num_shards)
         ]
         self._shard_hash = HashFamily(1, seed=shard_seed)
         self._finalized = False
@@ -114,7 +111,7 @@ class ShardedCaesar:
         parts = self._partition(packets, lengths)
         if max_workers is None or max_workers <= 1 or self.num_shards == 1:
             for shard, (pkts, lens) in zip(self.shards, parts):
-                shard.process(pkts, lens)
+                _run_shard(shard, pkts, lens)
             return
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             self.shards = list(
@@ -122,7 +119,7 @@ class ShardedCaesar:
                     _run_shard,
                     self.shards,
                     [p for p, _ in parts],
-                    [l for _, l in parts],
+                    [lens for _, lens in parts],
                 )
             )
 
@@ -137,11 +134,14 @@ class ShardedCaesar:
     def estimate(
         self,
         flow_ids: FlowIdArray,
-        method: str = "csm",
-        *,
-        clip_negative: bool = False,
+        *args: object,
+        **kwargs: object,
     ) -> npt.NDArray[np.float64]:
-        """Route each query to its owning shard; results in input order."""
+        """Route each query to its owning shard; results in input order.
+
+        Extra arguments (e.g. CAESAR's ``method``/``clip_negative``)
+        pass through to the shard's ``estimate``.
+        """
         if not self._finalized:
             raise QueryError("call finalize() before estimating")
         flow_ids = np.asarray(flow_ids, dtype=np.uint64)
@@ -150,9 +150,7 @@ class ShardedCaesar:
         for s in range(self.num_shards):
             mask = owners == s
             if mask.any():
-                out[mask] = self.shards[s].estimate(
-                    flow_ids[mask], method, clip_negative=clip_negative
-                )
+                out[mask] = self.shards[s].estimate(flow_ids[mask], *args, **kwargs)
         return out
 
     @property
@@ -160,8 +158,51 @@ class ShardedCaesar:
         return sum(s.num_packets for s in self.shards)
 
     @property
+    def memory_bits(self) -> int:
+        """Total modeled footprint across all shards."""
+        return sum(s.memory_bits for s in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedScheme(W={self.num_shards}, {type(self.shards[0]).__name__})"
+
+
+class ShardedCaesar(ShardedScheme):
+    """``num_shards`` independent CAESAR instances behind one facade,
+    with the paper's memory accounting: ``divide_budget=True`` splits
+    one total budget evenly so a W-way deployment stays
+    budget-comparable to a single big instance."""
+
+    def __init__(
+        self,
+        config: CaesarConfig,
+        num_shards: int,
+        *,
+        divide_budget: bool = True,
+        shard_seed: int = 0x5AA2D,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if divide_budget:
+            # Split the total memory across shards so a W-way deployment
+            # is budget-comparable to one big instance.
+            shard_config = replace(
+                config,
+                cache_entries=max(1, config.cache_entries // num_shards),
+                bank_size=max(1, config.bank_size // num_shards),
+            )
+        else:
+            shard_config = config
+        self.shard_config = shard_config
+        # Distinct per-shard seeds so shards are hash-independent.
+        super().__init__(
+            lambda i: Caesar(replace(shard_config, seed=shard_config.seed + 0x9E37 * i)),
+            num_shards,
+            shard_seed=shard_seed,
+        )
+
+    @property
     def recorded_mass(self) -> int:
-        return sum(s.recorded_mass for s in self.shards)
+        return sum(s.recorded_mass for s in self.shards)  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardedCaesar(W={self.num_shards}, {self.shard_config.describe()})"

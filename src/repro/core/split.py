@@ -55,18 +55,71 @@ def split_evenly(value: int, k: int) -> npt.NDArray[np.int64]:
     return out
 
 
+def split_batch(
+    values: npt.NDArray[np.int64],
+    k: int,
+    rng: np.random.Generator,
+) -> npt.NDArray[np.int64]:
+    """Vectorized :func:`split_value` over a whole eviction batch,
+    consuming the generator *identically* to the scalar loop.
+
+    Returns shape ``(len(values), k)``; row ``i`` sums to ``values[i]``.
+    The scalar path draws ``q_i = values[i] % k`` uniform slots per
+    eviction in order; bounded-integer generation is prefix-stable, so
+    one draw of ``sum(q_i)`` slots yields the same stream — making the
+    batched engine bit-identical to the scalar reference (same counter
+    array, same generator state) under a fixed seed.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise ConfigError("values must be 1-D")
+    if len(values) and values.min() < 0:
+        raise ConfigError("evicted values must be >= 0")
+    p, q = np.divmod(values, k)
+    out = np.repeat(p, k).reshape(len(values), k)
+    total = int(q.sum())
+    if total:
+        slots = rng.integers(0, k, size=total)
+        rows = np.repeat(np.arange(len(values), dtype=np.int64), q)
+        np.add.at(out, (rows, slots), 1)
+    return out
+
+
+def split_evenly_batch(
+    values: npt.NDArray[np.int64],
+    k: int,
+) -> npt.NDArray[np.int64]:
+    """Vectorized :func:`split_evenly`: remainder to the first ``q_i``
+    counters of each row, deterministically."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise ConfigError("values must be 1-D")
+    if len(values) and values.min() < 0:
+        raise ConfigError("evicted values must be >= 0")
+    p, q = np.divmod(values, k)
+    out = np.repeat(p, k).reshape(len(values), k)
+    out += np.arange(k, dtype=np.int64)[None, :] < q[:, None]
+    return out
+
+
 def split_values_batch(
     values: npt.NDArray[np.int64],
     k: int,
     rng: np.random.Generator,
 ) -> npt.NDArray[np.int64]:
-    """Vectorized :func:`split_value` for many evictions at once.
+    """Distributionally-equivalent batch split (binomial-chain draw).
 
     Returns shape ``(len(values), k)``; each row sums to its value.
     The remainder scatter draws one multinomial row per eviction via a
     single vectorized binomial-chain decomposition (no Python loop):
     Multinomial(q, uniform) is realized as sequential binomials over
-    the remaining mass.
+    the remaining mass. Same *distribution* as :func:`split_value` but
+    a different generator stream — the construction engine uses
+    :func:`split_batch`, which is stream-identical to the scalar loop.
     """
     if k < 1:
         raise ConfigError(f"k must be >= 1, got {k}")

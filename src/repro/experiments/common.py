@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.analysis.metrics import BinnedErrors, EstimateQuality, binned_errors, evaluate
@@ -32,18 +34,10 @@ def build_caesar(
         k=k if k is not None else setup.k,
         replacement=replacement,
         seed=setup.seed,
+        engine=setup.engine,
     )
     if remainder != "random":
-        cfg = CaesarConfig(
-            cache_entries=cfg.cache_entries,
-            entry_capacity=cfg.entry_capacity,
-            k=cfg.k,
-            bank_size=cfg.bank_size,
-            counter_capacity=cfg.counter_capacity,
-            replacement=cfg.replacement,
-            remainder=remainder,
-            seed=cfg.seed,
-        )
+        cfg = replace(cfg, remainder=remainder)
     caesar = Caesar(cfg)
     caesar.process(trace.packets)
     caesar.finalize()
@@ -79,6 +73,7 @@ def build_case(setup: ExperimentSetup, *, sram_kb: float) -> Case:
         num_flows=trace.num_flows,
         max_value=float(trace.flows.sizes.max()),
         seed=setup.seed,
+        engine=setup.engine,
     )
     case = Case(cfg)
     case.process(trace.packets)

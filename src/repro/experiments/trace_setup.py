@@ -40,6 +40,9 @@ class ExperimentSetup:
     scale: float
     seed: int
     k: int = DEFAULT_K
+    #: Construction engine for cache-assisted schemes ("batched" or
+    #: "scalar"); both are bit-identical, batched is faster.
+    engine: str = "batched"
 
     @property
     def cache_kb(self) -> float:

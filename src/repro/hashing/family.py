@@ -102,3 +102,80 @@ class BankedIndexer:
             f"BankedIndexer(k={self.k}, bank_size={self.bank_size}, "
             f"total={self.total_counters}, seed={self.family.seed:#x})"
         )
+
+
+class BankedIndexMemo:
+    """Growing array-backed memo of flow → k-counter mappings.
+
+    The batched construction engine's replacement for the per-flow
+    ``dict[int, ndarray]`` memo of the scalar reference: mapped-counter
+    rows live in one contiguous ``(capacity, k)`` int64 table (doubled
+    amortized), with a dict only from flow ID to row number. A drained
+    eviction chunk resolves to counter indices with one deduplication,
+    one vectorized hash of the still-unseen flows, and one 2-D gather —
+    no per-eviction hashing.
+
+    Flows are mapped to k *fixed* counters for the whole measurement
+    (Section 3.1), so the memo doubles as the record of every flow the
+    cache ever evicted or dumped (:meth:`flows`).
+    """
+
+    def __init__(self, indexer: BankedIndexer, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 1:
+            raise ConfigError(f"initial_capacity must be >= 1, got {initial_capacity}")
+        self.indexer = indexer
+        self._rows: dict[int, int] = {}
+        self._ids = np.empty(initial_capacity, dtype=np.uint64)
+        self._table = np.empty((initial_capacity, indexer.k), dtype=np.int64)
+        self._length = 0
+
+    def __len__(self) -> int:
+        """Number of distinct flows memoized."""
+        return self._length
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._table)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        ids = np.empty(capacity, dtype=np.uint64)
+        ids[: self._length] = self._ids[: self._length]
+        self._ids = ids
+        table = np.empty((capacity, self.indexer.k), dtype=np.int64)
+        table[: self._length] = self._table[: self._length]
+        self._table = table
+
+    def indices_for(self, flow_ids: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
+        """Global counter indices for a batch of (possibly repeated)
+        flow IDs; shape ``(len(flow_ids), k)``, rows ordered by bank."""
+        uniq, inverse = np.unique(flow_ids, return_inverse=True)
+        rows = np.empty(len(uniq), dtype=np.int64)
+        missing: list[int] = []
+        lookup = self._rows.get
+        for i, fid in enumerate(uniq.tolist()):
+            row = lookup(fid, -1)
+            rows[i] = row
+            if row < 0:
+                missing.append(i)
+        if missing:
+            miss = np.array(missing, dtype=np.int64)
+            new_ids = uniq[miss]
+            base = self._length
+            self._grow_to(base + len(miss))
+            self._ids[base : base + len(miss)] = new_ids
+            self._table[base : base + len(miss)] = self.indexer.indices(new_ids)
+            self._length = base + len(miss)
+            new_rows = base + np.arange(len(miss), dtype=np.int64)
+            rows[miss] = new_rows
+            store = self._rows
+            for fid, row in zip(new_ids.tolist(), new_rows.tolist()):
+                store[fid] = row
+        return self._table[rows[inverse]]
+
+    def flows(self) -> npt.NDArray[np.uint64]:
+        """Every flow ID memoized so far, in first-seen order."""
+        return self._ids[: self._length].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BankedIndexMemo({self._length} flows, {self.indexer!r})"

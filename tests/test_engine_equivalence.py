@@ -1,0 +1,266 @@
+"""Scalar vs batched engine: bit-identical by construction.
+
+The batched eviction pipeline must reproduce the scalar reference
+path *exactly* under a fixed seed — same eviction sequence, same
+counter arrays, same cache statistics, same generator state — so that
+engine choice is purely a performance knob. These tests enforce that
+contract at every layer: the cache simulator, CAESAR, CASE, and the
+chunked RCS loop, plus a hypothesis sweep over random workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.case import Case, CaseConfig
+from repro.baselines.rcs import RCS, RCSConfig
+from repro.cachesim import EvictionBuffer, FlowCache
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.split import split_batch, split_value
+
+
+def _base_config(**overrides) -> CaesarConfig:
+    defaults = dict(
+        cache_entries=64,
+        entry_capacity=8,
+        k=3,
+        bank_size=128,
+        counter_capacity=2**20 - 1,
+        seed=0xBEE,
+    )
+    defaults.update(overrides)
+    return CaesarConfig(**defaults)
+
+
+def _run_pair(
+    config: CaesarConfig,
+    packets: np.ndarray,
+    lengths: np.ndarray | None = None,
+    buffer_capacity: int = 257,
+) -> tuple[Caesar, Caesar]:
+    """Run the same workload through both engines (small odd buffer
+    capacity so chunks straddle process()/finalize() boundaries)."""
+    scalar = Caesar(dataclasses.replace(config, engine="scalar"))
+    batched = Caesar(
+        dataclasses.replace(config, engine="batched"), buffer_capacity=buffer_capacity
+    )
+    for instance in (scalar, batched):
+        half = len(packets) // 2
+        instance.process(packets[:half], lengths[:half] if lengths is not None else None)
+        instance.process(packets[half:], lengths[half:] if lengths is not None else None)
+        instance.finalize()
+    return scalar, batched
+
+
+def _assert_identical(scalar: Caesar, batched: Caesar) -> None:
+    np.testing.assert_array_equal(scalar.counters.values, batched.counters.values)
+    assert scalar.cache.stats == batched.cache.stats
+    assert scalar.counters.saturated_mass == batched.counters.saturated_mass
+    assert scalar._rng.bit_generator.state == batched._rng.bit_generator.state
+    assert set(scalar.flows_seen().tolist()) == set(batched.flows_seen().tolist())
+    assert scalar.recorded_mass == batched.recorded_mass
+
+
+# -- golden equivalence: CAESAR -------------------------------------------------
+
+
+@pytest.mark.parametrize("replacement", ["lru", "random"])
+@pytest.mark.parametrize("remainder", ["random", "even"])
+def test_caesar_engines_bit_identical(tiny_trace, replacement, remainder):
+    config = _base_config(replacement=replacement, remainder=remainder)
+    scalar, batched = _run_pair(config, tiny_trace.packets)
+    _assert_identical(scalar, batched)
+    ids = tiny_trace.flows.ids
+    for method in ("csm", "mlm", "median"):
+        np.testing.assert_array_equal(
+            scalar.estimate(ids, method), batched.estimate(ids, method)
+        )
+
+
+def test_caesar_engines_identical_on_volume_with_jumbo_weights(tiny_trace):
+    """Weighted (byte-counting) streams, including weights at and above
+    the per-entry capacity (immediate-overflow path)."""
+    rng = np.random.default_rng(99)
+    packets = tiny_trace.packets[:4000]
+    lengths = rng.integers(1, 40, size=len(packets)).astype(np.int64)
+    jumbo = rng.random(len(packets)) < 0.02
+    lengths[jumbo] = rng.integers(64, 200, size=int(jumbo.sum()))
+    config = _base_config(entry_capacity=50, counter_capacity=2**16 - 1)
+    scalar, batched = _run_pair(config, packets, lengths)
+    _assert_identical(scalar, batched)
+
+
+def test_caesar_engines_identical_with_tiny_buffer(tiny_trace):
+    """A 1-slot buffer flushes on every eviction — the worst case for
+    any chunking assumption."""
+    scalar, batched = _run_pair(
+        _base_config(), tiny_trace.packets[:3000], buffer_capacity=1
+    )
+    _assert_identical(scalar, batched)
+
+
+def test_caesar_engines_identical_at_unit_entry_capacity(tiny_trace):
+    """y = 1 degenerates the cache (every insert overflows outright)."""
+    scalar, batched = _run_pair(
+        _base_config(entry_capacity=1), tiny_trace.packets[:3000]
+    )
+    _assert_identical(scalar, batched)
+
+
+def test_caesar_reset_keeps_engines_aligned(tiny_trace):
+    """Epoch reset (dump-and-discard) must leave both engines in the
+    same state for the next epoch."""
+    packets = tiny_trace.packets
+    scalar = Caesar(_base_config(engine="scalar"))
+    batched = Caesar(_base_config(engine="batched"), buffer_capacity=100)
+    for instance in (scalar, batched):
+        instance.process(packets[:3000])
+        instance.reset()
+        instance.process(packets[3000:6000])
+        instance.finalize()
+    _assert_identical(scalar, batched)
+
+
+# -- cache-simulator layer: identical eviction sequences -------------------------
+
+
+def _collect_sequences(packets, weights, policy, seed, buffer_capacity):
+    scalar_cache = FlowCache(num_entries=32, entry_capacity=6, policy=policy, seed=seed)
+    scalar_events: list[tuple[int, int, int]] = []
+
+    def sink(flow_id, value, reason):
+        scalar_events.append((flow_id, value, reason.code))
+
+    scalar_cache.process(packets, sink, weights=weights)
+    scalar_cache.dump(sink)
+
+    batched_cache = FlowCache(num_entries=32, entry_capacity=6, policy=policy, seed=seed)
+    buffer = EvictionBuffer(buffer_capacity)
+    batched_events: list[tuple[int, int, int]] = []
+
+    def drain(ids, values, reasons):
+        batched_events.extend(
+            zip(ids.tolist(), values.tolist(), reasons.tolist())
+        )
+
+    batched_cache.process_into(packets, buffer, drain, weights=weights)
+    batched_cache.dump_into(buffer, drain)
+    return scalar_events, batched_events, scalar_cache.stats, batched_cache.stats
+
+
+@pytest.mark.parametrize("policy", ["lru", "random"])
+@pytest.mark.parametrize("weighted", [False, True])
+def test_cache_eviction_sequences_identical(policy, weighted):
+    rng = np.random.default_rng(17)
+    packets = rng.integers(0, 120, size=6000).astype(np.uint64)
+    weights = (
+        rng.integers(1, 9, size=len(packets)).astype(np.int64) if weighted else None
+    )
+    s_events, b_events, s_stats, b_stats = _collect_sequences(
+        packets, weights, policy, seed=5, buffer_capacity=33
+    )
+    assert s_events == b_events
+    assert s_stats == b_stats
+
+
+# -- CASE and RCS ---------------------------------------------------------------
+
+
+def test_case_engines_bit_identical(tiny_trace):
+    base = CaseConfig(
+        cache_entries=64,
+        entry_capacity=8,
+        num_counters=256,
+        counter_capacity=255,
+        max_value=float(tiny_trace.flows.sizes.max()),
+        seed=0xCA5E,
+    )
+    instances = []
+    for engine in ("scalar", "batched"):
+        case = Case(dataclasses.replace(base, engine=engine))
+        case.process(tiny_trace.packets)
+        case.finalize()
+        instances.append(case)
+    scalar, batched = instances
+    np.testing.assert_array_equal(scalar.array.values, batched.array.values)
+    assert scalar.power_operations == batched.power_operations
+    assert scalar.array.saturated_updates == batched.array.saturated_updates
+    assert scalar.cache.stats == batched.cache.stats
+    ids = tiny_trace.flows.ids
+    np.testing.assert_array_equal(scalar.estimate(ids), batched.estimate(ids))
+
+
+def test_rcs_chunk_size_does_not_change_results(tiny_trace):
+    config = RCSConfig(k=3, bank_size=64, seed=11)
+    whole = RCS(config)
+    whole.process(tiny_trace.packets)
+    chunked = RCS(config)
+    chunked.chunk_size = 997
+    chunked.process(tiny_trace.packets)
+    np.testing.assert_array_equal(whole.counters.values, chunked.counters.values)
+    assert whole._rng.bit_generator.state == chunked._rng.bit_generator.state
+
+
+# -- splitter: batch == sequential ----------------------------------------------
+
+
+def test_split_batch_matches_sequential_split_value():
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(7)
+    values = np.array([0, 1, 2, 3, 7, 8, 54, 1000, 5], dtype=np.int64)
+    k = 3
+    batch = split_batch(values, k, rng_a)
+    sequential = np.stack([split_value(int(v), k, rng_b) for v in values])
+    np.testing.assert_array_equal(batch, sequential)
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+# -- property-based sweep --------------------------------------------------------
+
+
+@st.composite
+def _workloads(draw):
+    num_flows = draw(st.integers(min_value=1, max_value=60))
+    num_packets = draw(st.integers(min_value=1, max_value=1500))
+    trace_seed = draw(st.integers(min_value=0, max_value=2**16))
+    policy = draw(st.sampled_from(["lru", "random"]))
+    remainder = draw(st.sampled_from(["random", "even"]))
+    k = draw(st.integers(min_value=1, max_value=4))
+    entry_capacity = draw(st.integers(min_value=1, max_value=12))
+    cache_entries = draw(st.integers(min_value=1, max_value=24))
+    weighted = draw(st.booleans())
+    buffer_capacity = draw(st.integers(min_value=1, max_value=64))
+    rng = np.random.default_rng(trace_seed)
+    packets = rng.integers(0, num_flows, size=num_packets).astype(np.uint64)
+    if weighted:
+        lengths = rng.integers(1, 3 * entry_capacity, size=num_packets).astype(np.int64)
+    else:
+        lengths = None
+    return packets, lengths, policy, remainder, k, entry_capacity, cache_entries, buffer_capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(_workloads())
+def test_engines_identical_on_random_workloads(workload):
+    (packets, lengths, policy, remainder, k, entry_capacity,
+     cache_entries, buffer_capacity) = workload
+    config = CaesarConfig(
+        cache_entries=cache_entries,
+        entry_capacity=entry_capacity,
+        k=k,
+        bank_size=32,
+        counter_capacity=2**14 - 1,
+        replacement=policy,
+        remainder=remainder,
+        seed=0xF00D,
+    )
+    scalar, batched = _run_pair(
+        config, packets, lengths, buffer_capacity=buffer_capacity
+    )
+    _assert_identical(scalar, batched)
