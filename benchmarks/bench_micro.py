@@ -45,11 +45,12 @@ def bench_cache_per_packet_loop(benchmark, packet_batch):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
-def _construct(packet_batch, engine: str) -> Caesar:
+def _construct(packet_batch, engine: str, registry=None) -> Caesar:
     caesar = Caesar(
         CaesarConfig(
             cache_entries=8192, entry_capacity=54, k=3, bank_size=4096, engine=engine
-        )
+        ),
+        registry=registry,
     )
     caesar.process(packet_batch)
     caesar.finalize()
@@ -80,6 +81,35 @@ def bench_caesar_construction_batched(benchmark, packet_batch):
         f"-> {scalar_s / batched_s:.2f}x on {len(packet_batch)} packets"
     )
     benchmark.pedantic(lambda: _construct(packet_batch, "batched"), rounds=3, iterations=1)
+
+
+def bench_caesar_construction_metrics_enabled(benchmark, packet_batch):
+    """Construction with a live :class:`MetricsRegistry` attached.
+
+    The observability contract is that the disabled path (registry=None,
+    i.e. `bench_caesar_construction_batched`) pays nothing, and the
+    enabled path stays within noise of it — instrumentation is
+    chunk-granular, never per-packet. Compare the two means (also
+    printed here)."""
+    import time
+
+    from repro.obs.registry import MetricsRegistry
+
+    t0 = time.perf_counter()
+    _construct(packet_batch, "batched")
+    off_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _construct(packet_batch, "batched", registry=MetricsRegistry())
+    on_s = time.perf_counter() - t0
+    print(
+        f"\n[metrics] disabled {off_s:.3f}s, enabled {on_s:.3f}s "
+        f"-> {on_s / off_s:.2f}x on {len(packet_batch)} packets"
+    )
+    benchmark.pedantic(
+        lambda: _construct(packet_batch, "batched", registry=MetricsRegistry()),
+        rounds=3,
+        iterations=1,
+    )
 
 
 def bench_rcs_vectorized_construction(benchmark, packet_batch):

@@ -29,6 +29,8 @@ Package map
 - :mod:`repro.baselines` — RCS, CASE, DISCO/SAC/ANLS/CEDAR/ICE-buckets,
   Counter Braids, Count-Min;
 - :mod:`repro.memmodel` — the FPGA timing/loss substitute model;
+- :mod:`repro.obs` — opt-in observability (metrics registry, stage
+  timers, eviction-stream tracing); zero overhead when off;
 - :mod:`repro.analysis` — error metrics and report tables;
 - :mod:`repro.experiments` — one module per paper figure (3-8).
 """
@@ -48,6 +50,8 @@ from repro.errors import (
     ReproError,
     TraceFormatError,
 )
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import EvictionTrace
 from repro.traffic.trace import Trace, default_paper_trace
 
 __version__ = "1.0.0"
@@ -65,6 +69,8 @@ __all__ = [
     "measure",
     "MeasurementResult",
     "MeasurementScheme",
+    "MetricsRegistry",
+    "EvictionTrace",
     "run_scheme",
     "plan",
     "Plan",

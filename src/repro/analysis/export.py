@@ -1,20 +1,24 @@
-"""CSV export of experiment artifacts (for external plotting).
+"""CSV/JSON export of experiment and observability artifacts.
 
 The benchmark harness prints tables; anyone regenerating the paper's
 *figures* graphically needs the raw series. These helpers write plain
 CSV (no extra dependencies) for the binned-error series, generic
-x/y-series, and a whole :class:`ExperimentResult`.
+x/y-series, and a whole :class:`ExperimentResult` — plus JSON export
+and terminal rendering of a metrics-registry snapshot (the CLI's
+``--metrics-out`` and ``stats`` surfaces).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.metrics import BinnedErrors
 from repro.errors import ConfigError
 from repro.experiments.base import ExperimentResult
+from repro.obs.registry import MetricsRegistry, snapshot_of
 
 
 def export_binned_errors(path: str | Path, bins: BinnedErrors) -> Path:
@@ -82,3 +86,50 @@ def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]
     report_path.write_text(result.render() + "\n")
     written.append(report_path)
     return written
+
+
+def export_metrics(path: str | Path, source: MetricsRegistry | Mapping) -> Path:
+    """Write a metrics snapshot as JSON (stable key order).
+
+    ``source`` is a live :class:`~repro.obs.MetricsRegistry` or an
+    already-taken snapshot dict. The ``counters`` and ``histograms``
+    sections are deterministic under a fixed seed; timer seconds and
+    throughput gauges are wall-clock measurements.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(snapshot_of(source), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_metrics(source: MetricsRegistry | Mapping) -> str:
+    """Render a metrics snapshot for the terminal (the ``stats`` CLI)."""
+    snap = snapshot_of(source)
+    lines: list[str] = []
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        lines += [f"  {name:<32} {value}" for name, value in sorted(counters.items())]
+    gauges = snap.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        lines += [f"  {name:<32} {value:g}" for name, value in sorted(gauges.items())]
+    histograms = snap.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, h in sorted(histograms.items()):
+            lines.append(f"  {name:<32} count={h['count']} total={h['total']}")
+            edges, buckets = h["edges"], h["bucket_counts"]
+            for i, c in enumerate(buckets):
+                if c == 0:
+                    continue
+                lo = "-inf" if i == 0 else str(edges[i - 1])
+                hi = str(edges[i]) if i < len(edges) else "+inf"
+                lines.append(f"    ({lo}, {hi}]: {c}")
+    timers = snap.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        lines += [
+            f"  {name:<32} calls={t['calls']} seconds={t['seconds']:.6f}"
+            for name, t in sorted(timers.items())
+        ]
+    return "\n".join(lines) if lines else "(no metrics recorded)"

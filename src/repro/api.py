@@ -9,6 +9,7 @@ volume, or sharded use.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -18,6 +19,9 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.planner import plan
 from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schemes import observe_scheme
+from repro.obs.trace import EvictionTrace
 from repro.types import FlowIdArray
 
 
@@ -74,6 +78,8 @@ def measure(
     lengths: npt.NDArray[np.int64] | None = None,
     seed: int = 0xA91,
     engine: str = "batched",
+    registry: MetricsRegistry | None = None,
+    eviction_trace: EvictionTrace | None = None,
 ) -> MeasurementResult:
     """Measure a packet stream end to end.
 
@@ -84,6 +90,12 @@ def measure(
     ``engine`` picks the construction path: ``"batched"`` (default,
     array-native eviction pipeline) or ``"scalar"`` (per-eviction
     reference). Both are bit-identical under the same seed.
+
+    ``registry`` (optional :class:`~repro.obs.MetricsRegistry`) turns on
+    observability: stage timers, eviction counters/histograms, and
+    uniform ``measure.*`` scheme gauges including construction
+    throughput. ``eviction_trace`` attaches a bounded ring capturing the
+    tail of the eviction stream. Neither changes measurement results.
     """
     packets = np.asarray(packets, dtype=np.uint64)
     if len(packets) == 0:
@@ -120,9 +132,14 @@ def measure(
             "give either sram_kb+cache_kb or target_rel_error+size_of_interest"
         )
 
-    caesar = Caesar(config)
+    caesar = Caesar(config, registry=registry, eviction_trace=eviction_trace)
+    t0 = time.perf_counter()
     caesar.process(packets, lengths)
     caesar.finalize()
+    if registry is not None:
+        observe_scheme(
+            registry, caesar, "measure", elapsed_seconds=time.perf_counter() - t0
+        )
     return MeasurementResult(
         caesar=caesar, num_packets=len(packets), num_flows_seen=num_flows
     )

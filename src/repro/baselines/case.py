@@ -30,6 +30,9 @@ from repro.cachesim.buffer import EvictionBuffer
 from repro.cachesim.cache import FlowCache
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import HashFamily
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.schemes import observe_cache_stats, observe_scheme
+from repro.obs.trace import EvictionTrace
 from repro.sram.layout import cache_entries_for_budget
 from repro.types import FlowIdArray
 
@@ -103,13 +106,22 @@ class CaseConfig:
 class Case:
     """One CASE instance: cache front end, DISCO counters behind."""
 
-    def __init__(self, config: CaseConfig) -> None:
+    def __init__(
+        self,
+        config: CaseConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+        eviction_trace: EvictionTrace | None = None,
+    ) -> None:
         self.config = config
+        self.metrics = resolve_registry(registry)
         self.cache = FlowCache(
             num_entries=config.cache_entries,
             entry_capacity=config.entry_capacity,
             policy=config.replacement,
             seed=config.seed ^ 0xCACE,
+            registry=registry,
+            trace=eviction_trace,
         )
         self.curve = DiscoCurve(config.gamma, config.counter_capacity, config.max_value)
         self.array = CompressedCounterArray(
@@ -145,7 +157,8 @@ class Case:
         reasons: npt.NDArray[np.uint8],
     ) -> None:
         """Batched eviction drain: one vectorized fold per chunk."""
-        self.array.add_values(self._slots(ids), values)
+        with self.metrics.timer("case.fold"):
+            self.array.add_values(self._slots(ids), values)
         self.power_operations += len(ids)
 
     # -- construction phase ---------------------------------------------------
@@ -154,21 +167,26 @@ class Case:
         """Feed a packet batch through the cache + compress pipeline."""
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
-        if self.engine == "batched":
-            self.cache.process_into(packets, self._buffer, self._drain)
-        else:
-            self.cache.process(packets, self._sink)
+        with self.metrics.timer("case.process"):
+            if self.engine == "batched":
+                self.cache.process_into(packets, self._buffer, self._drain)
+            else:
+                self.cache.process(packets, self._sink)
         self._packets_seen += len(packets)
 
     def finalize(self) -> None:
         """Dump resident cache entries into the compressed counters."""
         if self._finalized:
             return
-        if self.engine == "batched":
-            self.cache.dump_into(self._buffer, self._drain)
-        else:
-            self.cache.dump(self._sink)
+        with self.metrics.timer("case.finalize"):
+            if self.engine == "batched":
+                self.cache.dump_into(self._buffer, self._drain)
+            else:
+                self.cache.dump(self._sink)
         self._finalized = True
+        observe_cache_stats(self.metrics, self.cache.stats, "case.cache")
+        observe_scheme(self.metrics, self, "case")
+        self.metrics.gauge("case.power_operations").set(self.power_operations)
 
     # -- query phase --------------------------------------------------------------
 

@@ -29,6 +29,8 @@ import numpy.typing as npt
 from repro.core.csm import csm_estimate
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import BankedIndexer
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.schemes import observe_scheme
 from repro.sram.counterarray import BankedCounterArray
 from repro.sram.layout import bank_size_for_budget
 from repro.types import FlowIdArray
@@ -77,8 +79,11 @@ class RCSConfig:
 class RCS:
     """Randomized Counter Sharing with CSM and MLM decoding."""
 
-    def __init__(self, config: RCSConfig) -> None:
+    def __init__(
+        self, config: RCSConfig, *, registry: MetricsRegistry | None = None
+    ) -> None:
         self.config = config
+        self.metrics = resolve_registry(registry)
         self.indexer = BankedIndexer(config.k, config.bank_size, seed=config.seed)
         self.counters = BankedCounterArray(
             k=config.k,
@@ -106,18 +111,23 @@ class RCS:
         yields the same counters under the same seed.
         """
         packets = np.asarray(packets, dtype=np.uint64)
-        for start in range(0, len(packets), self.chunk_size):
-            chunk = packets[start : start + self.chunk_size]
-            uniq, inverse = np.unique(chunk, return_inverse=True)
-            idx_matrix = self.indexer.indices(uniq)  # (U, k)
-            banks = self._rng.integers(0, self.config.k, size=len(chunk))
-            flat = idx_matrix[inverse, banks]
-            self.counters.add_at(flat, 1)
-            self._packets_seen += len(chunk)
+        metrics = self.metrics
+        chunk_counter = metrics.counter("rcs.chunks")
+        with metrics.timer("rcs.process"):
+            for start in range(0, len(packets), self.chunk_size):
+                chunk = packets[start : start + self.chunk_size]
+                uniq, inverse = np.unique(chunk, return_inverse=True)
+                idx_matrix = self.indexer.indices(uniq)  # (U, k)
+                banks = self._rng.integers(0, self.config.k, size=len(chunk))
+                flat = idx_matrix[inverse, banks]
+                self.counters.add_at(flat, 1)
+                self._packets_seen += len(chunk)
+                chunk_counter.inc()
 
     def finalize(self) -> None:
         """RCS has no cache to dump — provided for scheme-protocol
-        symmetry (idempotent no-op)."""
+        symmetry (idempotent; records the scheme-level gauges)."""
+        observe_scheme(self.metrics, self, "rcs")
 
     @property
     def num_packets(self) -> int:

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 import numpy.typing as npt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.trace import EvictionTrace
 
 
 class EvictionReason(enum.Enum):
@@ -70,6 +73,14 @@ class CacheStats:
     ``hits + misses == accesses`` and
     ``evicted_packets + dumped_packets + lost == accesses`` with no
     loss in CAESAR.
+
+    ``trace`` is an optional bounded eviction ring
+    (:class:`repro.obs.trace.EvictionTrace`): when set, every recorded
+    eviction (and final dump) is also appended to the ring with the
+    access count at recording time as its packet index. The trace is an
+    observer, not part of the measurement, so it is excluded from stats
+    equality — two engines producing identical stats may hold
+    differently-chunked traces.
     """
 
     accesses: int = 0
@@ -82,19 +93,31 @@ class CacheStats:
     dumped_packets: int = 0
     #: Histogram of evicted values (index = value), grown on demand.
     eviction_value_counts: dict[int, int] = field(default_factory=dict)
+    #: Optional eviction-trace ring (observability only, not compared).
+    trace: "EvictionTrace | None" = field(default=None, compare=False, repr=False)
 
-    def record_eviction(self, value: int, reason: EvictionReason) -> None:
+    def record_eviction(self, value: int, reason: EvictionReason, flow_id: int = 0) -> None:
         if reason is EvictionReason.OVERFLOW:
             self.overflow_evictions += 1
         elif reason is EvictionReason.REPLACEMENT:
             self.replacement_evictions += 1
         self.evicted_packets += value
         self.eviction_value_counts[value] = self.eviction_value_counts.get(value, 0) + 1
+        if self.trace is not None:
+            self.trace.record(flow_id, value, reason.code, self.accesses)
+
+    def record_dump(self, flow_id: int, value: int) -> None:
+        """Record one final-dump entry (scalar ``dump`` path)."""
+        self.dumped_entries += 1
+        self.dumped_packets += value
+        if self.trace is not None:
+            self.trace.record(flow_id, value, FINAL_DUMP_CODE, self.accesses)
 
     def record_batch(
         self,
         values: npt.NDArray[np.int64],
         reasons: npt.NDArray[np.uint8],
+        ids: npt.NDArray[np.uint64] | None = None,
     ) -> None:
         """Batched :meth:`record_eviction` over one drained buffer chunk.
 
@@ -102,9 +125,13 @@ class CacheStats:
         Final-dump rows update the dump accounting instead of the
         eviction accounting, exactly like the scalar :meth:`record_eviction`
         / ``dump`` pair, so both engines end a run with equal stats.
+        When ``ids`` is given and a trace ring is attached, the chunk is
+        also traced (all rows share the flush-time access count).
         """
         if len(values) == 0:
             return
+        if self.trace is not None and ids is not None:
+            self.trace.record_batch(ids, values, reasons, self.accesses)
         per_reason = np.bincount(reasons, minlength=3)
         self.overflow_evictions += int(per_reason[OVERFLOW_CODE])
         self.replacement_evictions += int(per_reason[REPLACEMENT_CODE])

@@ -45,6 +45,8 @@ from repro.cachesim.buffer import EvictionBuffer, EvictionDrain
 from repro.cachesim.lru import LRUPolicy
 from repro.cachesim.random_replace import RandomPolicy
 from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.trace import EvictionTrace
 
 #: Signature of an eviction sink.
 EvictionSink = Callable[[int, int, EvictionReason], None]
@@ -69,6 +71,9 @@ class FlowCache:
         entry_capacity: int,
         policy: str | CachePolicy = "lru",
         seed: int = 0,
+        *,
+        registry: MetricsRegistry | None = None,
+        trace: EvictionTrace | None = None,
     ) -> None:
         if num_entries < 1:
             raise ConfigError(f"num_entries must be >= 1, got {num_entries}")
@@ -80,7 +85,10 @@ class FlowCache:
             make_policy(policy, seed) if isinstance(policy, str) else policy
         )
         self._counts: dict[int, int] = {}
-        self.stats = CacheStats()
+        # Observability is chunk-granular and off by default (the null
+        # registry); neither mode ever touches measurement state.
+        self._metrics = resolve_registry(registry)
+        self.stats = CacheStats(trace=trace)
 
     # -- core per-packet path ----------------------------------------------
 
@@ -104,7 +112,7 @@ class FlowCache:
             cur += weight
             if cur >= self.entry_capacity:
                 # Overflow eviction: flush the full value, keep residency.
-                stats.record_eviction(cur, EvictionReason.OVERFLOW)
+                stats.record_eviction(cur, EvictionReason.OVERFLOW, flow_id)
                 sink(flow_id, cur, EvictionReason.OVERFLOW)
                 counts[flow_id] = 0
             else:
@@ -116,13 +124,13 @@ class FlowCache:
             value = counts.pop(victim)
             self._policy.remove(victim)
             if value > 0:
-                stats.record_eviction(value, EvictionReason.REPLACEMENT)
+                stats.record_eviction(value, EvictionReason.REPLACEMENT, victim)
                 sink(victim, value, EvictionReason.REPLACEMENT)
         counts[flow_id] = weight
         self._policy.insert(flow_id)
         if weight >= self.entry_capacity:
             # A single jumbo update can overflow a fresh entry outright.
-            stats.record_eviction(weight, EvictionReason.OVERFLOW)
+            stats.record_eviction(weight, EvictionReason.OVERFLOW, flow_id)
             sink(flow_id, weight, EvictionReason.OVERFLOW)
             counts[flow_id] = 0
 
@@ -141,14 +149,15 @@ class FlowCache:
         ``np.uint64`` boxing, which roughly halves per-packet cost.
         """
         access = self.access
-        if weights is None:
-            for fid in packets.tolist():
-                access(fid, sink)
-            return
-        if len(weights) != len(packets):
-            raise ConfigError("weights must align with packets")
-        for fid, w in zip(packets.tolist(), weights.tolist()):
-            access(fid, sink, w)
+        with self._metrics.timer("cache.process"):
+            if weights is None:
+                for fid in packets.tolist():
+                    access(fid, sink)
+                return
+            if len(weights) != len(packets):
+                raise ConfigError("weights must align with packets")
+            for fid, w in zip(packets.tolist(), weights.tolist()):
+                access(fid, sink, w)
 
     # -- batched (buffered) path --------------------------------------------
 
@@ -157,9 +166,23 @@ class FlowCache:
         if buffer.length == 0:
             return
         ids, values, reasons = buffer.chunk()
-        self.stats.record_batch(values, reasons)
-        drain(ids, values, reasons)
+        self.stats.record_batch(values, reasons, ids)
+        metrics = self._metrics
+        metrics.counter("cache.drain_chunks").inc()
+        metrics.histogram("cache.chunk_rows").observe(buffer.length)
+        with metrics.timer("cache.drain"):
+            drain(ids, values, reasons)
         buffer.clear()
+
+    def flush_pending(self, buffer: EvictionBuffer, drain: EvictionDrain) -> None:
+        """Deliver any chunk still pending in ``buffer`` (no-op when empty).
+
+        Schemes call this (directly or via :meth:`dump_into`) on
+        ``finalize()`` so downstream counters are complete even when the
+        final chunk never filled — including the empty-sized case of a
+        zero-packet stream, where this is simply a no-op.
+        """
+        self._flush(buffer, drain)
 
     def process_into(
         self,
@@ -178,6 +201,17 @@ class FlowCache:
         are up to date at every API boundary. ``drain`` must not touch
         this cache (it runs mid-loop).
         """
+        with self._metrics.timer("cache.process"):
+            self._process_into(packets, buffer, drain, weights)
+
+    def _process_into(
+        self,
+        packets: npt.NDArray[np.uint64],
+        buffer: EvictionBuffer,
+        drain: EvictionDrain,
+        weights: npt.NDArray[np.int64] | None = None,
+    ) -> None:
+        """Untimed :meth:`process_into` body (one loop per weight mode)."""
         counts = self._counts
         policy = self._policy
         touch, insert, remove, pick_victim = (
@@ -258,16 +292,24 @@ class FlowCache:
         self._flush(buffer, drain)
 
     def dump_into(self, buffer: EvictionBuffer, drain: EvictionDrain) -> None:
-        """Batched counterpart of :meth:`dump` (buffer flushed on return)."""
-        append = buffer.append
-        remove = self._policy.remove
-        for flow_id, value in self._counts.items():
-            if value > 0:
-                if append(flow_id, value, FINAL_DUMP_CODE):
-                    self._flush(buffer, drain)
-            remove(flow_id)
-        self._counts.clear()
-        self._flush(buffer, drain)
+        """Batched counterpart of :meth:`dump` (buffer flushed on return).
+
+        Any chunk already pending in ``buffer`` is delivered *first*, on
+        its own — so finalize always flushes cache → SRAM residue even
+        when the dump itself contributes zero rows (e.g. a zero-packet
+        stream, or a cache already emptied by a previous dump).
+        """
+        with self._metrics.timer("cache.dump"):
+            self.flush_pending(buffer, drain)
+            append = buffer.append
+            remove = self._policy.remove
+            for flow_id, value in self._counts.items():
+                if value > 0:
+                    if append(flow_id, value, FINAL_DUMP_CODE):
+                        self._flush(buffer, drain)
+                remove(flow_id)
+            self._counts.clear()
+            self._flush(buffer, drain)
 
     # -- end of measurement --------------------------------------------------
 
@@ -277,13 +319,13 @@ class FlowCache:
         The paper: "At the end of the measurement, we dump all the
         cache entries to the SRAM counters."
         """
-        for flow_id, value in self._counts.items():
-            if value > 0:
-                self.stats.dumped_entries += 1
-                self.stats.dumped_packets += value
-                sink(flow_id, value, EvictionReason.FINAL_DUMP)
-            self._policy.remove(flow_id)
-        self._counts.clear()
+        with self._metrics.timer("cache.dump"):
+            for flow_id, value in self._counts.items():
+                if value > 0:
+                    self.stats.record_dump(flow_id, value)
+                    sink(flow_id, value, EvictionReason.FINAL_DUMP)
+                self._policy.remove(flow_id)
+            self._counts.clear()
 
     # -- introspection ---------------------------------------------------------
 
@@ -324,8 +366,9 @@ class FlowCache:
         return out
 
     def reset_stats(self) -> None:
-        """Start a fresh statistics epoch (contents untouched)."""
-        self.stats = CacheStats()
+        """Start a fresh statistics epoch (contents untouched; an
+        attached eviction-trace ring keeps rolling across epochs)."""
+        self.stats = CacheStats(trace=self.stats.trace)
 
     def iter_entries(self) -> Iterator[tuple[int, int]]:
         """Iterate resident ``(flow_id, count)`` pairs (inspection only)."""

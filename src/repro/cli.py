@@ -7,6 +7,13 @@ Subcommands::
     caesar-repro list                      # available experiments
     caesar-repro trace --out t.npz         # generate/save a workload
     caesar-repro measure --trace t.npz --sram-kb 4 --cache-kb 4 --top 10
+    caesar-repro stats m.json              # pretty-print a metrics snapshot
+
+``run``, ``report``, and ``measure`` accept ``--metrics-out PATH``:
+observability is switched on (a :class:`~repro.obs.MetricsRegistry`
+threaded through every scheme built) and the final snapshot is written
+as JSON — deterministic counters/histograms under a fixed seed, wall
+clock only inside timer ``seconds`` (see docs/observability.md).
 
 For backwards compatibility a bare experiment name still works::
 
@@ -23,6 +30,7 @@ import numpy as np
 
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.experiments.trace_setup import DEFAULT_SEED, ExperimentSetup, configured_scale
+from repro.obs.registry import MetricsRegistry
 from repro.traffic.trace import Trace, default_paper_trace
 
 
@@ -47,6 +55,30 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable observability and write the metrics snapshot as JSON here "
+        "(counters/histograms are deterministic under a fixed seed)",
+    )
+
+
+def _registry_from(args: argparse.Namespace) -> MetricsRegistry | None:
+    return MetricsRegistry() if getattr(args, "metrics_out", None) else None
+
+
+def _maybe_write_metrics(
+    args: argparse.Namespace, registry: MetricsRegistry | None
+) -> None:
+    if registry is None:
+        return
+    from repro.analysis.export import export_metrics
+
+    print(f"[wrote {export_metrics(args.metrics_out, registry)}]")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="caesar-repro",
@@ -63,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <id>_measured.csv and <id>_report.txt here",
     )
+    _add_metrics_arg(run_p)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -76,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(report_p)
     _add_engine_arg(report_p)
     report_p.add_argument("--out", default="REPORT.md", help="output markdown path")
+    _add_metrics_arg(report_p)
 
     measure_p = sub.add_parser("measure", help="run CAESAR over a saved trace")
     measure_p.add_argument("--trace", required=True, help="input .npz trace")
@@ -86,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     measure_p.add_argument("--method", choices=["csm", "mlm", "median"], default="csm")
     measure_p.add_argument("--top", type=int, default=10, help="print the top-N flows")
     _add_engine_arg(measure_p)
+    _add_metrics_arg(measure_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="pretty-print a metrics snapshot written by --metrics-out"
+    )
+    stats_p.add_argument("snapshot", help="metrics JSON file")
     return parser
 
 
@@ -96,6 +136,7 @@ def _setup_from(args: argparse.Namespace) -> ExperimentSetup:
         scale=scale,
         seed=args.seed,
         engine=getattr(args, "engine", "batched"),
+        registry=_registry_from(args),
     )
 
 
@@ -114,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             for path in export_result(result, args.export_dir):
                 print(f"[wrote {path}]")
+    _maybe_write_metrics(args, setup.registry)
     return 0
 
 
@@ -153,6 +195,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         lines.append("")
     Path(args.out).write_text("\n".join(lines))
     print(f"wrote {args.out}")
+    _maybe_write_metrics(args, setup.registry)
     return 0
 
 
@@ -172,7 +215,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     print(f"measuring with {config.describe()}")
-    caesar = Caesar(config)
+    registry = _registry_from(args)
+    caesar = Caesar(config, registry=registry)
     caesar.process(trace.packets)
     caesar.finalize()
     estimates = caesar.estimate(trace.flows.ids, args.method, clip_negative=True)
@@ -185,6 +229,18 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             f"  {int(trace.flows.ids[i]):>20d}  "
             f"{estimates[i]:>12.1f}  {int(trace.flows.sizes[i]):>10d}"
         )
+    _maybe_write_metrics(args, registry)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.export import format_metrics
+
+    snapshot = json.loads(Path(args.snapshot).read_text())
+    print(format_metrics(snapshot))
     return 0
 
 
@@ -206,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "measure":
         return _cmd_measure(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     build_parser().print_help()
     return 2
 

@@ -41,6 +41,9 @@ from repro.core.config import CaesarConfig
 from repro.core.split import split_batch, split_evenly, split_evenly_batch, split_value
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import BankedIndexer, BankedIndexMemo
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.schemes import observe_cache_stats, observe_scheme
+from repro.obs.trace import EvictionTrace
 from repro.sram.counterarray import BankedCounterArray
 from repro.types import FlowIdArray
 
@@ -72,13 +75,21 @@ class Caesar:
         config: CaesarConfig,
         *,
         buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+        registry: MetricsRegistry | None = None,
+        eviction_trace: EvictionTrace | None = None,
     ) -> None:
         self.config = config
+        # Observability (off by default): stage timers + counters go to
+        # ``registry``; ``eviction_trace`` rides on the cache stats.
+        # Neither perturbs measurement results (tests/test_obs.py).
+        self.metrics = resolve_registry(registry)
         self.cache = FlowCache(
             num_entries=config.cache_entries,
             entry_capacity=config.entry_capacity,
             policy=config.replacement,
             seed=config.seed ^ 0xCACE,
+            registry=registry,
+            trace=eviction_trace,
         )
         self.indexer = BankedIndexer(config.k, config.bank_size, seed=config.seed)
         self.counters = BankedCounterArray(
@@ -140,14 +151,22 @@ class Caesar:
         """Batched eviction drain: land one buffer chunk on the SRAM.
 
         One memoized index resolution, one vectorized split, one
-        scatter-add — regardless of chunk size.
+        scatter-add — regardless of chunk size. Each stage runs under
+        its own timer (``caesar.index`` / ``caesar.split`` /
+        ``caesar.scatter_add``) so the Fig. 8-style timing breakdown is
+        observable per run; the enclosing ``cache.drain`` timer (started
+        by the cache's flush) covers the whole chunk hand-off.
         """
-        idx = self._memo.indices_for(ids)  # (n, k)
-        if self.config.remainder == "random":
-            parts = split_batch(values, self.config.k, self._rng)
-        else:
-            parts = split_evenly_batch(values, self.config.k)
-        self.counters.add_at(idx.ravel(), parts.ravel())
+        metrics = self.metrics
+        with metrics.timer("caesar.index"):
+            idx = self._memo.indices_for(ids)  # (n, k)
+        with metrics.timer("caesar.split"):
+            if self.config.remainder == "random":
+                parts = split_batch(values, self.config.k, self._rng)
+            else:
+                parts = split_evenly_batch(values, self.config.k)
+        with metrics.timer("caesar.scatter_add"):
+            self.counters.add_at(idx.ravel(), parts.ravel())
 
     def process(
         self,
@@ -164,10 +183,11 @@ class Caesar:
         """
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
-        if self.engine == "batched":
-            self.cache.process_into(packets, self._buffer, self._drain, weights=lengths)
-        else:
-            self.cache.process(packets, self._sink, weights=lengths)
+        with self.metrics.timer("caesar.process"):
+            if self.engine == "batched":
+                self.cache.process_into(packets, self._buffer, self._drain, weights=lengths)
+            else:
+                self.cache.process(packets, self._sink, weights=lengths)
         self._packets_seen += len(packets)
         self._mass_seen += int(lengths.sum()) if lengths is not None else len(packets)
 
@@ -178,11 +198,14 @@ class Caesar:
         """
         if self._finalized:
             return
-        if self.engine == "batched":
-            self.cache.dump_into(self._buffer, self._drain)
-        else:
-            self.cache.dump(self._sink)
+        with self.metrics.timer("caesar.finalize"):
+            if self.engine == "batched":
+                self.cache.dump_into(self._buffer, self._drain)
+            else:
+                self.cache.dump(self._sink)
         self._finalized = True
+        observe_cache_stats(self.metrics, self.cache.stats, "caesar.cache")
+        observe_scheme(self.metrics, self, "caesar")
 
     # -- query phase -------------------------------------------------------------
 

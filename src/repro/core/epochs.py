@@ -27,6 +27,8 @@ from repro.core import mlm as mlm_mod
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.errors import ConfigError, QueryError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.schemes import observe_scheme
 from repro.types import FlowIdArray
 
 
@@ -45,9 +47,12 @@ class EpochRecord:
 class EpochalCaesar:
     """Continuous CAESAR measurement in fixed epochs."""
 
-    def __init__(self, config: CaesarConfig) -> None:
+    def __init__(
+        self, config: CaesarConfig, *, registry: MetricsRegistry | None = None
+    ) -> None:
         self.config = config
-        self._caesar = Caesar(config)
+        self.metrics = resolve_registry(registry)
+        self._caesar = Caesar(config, registry=registry)
         self._history: list[EpochRecord] = []
 
     # -- online loop -------------------------------------------------------
@@ -74,6 +79,13 @@ class EpochalCaesar:
             evictions=stats.total_evictions,
         )
         self._history.append(record)
+        if self.metrics.enabled:
+            # Uniform scheme gauges describe the epoch just closed; the
+            # counter tracks how many epochs this instance has completed.
+            self.metrics.counter("epochs.closed").inc()
+            observe_scheme(self.metrics, caesar, "epoch")
+            self.metrics.gauge("epoch.hit_rate").set(record.hit_rate)
+            self.metrics.gauge("epoch.evictions").set(record.evictions)
         caesar.reset()
         return record
 

@@ -29,6 +29,8 @@ from repro.core.config import CaesarConfig
 from repro.core.scheme import MeasurementScheme
 from repro.errors import ConfigError, QueryError
 from repro.hashing.family import HashFamily
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.schemes import observe_scheme
 from repro.types import FlowIdArray
 
 
@@ -59,10 +61,14 @@ class ShardedScheme:
         num_shards: int,
         *,
         shard_seed: int = 0x5AA2D,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
+        # One registry observes the whole deployment: stage metrics from
+        # shards sharing it aggregate naturally across shards.
+        self.metrics = resolve_registry(registry)
         self.shards: Sequence[MeasurementScheme] = [
             make_shard(i) for i in range(num_shards)
         ]
@@ -108,26 +114,32 @@ class ShardedScheme:
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
         packets = np.asarray(packets, dtype=np.uint64)
-        parts = self._partition(packets, lengths)
-        if max_workers is None or max_workers <= 1 or self.num_shards == 1:
-            for shard, (pkts, lens) in zip(self.shards, parts):
-                _run_shard(shard, pkts, lens)
-            return
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            self.shards = list(
-                pool.map(
-                    _run_shard,
-                    self.shards,
-                    [p for p, _ in parts],
-                    [lens for _, lens in parts],
+        with self.metrics.timer("sharded.process"):
+            parts = self._partition(packets, lengths)
+            if max_workers is None or max_workers <= 1 or self.num_shards == 1:
+                for shard, (pkts, lens) in zip(self.shards, parts):
+                    _run_shard(shard, pkts, lens)
+                return
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                self.shards = list(
+                    pool.map(
+                        _run_shard,
+                        self.shards,
+                        [p for p, _ in parts],
+                        [lens for _, lens in parts],
+                    )
                 )
-            )
 
     def finalize(self) -> None:
-        """Finalize every shard (idempotent)."""
+        """Finalize every shard (idempotent); records the aggregate and
+        per-shard protocol gauges."""
         for shard in self.shards:
             shard.finalize()
         self._finalized = True
+        if self.metrics.enabled:
+            observe_scheme(self.metrics, self, "sharded")
+            for i, shard in enumerate(self.shards):
+                observe_scheme(self.metrics, shard, f"sharded.shard{i}")
 
     # -- query phase ----------------------------------------------------------------
 
@@ -179,6 +191,7 @@ class ShardedCaesar(ShardedScheme):
         *,
         divide_budget: bool = True,
         shard_seed: int = 0x5AA2D,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -193,11 +206,16 @@ class ShardedCaesar(ShardedScheme):
         else:
             shard_config = config
         self.shard_config = shard_config
-        # Distinct per-shard seeds so shards are hash-independent.
+        # Distinct per-shard seeds so shards are hash-independent; all
+        # shards report into the same registry (aggregated stage totals).
         super().__init__(
-            lambda i: Caesar(replace(shard_config, seed=shard_config.seed + 0x9E37 * i)),
+            lambda i: Caesar(
+                replace(shard_config, seed=shard_config.seed + 0x9E37 * i),
+                registry=registry,
+            ),
             num_shards,
             shard_seed=shard_seed,
+            registry=registry,
         )
 
     @property

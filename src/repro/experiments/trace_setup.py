@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
 from repro.traffic.trace import Trace, default_paper_trace
 
 #: Paper Section 6.2 budgets, in KB, at scale 1.0.
@@ -43,6 +44,9 @@ class ExperimentSetup:
     #: Construction engine for cache-assisted schemes ("batched" or
     #: "scalar"); both are bit-identical, batched is faster.
     engine: str = "batched"
+    #: Optional metrics registry threaded into every scheme the
+    #: experiment builders construct (None = observability off).
+    registry: MetricsRegistry | None = None
 
     @property
     def cache_kb(self) -> float:

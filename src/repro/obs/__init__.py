@@ -1,0 +1,53 @@
+"""Observability for the measurement pipeline (``repro.obs``).
+
+A zero-overhead-when-disabled metrics layer: a deterministic
+:class:`MetricsRegistry` (counters, gauges, fixed-edge histograms),
+lightweight stage timers (``with registry.timer("caesar.drain")``)
+wired into the cache → split → SRAM hot paths, and an optional bounded
+:class:`EvictionTrace` ring exposed through
+:class:`~repro.cachesim.base.CacheStats`.
+
+Enable by passing ``registry=MetricsRegistry()`` (and optionally
+``eviction_trace=EvictionTrace()``) to any scheme constructor or to
+:func:`repro.measure`; export with
+:func:`repro.analysis.export.export_metrics` or the CLI's
+``--metrics-out`` flag. See docs/observability.md for the metric-name
+catalogue and the determinism contract.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_EDGES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimerStat,
+    resolve_registry,
+    snapshot_of,
+)
+from repro.obs.schemes import observe_cache_stats, observe_scheme
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    EvictionTrace,
+    EvictionTraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_EDGES",
+    "DEFAULT_TRACE_CAPACITY",
+    "EvictionTrace",
+    "EvictionTraceEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "TimerStat",
+    "observe_cache_stats",
+    "observe_scheme",
+    "resolve_registry",
+    "snapshot_of",
+]

@@ -1,0 +1,320 @@
+"""Deterministic metrics registry: counters, gauges, histograms, timers.
+
+The registry is the one mutable surface the observability layer adds to
+the measurement pipeline. Design constraints (see docs/observability.md):
+
+- **deterministic** — counters and histograms depend only on the packet
+  stream and the configuration seed, never on wall-clock time, so two
+  runs with the same seed export byte-identical counter/histogram
+  sections. Histograms use *fixed* bucket edges chosen at registration,
+  not data-dependent ones. Timers are the one non-deterministic family;
+  their call counts are deterministic, their accumulated seconds are not,
+  and :meth:`MetricsRegistry.snapshot` keeps the two in separate fields
+  so consumers can compare the deterministic part exactly.
+- **zero overhead when disabled** — the hot paths hold a registry
+  reference unconditionally; the disabled path is the shared
+  :data:`NULL_REGISTRY`, whose counters/gauges/histograms/timers are
+  method-level no-ops on shared singletons (no allocation per call).
+  ``benchmarks/bench_micro.py`` gauges both paths.
+- **non-perturbing when enabled** — no instrument touches a random
+  generator or any measurement state, so results stay bit-identical
+  with metrics on or off (``tests/test_obs.py``).
+
+Instrumentation is chunk-granular, never per-packet: stage timers wrap
+whole ``process``/``drain``/``finalize`` calls, and eviction accounting
+reuses the cache's existing :class:`~repro.cachesim.base.CacheStats`
+rather than double-counting in the loop body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+
+#: Default histogram edges: powers of two up to 64Ki. Evicted cache
+#: values and drained chunk sizes both live comfortably in this range.
+DEFAULT_EDGES: tuple[int, ...] = tuple(1 << i for i in range(17))
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value metric (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-edge histogram (deterministic under a fixed seed).
+
+    Bucket ``i`` counts observations ``v`` with
+    ``edges[i-1] < v <= edges[i]``; one extra overflow bucket catches
+    ``v > edges[-1]``. Edges are fixed at registration so the exported
+    shape never depends on the data.
+    """
+
+    __slots__ = ("name", "edges", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigError(f"histogram {name!r} needs strictly increasing edges")
+        self.name = name
+        self.edges = tuple(edges)
+        self.bucket_counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += int(value)
+
+    def observe_many(self, values: npt.NDArray[np.int64]) -> None:
+        """Vectorized :meth:`observe` over one array (e.g. a drained chunk)."""
+        if len(values) == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.edges), values, side="left")
+        per_bucket = np.bincount(idx, minlength=len(self.bucket_counts))
+        counts = self.bucket_counts
+        for i, c in enumerate(per_bucket.tolist()):
+            counts[i] += c
+        self.count += len(values)
+        self.total += int(values.sum())
+
+
+class TimerStat:
+    """Accumulated wall-clock time of one pipeline stage.
+
+    ``calls`` is deterministic (it counts stage invocations); ``seconds``
+    is wall time and therefore is not — snapshots keep them separate.
+    """
+
+    __slots__ = ("name", "calls", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+
+
+class _TimerContext:
+    """``with registry.timer("caesar.drain"):`` — one timed stage run."""
+
+    __slots__ = ("_stat", "_t0")
+
+    def __init__(self, stat: TimerStat) -> None:
+        self._stat = stat
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        stat = self._stat
+        stat.calls += 1
+        stat.seconds += time.perf_counter() - self._t0
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    One registry observes one logical pipeline (possibly several scheme
+    instances — e.g. every shard of a :class:`~repro.core.sharded.ShardedScheme`
+    shares its registry, so stage totals aggregate naturally).
+    """
+
+    #: False only on :class:`NullRegistry`; lets call sites skip building
+    #: export-only structures when nobody is listening.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # -- instrument accessors (get-or-create) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, edges: Sequence[float] = DEFAULT_EDGES) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges)
+        elif tuple(edges) != h.edges:
+            raise ConfigError(f"histogram {name!r} already registered with different edges")
+        return h
+
+    def timer(self, name: str) -> _TimerContext:
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat(name)
+        return _TimerContext(stat)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All recorded metrics as one JSON-serializable dict.
+
+        The ``counters`` and ``histograms`` sections (and every timer's
+        ``calls``) are deterministic under a fixed seed; timer
+        ``seconds`` and throughput gauges are wall-clock measurements.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "edges": list(h.edges),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                n: {"calls": t.calls, "seconds": t.seconds}
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document (sorted keys, stable layout)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry without re-plumbing)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms, "
+            f"{len(self._timers)} timers)"
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: npt.NDArray[np.int64]) -> None:
+        pass
+
+
+class _NullTimer:
+    """Shared no-op context manager: entering/leaving costs two empty calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", (1,))
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled path: every accessor returns a shared no-op singleton.
+
+    No instrument is ever created, no state is ever written, and
+    :meth:`timer` returns one preallocated context manager — the cost of
+    instrumentation with metrics off is a method call returning a
+    constant, unmeasurable at chunk granularity (see
+    ``bench_micro.bench_caesar_construction_metrics_enabled``).
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, edges: Sequence[float] = DEFAULT_EDGES) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str) -> _NullTimer:  # type: ignore[override]
+        return _NULL_TIMER
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+
+
+#: The process-wide disabled registry. Components default to this, so
+#: ``registry=None`` everywhere means "observability off".
+NULL_REGISTRY = NullRegistry()
+
+
+def resolve_registry(registry: "MetricsRegistry | None") -> MetricsRegistry:
+    """Map the public ``registry=None`` convention onto :data:`NULL_REGISTRY`."""
+    return NULL_REGISTRY if registry is None else registry
+
+
+def snapshot_of(source: "MetricsRegistry | Mapping") -> dict:
+    """A snapshot dict from either a registry or an already-taken snapshot."""
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return dict(source)

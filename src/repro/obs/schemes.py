@@ -1,0 +1,63 @@
+"""Uniform scheme-level observation helpers.
+
+Every object speaking the :class:`~repro.core.scheme.MeasurementScheme`
+protocol already exposes ``num_packets`` and ``memory_bits``; these
+helpers project that surface (plus the cache statistics of
+cache-assisted schemes) into a registry under a common naming scheme,
+so the one-call API, the epoch loop, the sharded facade, and the
+experiment builders all report identically-shaped gauges:
+
+- ``<prefix>.memory_bits`` / ``<prefix>.num_packets`` — protocol gauges;
+- ``<prefix>.throughput_pps`` — optional, when the caller timed the
+  construction phase (wall clock, not deterministic);
+- ``<prefix>.cache.*`` — the :class:`~repro.cachesim.base.CacheStats`
+  counters of a cache-assisted scheme, recorded once at finalize time
+  (zero hot-path cost, deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cachesim.base import CacheStats
+    from repro.core.scheme import MeasurementScheme
+
+#: CacheStats fields mirrored into gauges by :func:`observe_cache_stats`.
+_CACHE_STAT_FIELDS = (
+    "accesses",
+    "hits",
+    "misses",
+    "overflow_evictions",
+    "replacement_evictions",
+    "evicted_packets",
+    "dumped_entries",
+    "dumped_packets",
+)
+
+
+def observe_scheme(
+    registry: MetricsRegistry,
+    scheme: "MeasurementScheme",
+    prefix: str,
+    *,
+    elapsed_seconds: float | None = None,
+) -> None:
+    """Record the protocol-level gauges of one scheme instance."""
+    if not registry.enabled:
+        return
+    registry.gauge(f"{prefix}.memory_bits").set(scheme.memory_bits)
+    registry.gauge(f"{prefix}.num_packets").set(scheme.num_packets)
+    if elapsed_seconds is not None and elapsed_seconds > 0:
+        registry.gauge(f"{prefix}.throughput_pps").set(scheme.num_packets / elapsed_seconds)
+
+
+def observe_cache_stats(registry: MetricsRegistry, stats: "CacheStats", prefix: str) -> None:
+    """Mirror one :class:`CacheStats` into ``<prefix>.*`` gauges."""
+    if not registry.enabled:
+        return
+    for field_name in _CACHE_STAT_FIELDS:
+        registry.gauge(f"{prefix}.{field_name}").set(getattr(stats, field_name))
+    registry.gauge(f"{prefix}.hit_rate").set(stats.hit_rate)

@@ -1,0 +1,136 @@
+"""Bounded eviction-trace ring buffer.
+
+For debugging and evaluation (the paper's Section 5 memory-budget
+analysis reasons about the *eviction mix* — how much mass leaves the
+cache as overflows vs. replacement victims over the course of a trace),
+it is useful to see the tail of the actual eviction stream, not just
+its aggregate statistics. :class:`EvictionTrace` is a fixed-capacity
+columnar ring: the cache records every eviction (flow id, value,
+reason code, packet index) into preallocated NumPy columns, overwriting
+the oldest rows once full, so memory stays bounded no matter how long
+the run.
+
+The trace rides on :class:`~repro.cachesim.base.CacheStats` (pass
+``trace=EvictionTrace(...)`` to :class:`~repro.cachesim.FlowCache` or a
+scheme constructor) and is excluded from stats equality — it observes
+the eviction stream, it is not part of the measurement.
+
+``packet_index`` is the cache's access count at recording time: exact
+under the scalar engine, chunk-granular under the batched engine (a
+drained chunk is recorded when it is flushed, so all its rows share the
+access count at flush time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.cachesim.base import CODE_TO_REASON, EvictionReason
+from repro.errors import ConfigError
+
+#: Default ring capacity: enough tail to see the eviction mix shift,
+#: small enough (~100 KB of columns) to leave on in long runs.
+DEFAULT_TRACE_CAPACITY = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class EvictionTraceEvent:
+    """One traced eviction, decoded for human consumption."""
+
+    flow_id: int
+    value: int
+    reason: EvictionReason
+    packet_index: int
+
+
+class EvictionTrace:
+    """Fixed-capacity ring of the most recent evictions."""
+
+    __slots__ = ("capacity", "flow_ids", "values", "reasons", "packet_indices", "recorded")
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.flow_ids = np.zeros(self.capacity, dtype=np.uint64)
+        self.values = np.zeros(self.capacity, dtype=np.int64)
+        self.reasons = np.zeros(self.capacity, dtype=np.uint8)
+        self.packet_indices = np.zeros(self.capacity, dtype=np.int64)
+        #: Total events ever recorded (>= len(self) once the ring wraps).
+        self.recorded = 0
+
+    # -- producer side ------------------------------------------------------
+
+    def record(self, flow_id: int, value: int, reason_code: int, packet_index: int) -> None:
+        """Record one eviction (scalar path)."""
+        i = self.recorded % self.capacity
+        self.flow_ids[i] = flow_id
+        self.values[i] = value
+        self.reasons[i] = reason_code
+        self.packet_indices[i] = packet_index
+        self.recorded += 1
+
+    def record_batch(
+        self,
+        ids: npt.NDArray[np.uint64],
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+        packet_index: int,
+    ) -> None:
+        """Record one drained chunk (batched path); keeps only the tail
+        if the chunk alone exceeds the ring capacity."""
+        n = len(ids)
+        if n == 0:
+            return
+        cap = self.capacity
+        start = n - cap if n > cap else 0
+        pos = (self.recorded + np.arange(start, n)) % cap
+        self.flow_ids[pos] = ids[start:]
+        self.values[pos] = values[start:]
+        self.reasons[pos] = reasons[start:]
+        self.packet_indices[pos] = packet_index
+        self.recorded += n
+
+    # -- consumer side ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Events currently held (capped at ``capacity``)."""
+        return min(self.recorded, self.capacity)
+
+    def _order(self) -> npt.NDArray[np.int64]:
+        n = len(self)
+        if self.recorded <= self.capacity:
+            return np.arange(n)
+        head = self.recorded % self.capacity
+        return np.concatenate([np.arange(head, self.capacity), np.arange(head)])
+
+    def events(self) -> list[EvictionTraceEvent]:
+        """Held events, oldest first."""
+        order = self._order()
+        return [
+            EvictionTraceEvent(int(f), int(v), CODE_TO_REASON[int(r)], int(p))
+            for f, v, r, p in zip(
+                self.flow_ids[order].tolist(),
+                self.values[order].tolist(),
+                self.reasons[order].tolist(),
+                self.packet_indices[order].tolist(),
+            )
+        ]
+
+    def to_dicts(self) -> list[dict]:
+        """Held events as JSON-ready dicts (oldest first)."""
+        return [
+            {
+                "flow_id": e.flow_id,
+                "value": e.value,
+                "reason": e.reason.value,
+                "packet_index": e.packet_index,
+            }
+            for e in self.events()
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EvictionTrace({len(self)}/{self.capacity}, {self.recorded} recorded)"

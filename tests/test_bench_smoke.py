@@ -1,0 +1,106 @@
+"""Benchmark-suite smoke tests.
+
+The micro-benchmarks are part of the reproduction artifact (CI publishes
+``BENCH_micro.json``), so they must stay runnable, and the checked-in
+results file must stay in sync with the bench functions it claims to
+describe. Timing itself is *not* asserted here — only that the suite
+collects, runs on a tiny workload, and emits/validates the expected
+schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_micro.py"
+BENCH_JSON = REPO_ROOT / "BENCH_micro.json"
+
+#: stats fields pytest-benchmark guarantees per benchmark entry.
+REQUIRED_STATS = ("min", "max", "mean", "stddev", "median", "rounds")
+
+
+def _bench_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_SCALE"] = "0.003"
+    return env
+
+
+def _defined_bench_names() -> set[str]:
+    import ast
+
+    tree = ast.parse(BENCH_FILE.read_text())
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef) and node.name.startswith("bench_")
+    }
+
+
+class TestBenchResultsSchema:
+    @pytest.fixture(scope="class")
+    def results(self) -> dict:
+        return json.loads(BENCH_JSON.read_text())
+
+    def test_top_level_shape(self, results):
+        for key in ("machine_info", "benchmarks", "datetime", "version"):
+            assert key in results, key
+        assert isinstance(results["benchmarks"], list) and results["benchmarks"]
+
+    def test_each_entry_has_positive_stats(self, results):
+        for entry in results["benchmarks"]:
+            assert entry["name"].startswith("bench_"), entry["name"]
+            stats = entry["stats"]
+            for field in REQUIRED_STATS:
+                assert field in stats, f"{entry['name']} missing {field}"
+            assert stats["min"] > 0
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+            assert stats["rounds"] >= 1
+
+    def test_recorded_benches_still_exist(self, results):
+        """Every bench the artifact describes must still be defined —
+        a rename/removal must come with a regenerated BENCH_micro.json."""
+        recorded = {entry["name"] for entry in results["benchmarks"]}
+        assert recorded <= _defined_bench_names(), (
+            "BENCH_micro.json is stale: "
+            f"{sorted(recorded - _defined_bench_names())}"
+        )
+
+    def test_engine_and_metrics_benches_recorded(self, results):
+        recorded = {entry["name"] for entry in results["benchmarks"]}
+        assert "bench_caesar_construction_scalar" in recorded
+        assert "bench_caesar_construction_batched" in recorded
+
+
+class TestBenchSuiteRuns:
+    def test_whole_suite_collects(self):
+        proc = subprocess.run(
+            # -o addopts= neutralizes the repo's "-q" so node ids print
+            [sys.executable, "-m", "pytest", str(BENCH_FILE),
+             "--collect-only", "-q", "-o", "addopts="],
+            env=_bench_env(), capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        for name in _defined_bench_names():
+            assert name in proc.stdout, f"{name} not collected"
+
+    def test_subset_runs_on_tiny_workload(self):
+        """Run the cheap benches (plus the metrics-overhead one) with
+        timing disabled — each function executes exactly once."""
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(BENCH_FILE),
+                "--benchmark-disable", "-q", "-p", "no:cacheprovider",
+                "-k", "split or banked or metrics_enabled or bitpacked",
+            ],
+            env=_bench_env(), capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "failed" not in proc.stdout

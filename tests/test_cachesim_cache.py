@@ -149,3 +149,108 @@ class TestMemoryAccounting:
         out = []
         cache.process(np.array([1, 2, 1, 2], dtype=np.uint64), collecting_sink(out))
         assert cache.stats.eviction_value_counts == {1: 3}
+
+
+class TestFinalizeFlushesPendingChunk:
+    """Regression: finalize must deliver any chunk still sitting in the
+    eviction buffer even when the *final* contribution is empty-sized —
+    a zero-packet stream, a cache already emptied, or a dump that adds
+    zero rows on top of pending residue."""
+
+    def _chunks(self):
+        chunks = []
+
+        def drain(ids, values, reasons):
+            chunks.append(
+                list(zip(ids.tolist(), values.tolist(), reasons.tolist()))
+            )
+
+        return chunks, drain
+
+    def test_flush_pending_empty_buffer_is_noop(self):
+        from repro.cachesim.buffer import EvictionBuffer
+
+        cache = FlowCache(4, 10)
+        chunks, drain = self._chunks()
+        cache.flush_pending(EvictionBuffer(8), drain)
+        assert chunks == []
+
+    def test_dump_into_delivers_pending_residue_first(self):
+        from repro.cachesim.base import OVERFLOW_CODE
+        from repro.cachesim.buffer import EvictionBuffer
+
+        cache = FlowCache(4, 10)
+        buffer = EvictionBuffer(8)
+        # Residue left pending by an earlier (partial) fill.
+        buffer.append(7, 3, OVERFLOW_CODE)
+        chunks, drain = self._chunks()
+        cache.dump_into(buffer, drain)  # cache is empty: dump adds 0 rows
+        assert chunks == [[(7, 3, OVERFLOW_CODE)]]
+        assert buffer.length == 0
+
+    def test_dump_into_pending_chunk_precedes_dump_rows(self):
+        from repro.cachesim.base import FINAL_DUMP_CODE, OVERFLOW_CODE
+        from repro.cachesim.buffer import EvictionBuffer
+
+        cache = FlowCache(4, 10)
+        buffer = EvictionBuffer(8)
+        cache.process_into(
+            np.array([1, 1, 1], dtype=np.uint64),
+            buffer,
+            lambda i, v, r: None,
+        )
+        assert len(cache) == 1  # flow 1 resident with count 3
+        buffer.append(9, 2, OVERFLOW_CODE)  # pending residue
+        chunks, drain = self._chunks()
+        cache.dump_into(buffer, drain)
+        assert chunks == [[(9, 2, OVERFLOW_CODE)], [(1, 3, FINAL_DUMP_CODE)]]
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_caesar_finalize_on_zero_packet_stream(self, engine):
+        from repro.core.caesar import Caesar
+        from repro.core.config import CaesarConfig
+
+        caesar = Caesar(
+            CaesarConfig(
+                cache_entries=8, entry_capacity=4, k=3, bank_size=32, engine=engine
+            )
+        )
+        caesar.process(np.array([], dtype=np.uint64))
+        caesar.finalize()
+        ids = np.array([1, 2, 3], dtype=np.uint64)
+        assert caesar.estimate(ids, "csm") == pytest.approx([0.0, 0.0, 0.0])
+        stats = caesar.cache.stats
+        assert (stats.accesses, stats.evicted_packets, stats.dumped_packets) == (0, 0, 0)
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_case_finalize_on_zero_packet_stream(self, engine):
+        from repro.baselines.case import Case, CaseConfig
+
+        case = Case(
+            CaseConfig(
+                cache_entries=8,
+                entry_capacity=4,
+                num_counters=32,
+                counter_capacity=255,
+                max_value=100.0,
+                engine=engine,
+            )
+        )
+        case.finalize()
+        assert case.estimate(np.array([5], dtype=np.uint64)) == pytest.approx([0.0])
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_caesar_double_finalize_after_work_is_stable(self, engine, tiny_trace):
+        from repro.core.caesar import Caesar
+        from repro.core.config import CaesarConfig
+
+        caesar = Caesar(
+            CaesarConfig(
+                cache_entries=16, entry_capacity=4, k=3, bank_size=64, engine=engine
+            )
+        )
+        caesar.process(tiny_trace.packets[:1000])
+        caesar.finalize()
+        before = caesar.counters.values.copy()
+        caesar.finalize()  # idempotent: no residue delivered twice
+        np.testing.assert_array_equal(caesar.counters.values, before)

@@ -23,6 +23,8 @@ from repro.cachesim import EvictionBuffer, FlowCache
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.split import split_batch, split_value
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import EvictionTrace
 
 
 def _base_config(**overrides) -> CaesarConfig:
@@ -264,3 +266,113 @@ def test_engines_identical_on_random_workloads(workload):
         config, packets, lengths, buffer_capacity=buffer_capacity
     )
     _assert_identical(scalar, batched)
+
+
+# -- cache statistics: scalar record paths == record_batch ------------------------
+
+
+@st.composite
+def _stat_workloads(draw):
+    """Workloads biased toward the accounting-heavy corners: ``jumbo``
+    (weights at/above the entry capacity, immediate-overflow path) and
+    ``replacement`` (far more flows than cache entries, so replacement
+    evictions dominate), plus an unbiased ``mixed`` profile."""
+    profile = draw(st.sampled_from(["jumbo", "replacement", "mixed"]))
+    trace_seed = draw(st.integers(min_value=0, max_value=2**16))
+    policy = draw(st.sampled_from(["lru", "random"]))
+    num_packets = draw(st.integers(min_value=1, max_value=1200))
+    buffer_capacity = draw(st.integers(min_value=1, max_value=48))
+    entry_capacity = draw(st.integers(min_value=1, max_value=10))
+    if profile == "replacement":
+        cache_entries = draw(st.integers(min_value=1, max_value=4))
+        num_flows = draw(st.integers(min_value=20, max_value=120))
+    else:
+        cache_entries = draw(st.integers(min_value=1, max_value=24))
+        num_flows = draw(st.integers(min_value=1, max_value=60))
+    rng = np.random.default_rng(trace_seed)
+    packets = rng.integers(0, num_flows, size=num_packets).astype(np.uint64)
+    if profile == "jumbo":
+        weights = rng.integers(
+            entry_capacity, 4 * entry_capacity + 1, size=num_packets
+        ).astype(np.int64)
+    elif draw(st.booleans()):
+        weights = rng.integers(1, 2 * entry_capacity, size=num_packets).astype(np.int64)
+    else:
+        weights = None
+    return packets, weights, policy, entry_capacity, cache_entries, buffer_capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(_stat_workloads())
+def test_cache_stats_identical_across_record_paths(workload):
+    """The scalar accounting path (per-eviction ``record_eviction`` plus
+    per-packet hit/miss bumps) and the batched path (``record_batch``
+    over drained chunks) must produce the *same* ``CacheStats`` — every
+    field, for every workload shape — and the same eviction-event stream
+    up to chunk timing (flow, value, reason; trace ``packet_index`` is
+    exact for scalar and chunk-granular for batched, so it is excluded)."""
+    packets, weights, policy, entry_capacity, cache_entries, buffer_capacity = workload
+    traces = [EvictionTrace(capacity=4 * len(packets) + 8) for _ in range(2)]
+
+    scalar_cache = FlowCache(
+        cache_entries, entry_capacity, policy=policy, seed=3, trace=traces[0]
+    )
+    scalar_cache.process(packets, lambda fid, v, r: None, weights=weights)
+    scalar_cache.dump(lambda fid, v, r: None)
+
+    batched_cache = FlowCache(
+        cache_entries, entry_capacity, policy=policy, seed=3, trace=traces[1]
+    )
+    buffer = EvictionBuffer(buffer_capacity)
+    batched_cache.process_into(packets, buffer, lambda i, v, r: None, weights=weights)
+    batched_cache.dump_into(buffer, lambda i, v, r: None)
+
+    assert scalar_cache.stats == batched_cache.stats
+    assert scalar_cache.stats.evicted_packets + scalar_cache.stats.dumped_packets == (
+        int(weights.sum()) if weights is not None else len(packets)
+    )
+    s_events = [(e.flow_id, e.value, e.reason) for e in traces[0].events()]
+    b_events = [(e.flow_id, e.value, e.reason) for e in traces[1].events()]
+    assert s_events == b_events
+
+
+# -- observability must not perturb results ---------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+def test_metrics_do_not_perturb_results(tiny_trace, engine):
+    """Bit-identical counters/stats/RNG state with metrics on or off,
+    for both engines — observability is read-only."""
+    packets = tiny_trace.packets[:5000]
+    instances = []
+    for registry in (None, MetricsRegistry()):
+        caesar = Caesar(
+            _base_config(engine=engine),
+            registry=registry,
+            eviction_trace=EvictionTrace(capacity=128) if registry else None,
+        )
+        caesar.process(packets)
+        caesar.finalize()
+        instances.append(caesar)
+    off, on = instances
+    _assert_identical(off, on)
+    snapshot = on.metrics.snapshot()
+    assert snapshot["gauges"]["caesar.cache.accesses"] == len(packets)
+    assert all(not section for section in off.metrics.snapshot().values())
+
+
+def test_metrics_enabled_engines_still_bit_identical(tiny_trace):
+    """The acceptance bar: engine parity holds with metrics enabled."""
+    packets = tiny_trace.packets[:5000]
+    scalar = Caesar(_base_config(engine="scalar"), registry=MetricsRegistry())
+    batched = Caesar(
+        _base_config(engine="batched"), registry=MetricsRegistry(), buffer_capacity=257
+    )
+    for instance in (scalar, batched):
+        instance.process(packets)
+        instance.finalize()
+    _assert_identical(scalar, batched)
+    for caesar in (scalar, batched):
+        gauges = caesar.metrics.snapshot()["gauges"]
+        assert gauges["caesar.num_packets"] == len(packets)
+        assert gauges["caesar.memory_bits"] == caesar.memory_bits
