@@ -31,6 +31,9 @@ Package map
 - :mod:`repro.memmodel` — the FPGA timing/loss substitute model;
 - :mod:`repro.obs` — opt-in observability (metrics registry, stage
   timers, eviction-stream tracing); zero overhead when off;
+- :mod:`repro.resilience` — crash-consistent checkpoint/restore,
+  eviction write-ahead log, deterministic fault injection, health
+  signals;
 - :mod:`repro.analysis` — error metrics and report tables;
 - :mod:`repro.experiments` — one module per paper figure (3-8).
 """
@@ -52,6 +55,14 @@ from repro.errors import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import EvictionTrace
+from repro.resilience import (
+    Checkpoint,
+    FaultPlan,
+    HealthSnapshot,
+    WriteAheadLog,
+    health_of,
+    recover,
+)
 from repro.traffic.trace import Trace, default_paper_trace
 
 __version__ = "1.0.0"
@@ -71,6 +82,12 @@ __all__ = [
     "MeasurementScheme",
     "MetricsRegistry",
     "EvictionTrace",
+    "Checkpoint",
+    "FaultPlan",
+    "HealthSnapshot",
+    "WriteAheadLog",
+    "health_of",
+    "recover",
     "run_scheme",
     "plan",
     "Plan",

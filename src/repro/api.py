@@ -22,6 +22,7 @@ from repro.errors import ConfigError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.schemes import observe_scheme
 from repro.obs.trace import EvictionTrace
+from repro.resilience.faults import FaultPlan
 from repro.types import FlowIdArray
 
 
@@ -80,6 +81,10 @@ def measure(
     engine: str = "batched",
     registry: MetricsRegistry | None = None,
     eviction_trace: EvictionTrace | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | None = None,
 ) -> MeasurementResult:
     """Measure a packet stream end to end.
 
@@ -96,14 +101,38 @@ def measure(
     uniform ``measure.*`` scheme gauges including construction
     throughput. ``eviction_trace`` attaches a bounded ring capturing the
     tail of the eviction stream. Neither changes measurement results.
+
+    Resilience (docs/resilience.md): ``fault_plan`` injects a seeded
+    fault workload into the eviction pipeline; ``checkpoint_every``
+    (packets) writes a crash-consistent checkpoint to
+    ``checkpoint_path`` periodically and at the end; ``resume_from``
+    restores a saved checkpoint and continues with the *remainder* of
+    ``packets`` (the first ``num_packets`` of the stream are skipped —
+    pass the same stream the original run saw), finishing
+    bit-identically to an uninterrupted run.
     """
     packets = np.asarray(packets, dtype=np.uint64)
     if len(packets) == 0:
         raise ConfigError("cannot measure an empty stream")
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ConfigError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if checkpoint_path is None:
+            raise ConfigError("checkpoint_path is required with checkpoint_every")
     num_flows = len(np.unique(packets))
     num_units = int(lengths.sum()) if lengths is not None else len(packets)
 
-    if target_rel_error is not None:
+    if resume_from is not None:
+        # Sizing comes from the checkpoint's own config; skip planning.
+        caesar = Caesar.resume(resume_from, registry=registry)
+        done = caesar.num_packets
+        if done > len(packets):
+            raise ConfigError(
+                f"checkpoint has already seen {done} packets, stream has {len(packets)}"
+            )
+        packets = packets[done:]
+        lengths = lengths[done:] if lengths is not None else None
+    elif target_rel_error is not None:
         if size_of_interest is None:
             raise ConfigError("size_of_interest is required with target_rel_error")
         config = replace(
@@ -129,17 +158,33 @@ def measure(
         )
     else:
         raise ConfigError(
-            "give either sram_kb+cache_kb or target_rel_error+size_of_interest"
+            "give either sram_kb+cache_kb, target_rel_error+size_of_interest, "
+            "or resume_from"
         )
 
-    caesar = Caesar(config, registry=registry, eviction_trace=eviction_trace)
+    if resume_from is None:
+        caesar = Caesar(
+            config,
+            registry=registry,
+            eviction_trace=eviction_trace,
+            fault_plan=fault_plan,
+        )
     t0 = time.perf_counter()
-    caesar.process(packets, lengths)
+    if checkpoint_every is None:
+        caesar.process(packets, lengths)
+    else:
+        for start in range(0, len(packets), checkpoint_every):
+            stop = start + checkpoint_every
+            caesar.process(
+                packets[start:stop],
+                lengths[start:stop] if lengths is not None else None,
+            )
+            caesar.save_checkpoint(checkpoint_path)
     caesar.finalize()
     if registry is not None:
         observe_scheme(
             registry, caesar, "measure", elapsed_seconds=time.perf_counter() - t0
         )
     return MeasurementResult(
-        caesar=caesar, num_packets=len(packets), num_flows_seen=num_flows
+        caesar=caesar, num_packets=caesar.num_packets, num_flows_seen=num_flows
     )

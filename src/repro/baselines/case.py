@@ -33,6 +33,7 @@ from repro.hashing.family import HashFamily
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.schemes import observe_cache_stats, observe_scheme
 from repro.obs.trace import EvictionTrace
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.sram.layout import cache_entries_for_budget
 from repro.types import FlowIdArray
 
@@ -112,6 +113,7 @@ class Case:
         *,
         registry: MetricsRegistry | None = None,
         eviction_trace: EvictionTrace | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config
         self.metrics = resolve_registry(registry)
@@ -138,6 +140,20 @@ class Case:
         #: Power operations performed (eviction folds) — the cost the
         #: paper's Figure 8 charges CASE with.
         self.power_operations = 0
+        # Transfer faults only: CASE's compressed counters have no
+        # meaningful bit-flip/stuck-at surface (docs/resilience.md), so
+        # the injector binds to the cache alone (drop/duplicate/wipe).
+        self._injector: FaultInjector | None = (
+            FaultInjector(fault_plan).attach(cache=self.cache)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        if self._injector is not None:
+            self._drain_fn = self._injector.wrap_drain(self._drain)
+            self._sink_fn = self._injector.wrap_sink(self._sink)
+        else:
+            self._drain_fn = self._drain
+            self._sink_fn = self._sink
 
     def _slot(self, flow_id: int) -> int:
         return int(self._family.hash_one(0, flow_id) % self.config.num_counters)
@@ -169,9 +185,9 @@ class Case:
             raise QueryError("cannot process packets after finalize()")
         with self.metrics.timer("case.process"):
             if self.engine == "batched":
-                self.cache.process_into(packets, self._buffer, self._drain)
+                self.cache.process_into(packets, self._buffer, self._drain_fn)
             else:
-                self.cache.process(packets, self._sink)
+                self.cache.process(packets, self._sink_fn)
         self._packets_seen += len(packets)
 
     def finalize(self) -> None:
@@ -180,9 +196,9 @@ class Case:
             return
         with self.metrics.timer("case.finalize"):
             if self.engine == "batched":
-                self.cache.dump_into(self._buffer, self._drain)
+                self.cache.dump_into(self._buffer, self._drain_fn)
             else:
-                self.cache.dump(self._sink)
+                self.cache.dump(self._sink_fn)
         self._finalized = True
         observe_cache_stats(self.metrics, self.cache.stats, "case.cache")
         observe_scheme(self.metrics, self, "case")

@@ -31,6 +31,7 @@ from repro.errors import ConfigError, QueryError
 from repro.hashing.family import BankedIndexer
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.schemes import observe_scheme
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.sram.counterarray import BankedCounterArray
 from repro.sram.layout import bank_size_for_budget
 from repro.types import FlowIdArray
@@ -80,7 +81,11 @@ class RCS:
     """Randomized Counter Sharing with CSM and MLM decoding."""
 
     def __init__(
-        self, config: RCSConfig, *, registry: MetricsRegistry | None = None
+        self,
+        config: RCSConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config
         self.metrics = resolve_registry(registry)
@@ -92,6 +97,14 @@ class RCS:
         )
         self._rng = np.random.default_rng(config.seed ^ 0xACC)
         self._packets_seen = 0
+        # RCS is cache-free: the injectable surface is the per-packet
+        # SRAM write stream (drop/duplicate per processing chunk) plus
+        # the counters themselves (bit flips, stuck-at).
+        self._injector: FaultInjector | None = (
+            FaultInjector(fault_plan).attach(counters=self.counters)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
 
     # -- construction phase (per-packet, vectorized) ---------------------------
 
@@ -120,7 +133,18 @@ class RCS:
                 idx_matrix = self.indexer.indices(uniq)  # (U, k)
                 banks = self._rng.integers(0, self.config.k, size=len(chunk))
                 flat = idx_matrix[inverse, banks]
-                self.counters.add_at(flat, 1)
+                injector = self._injector
+                if injector is None:
+                    self.counters.add_at(flat, 1)
+                elif injector.drops_chunk():
+                    injector.account_dropped(len(chunk))
+                else:
+                    self.counters.add_at(flat, 1)
+                    if injector.duplicates_chunk():
+                        self.counters.add_at(flat, 1)
+                        injector.account_duplicated(len(chunk))
+                if injector is not None:
+                    injector.maybe_flip_bit()
                 self._packets_seen += len(chunk)
                 chunk_counter.inc()
 
@@ -133,6 +157,18 @@ class RCS:
     def num_packets(self) -> int:
         """Packets actually recorded (after any upstream loss)."""
         return self._packets_seen
+
+    @property
+    def recorded_mass(self) -> int:
+        """Counted units seen on the wire (== packets for RCS)."""
+        return self._packets_seen
+
+    @property
+    def effective_mass(self) -> int:
+        """Mass actually landed in the counters (fault-compensated)."""
+        if self._injector is None:
+            return self._packets_seen
+        return max(self._packets_seen + self._injector.mass_delta, 0)
 
     @property
     def memory_bits(self) -> int:
@@ -157,7 +193,7 @@ class RCS:
         w = self.counter_values(flow_ids)
         if method == "csm":
             return csm_estimate(
-                w, self._packets_seen, self.config.bank_size, clip_negative=clip_negative
+                w, self.effective_mass, self.config.bank_size, clip_negative=clip_negative
             )
         if method == "mlm":
             return self._mlm(w, iterations=mlm_iterations, clip_negative=clip_negative)
@@ -181,7 +217,7 @@ class RCS:
         if self.config.k < 2:
             raise QueryError("RCS MLM decoding requires k >= 2")
         w = w.astype(np.float64)
-        n, k = self._packets_seen, self.config.k
+        n, k = self.effective_mass, self.config.k
         lam = n / (k * self.config.bank_size)
 
         def score(x: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:

@@ -176,4 +176,8 @@ class CachePolicy(Protocol):
 
     def victim(self) -> int: ...
 
+    def export_state(self) -> dict: ...
+
+    def restore_state(self, state: dict) -> None: ...
+
     def __len__(self) -> int: ...

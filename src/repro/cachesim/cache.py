@@ -365,6 +365,49 @@ class FlowCache:
         out[match] = vals[pos[match]]
         return out
 
+    def wipe(self) -> tuple[int, int]:
+        """Drop every resident entry *without* flushing (fault injection:
+        a power glitch or soft error wipes the on-chip table mid-stream).
+
+        Returns ``(entries, mass)`` lost so the injector can account the
+        loss; the healthy code paths never call this.
+        """
+        entries = len(self._counts)
+        mass = sum(self._counts.values())
+        for flow_id in list(self._counts):
+            self._policy.remove(flow_id)
+        self._counts.clear()
+        return entries, mass
+
+    # -- checkpoint state -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """All mutable cache state, insertion order preserved (checkpoint
+        capture). Statistics are captured separately by the checkpoint —
+        they live on :attr:`stats`, which callers may swap per epoch."""
+        n = len(self._counts)
+        return {
+            "ids": np.fromiter(self._counts.keys(), dtype=np.uint64, count=n),
+            "counts": np.fromiter(self._counts.values(), dtype=np.int64, count=n),
+            "policy": self._policy.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (checkpoint restore).
+
+        Dict insertion order determines final-dump order, and the policy
+        state determines future victim choices, so both are restored
+        exactly — this is what makes kill-and-resume bit-identical.
+        """
+        ids = np.asarray(state["ids"], dtype=np.uint64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if len(ids) > self.num_entries:
+            raise ConfigError(
+                f"cache state holds {len(ids)} entries, table has {self.num_entries}"
+            )
+        self._counts = dict(zip(ids.tolist(), counts.tolist()))
+        self._policy.restore_state(state["policy"])
+
     def reset_stats(self) -> None:
         """Start a fresh statistics epoch (contents untouched; an
         attached eviction-trace ring keeps rolling across epochs)."""

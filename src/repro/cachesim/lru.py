@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigError
 
 
 class LRUPolicy:
@@ -36,6 +36,16 @@ class LRUPolicy:
         if not self._order:
             raise CapacityError("victim() on an empty cache")
         return next(iter(self._order))
+
+    def export_state(self) -> dict:
+        """Recency order, least recent first (checkpoint capture)."""
+        return {"kind": "lru", "order": [int(f) for f in self._order]}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (checkpoint restore)."""
+        if state.get("kind") != "lru":
+            raise ConfigError(f"cannot restore {state.get('kind')!r} state into LRUPolicy")
+        self._order = OrderedDict((int(f), None) for f in state["order"])
 
     def __len__(self) -> int:
         return len(self._order)

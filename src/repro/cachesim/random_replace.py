@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigError
 
 
 class RandomPolicy:
@@ -43,6 +43,24 @@ class RandomPolicy:
         if not self._slots:
             raise CapacityError("victim() on an empty cache")
         return self._slots[int(self._rng.integers(len(self._slots)))]
+
+    def export_state(self) -> dict:
+        """Slot array plus generator state (checkpoint capture)."""
+        return {
+            "kind": "random",
+            "order": [int(f) for f in self._slots],
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (checkpoint restore)."""
+        if state.get("kind") != "random":
+            raise ConfigError(
+                f"cannot restore {state.get('kind')!r} state into RandomPolicy"
+            )
+        self._slots = [int(f) for f in state["order"]]
+        self._pos = {f: i for i, f in enumerate(self._slots)}
+        self._rng.bit_generator.state = state["rng"]
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -15,6 +15,16 @@ threaded through every scheme built) and the final snapshot is written
 as JSON — deterministic counters/histograms under a fixed seed, wall
 clock only inside timer ``seconds`` (see docs/observability.md).
 
+They also accept ``--inject SPEC`` (deterministic fault injection, e.g.
+``--inject drop=0.1,stuck=3``), and ``measure`` additionally speaks the
+checkpoint protocol: ``--checkpoint-every N --checkpoint-out ck.npz``
+writes crash-consistent checkpoints while measuring, and
+``--resume-from ck.npz`` continues a killed run bit-identically (see
+docs/resilience.md).
+
+Library errors (:class:`~repro.errors.ReproError`) exit with status 2
+and a one-line message; unexpected exceptions keep their traceback.
+
 For backwards compatibility a bare experiment name still works::
 
     python -m repro fig4 --scale 0.02
@@ -28,9 +38,11 @@ import time
 
 import numpy as np
 
+from repro.errors import ConfigError, ReproError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.experiments.trace_setup import DEFAULT_SEED, ExperimentSetup, configured_scale
 from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import parse_fault_spec
 from repro.traffic.trace import Trace, default_paper_trace
 
 
@@ -65,8 +77,24 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_inject_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'drop=0.1,dup=0.05,flip=0.01,wipe=5000+9000,stuck=3,seed=7' "
+        "(see docs/resilience.md for the fault taxonomy)",
+    )
+
+
 def _registry_from(args: argparse.Namespace) -> MetricsRegistry | None:
     return MetricsRegistry() if getattr(args, "metrics_out", None) else None
+
+
+def _plan_from(args: argparse.Namespace):
+    spec = getattr(args, "inject", None)
+    return parse_fault_spec(spec) if spec else None
 
 
 def _maybe_write_metrics(
@@ -96,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write <id>_measured.csv and <id>_report.txt here",
     )
     _add_metrics_arg(run_p)
+    _add_inject_arg(run_p)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -110,17 +139,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(report_p)
     report_p.add_argument("--out", default="REPORT.md", help="output markdown path")
     _add_metrics_arg(report_p)
+    _add_inject_arg(report_p)
 
     measure_p = sub.add_parser("measure", help="run CAESAR over a saved trace")
     measure_p.add_argument("--trace", required=True, help="input .npz trace")
-    measure_p.add_argument("--sram-kb", type=float, required=True)
-    measure_p.add_argument("--cache-kb", type=float, required=True)
+    measure_p.add_argument(
+        "--sram-kb", type=float, default=None, help="SRAM budget (omit when resuming)"
+    )
+    measure_p.add_argument(
+        "--cache-kb", type=float, default=None, help="cache budget (omit when resuming)"
+    )
     measure_p.add_argument("--k", type=int, default=3)
     measure_p.add_argument("--replacement", choices=["lru", "random"], default="lru")
     measure_p.add_argument("--method", choices=["csm", "mlm", "median"], default="csm")
     measure_p.add_argument("--top", type=int, default=10, help="print the top-N flows")
     _add_engine_arg(measure_p)
     _add_metrics_arg(measure_p)
+    _add_inject_arg(measure_p)
+    measure_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a crash-consistent checkpoint every N packets "
+        "(requires --checkpoint-out)",
+    )
+    measure_p.add_argument(
+        "--checkpoint-out",
+        default=None,
+        metavar="PATH",
+        help="checkpoint .npz path (written by --checkpoint-every)",
+    )
+    measure_p.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help="restore a saved checkpoint and measure the remainder of the "
+        "trace (bit-identical to an uninterrupted run)",
+    )
 
     stats_p = sub.add_parser(
         "stats", help="pretty-print a metrics snapshot written by --metrics-out"
@@ -137,6 +193,7 @@ def _setup_from(args: argparse.Namespace) -> ExperimentSetup:
         seed=args.seed,
         engine=getattr(args, "engine", "batched"),
         registry=_registry_from(args),
+        fault_plan=_plan_from(args),
     )
 
 
@@ -205,19 +262,38 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     from repro.core.config import CaesarConfig
 
     trace = Trace.load(args.trace)
-    config = CaesarConfig.for_budgets(
-        sram_kb=args.sram_kb,
-        cache_kb=args.cache_kb,
-        num_packets=trace.num_packets,
-        num_flows=trace.num_flows,
-        k=args.k,
-        replacement=args.replacement,
-        engine=args.engine,
-    )
-    print(f"measuring with {config.describe()}")
     registry = _registry_from(args)
-    caesar = Caesar(config, registry=registry)
-    caesar.process(trace.packets)
+    if args.checkpoint_every is not None and args.checkpoint_out is None:
+        raise ConfigError("--checkpoint-every requires --checkpoint-out")
+    if args.resume_from is not None:
+        caesar = Caesar.resume(args.resume_from, registry=registry)
+        packets = trace.packets[caesar.num_packets :]
+        print(
+            f"resumed {caesar.config.describe()} from {args.resume_from} "
+            f"at packet {caesar.num_packets}"
+        )
+    else:
+        if args.sram_kb is None or args.cache_kb is None:
+            raise ConfigError("--sram-kb and --cache-kb are required unless resuming")
+        config = CaesarConfig.for_budgets(
+            sram_kb=args.sram_kb,
+            cache_kb=args.cache_kb,
+            num_packets=trace.num_packets,
+            num_flows=trace.num_flows,
+            k=args.k,
+            replacement=args.replacement,
+            engine=args.engine,
+        )
+        print(f"measuring with {config.describe()}")
+        caesar = Caesar(config, registry=registry, fault_plan=_plan_from(args))
+        packets = trace.packets
+    if args.checkpoint_every is None:
+        caesar.process(packets)
+    else:
+        for start in range(0, len(packets), args.checkpoint_every):
+            caesar.process(packets[start : start + args.checkpoint_every])
+            caesar.save_checkpoint(args.checkpoint_out)
+        print(f"[checkpointed to {args.checkpoint_out} every {args.checkpoint_every}]")
     caesar.finalize()
     estimates = caesar.estimate(trace.flows.ids, args.method, clip_negative=True)
     quality = evaluate(estimates, trace.flows.sizes)
@@ -244,12 +320,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    # Backwards compatibility: a bare experiment name means `run`.
-    if argv and argv[0] in (*list_experiments(), "all"):
-        argv = ["run", *argv]
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "list":
@@ -266,6 +337,20 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     build_parser().print_help()
     return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backwards compatibility: a bare experiment name means `run`.
+    if argv and argv[0] in (*list_experiments(), "all"):
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Library errors are user-facing: one line, exit 2, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,9 @@ from repro.hashing.family import BankedIndexer, BankedIndexMemo
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.schemes import observe_cache_stats, observe_scheme
 from repro.obs.trace import EvictionTrace
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.health import observe_health
+from repro.resilience.wal import WriteAheadLog
 from repro.sram.counterarray import BankedCounterArray
 from repro.types import FlowIdArray
 
@@ -77,6 +80,8 @@ class Caesar:
         buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
         registry: MetricsRegistry | None = None,
         eviction_trace: EvictionTrace | None = None,
+        fault_plan: FaultPlan | None = None,
+        wal: WriteAheadLog | None = None,
     ) -> None:
         self.config = config
         # Observability (off by default): stage timers + counters go to
@@ -103,6 +108,52 @@ class Caesar:
         self._packets_seen = 0
         self._mass_seen = 0  # == packets when counting packets; bytes when counting volume
         self._finalized = False
+        # Resilience attachments (both off by default; the healthy path
+        # with neither is byte-for-byte the pre-resilience hot path).
+        self._injector: FaultInjector | None = (
+            FaultInjector(fault_plan).attach(cache=self.cache, counters=self.counters)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        self._wal = wal
+        self._last_checkpoint_mass = 0
+        self._epoch = 0
+        self._rebuild_io_chain()
+
+    def _rebuild_io_chain(self) -> None:
+        """Compose the eviction drain/sink with the resilience wrappers.
+
+        Layering (innermost first): the scheme's own ``_drain``/``_sink``,
+        then fault injection, then the write-ahead log *outermost* — the
+        WAL records what the cache emitted, so even a chunk the injector
+        drops is recoverable by checkpoint + replay.
+        """
+        drain = self._drain
+        sink = self._sink
+        if self._injector is not None:
+            drain = self._injector.wrap_drain(drain)
+            sink = self._injector.wrap_sink(sink)
+        if self._wal is not None:
+            wal = self._wal
+            inner_drain = drain
+            inner_sink = sink
+
+            def logged_drain(
+                ids: npt.NDArray[np.uint64],
+                values: npt.NDArray[np.int64],
+                reasons: npt.NDArray[np.uint8],
+            ) -> None:
+                wal.append_chunk(ids, values, reasons)
+                inner_drain(ids, values, reasons)
+
+            def logged_sink(flow_id: int, value: int, reason: EvictionReason) -> None:
+                wal.append_event(flow_id, value, reason.code)
+                inner_sink(flow_id, value, reason)
+
+            drain = logged_drain
+            sink = logged_sink
+        self._drain_fn = drain
+        self._sink_fn = sink
 
     @property
     def indexer(self) -> BankedIndexer:
@@ -185,9 +236,11 @@ class Caesar:
             raise QueryError("cannot process packets after finalize()")
         with self.metrics.timer("caesar.process"):
             if self.engine == "batched":
-                self.cache.process_into(packets, self._buffer, self._drain, weights=lengths)
+                self.cache.process_into(
+                    packets, self._buffer, self._drain_fn, weights=lengths
+                )
             else:
-                self.cache.process(packets, self._sink, weights=lengths)
+                self.cache.process(packets, self._sink_fn, weights=lengths)
         self._packets_seen += len(packets)
         self._mass_seen += int(lengths.sum()) if lengths is not None else len(packets)
 
@@ -200,12 +253,15 @@ class Caesar:
             return
         with self.metrics.timer("caesar.finalize"):
             if self.engine == "batched":
-                self.cache.dump_into(self._buffer, self._drain)
+                self.cache.dump_into(self._buffer, self._drain_fn)
             else:
-                self.cache.dump(self._sink)
+                self.cache.dump(self._sink_fn)
         self._finalized = True
+        if self._wal is not None:
+            self._wal.flush()
         observe_cache_stats(self.metrics, self.cache.stats, "caesar.cache")
         observe_scheme(self.metrics, self, "caesar")
+        observe_health(self.metrics, self, "caesar")
 
     # -- query phase -------------------------------------------------------------
 
@@ -221,6 +277,25 @@ class Caesar:
         This is the ``n = Q * mu`` the estimators de-noise with.
         """
         return self._mass_seen
+
+    @property
+    def effective_mass(self) -> int:
+        """Mass actually landed in the counters.
+
+        Equals :attr:`recorded_mass` on the healthy path; under fault
+        injection the injector's net delta (duplicated − lost ± flips)
+        is applied, so estimator de-noising subtracts the noise that is
+        really there rather than the noise that should have been — the
+        degraded-mode compensation of docs/resilience.md.
+        """
+        if self._injector is None:
+            return self._mass_seen
+        return max(self._mass_seen + self._injector.mass_delta, 0)
+
+    @property
+    def checkpoint_lag(self) -> int:
+        """Mass recorded since the last checkpoint (crash exposure)."""
+        return self._mass_seen - self._last_checkpoint_mass
 
     @property
     def memory_bits(self) -> int:
@@ -247,6 +322,7 @@ class Caesar:
         method: str = "csm",
         *,
         clip_negative: bool = False,
+        compensate: bool = True,
     ) -> npt.NDArray[np.float64]:
         """Estimate the size of each queried flow (offline query phase).
 
@@ -256,22 +332,29 @@ class Caesar:
         Raises :class:`QueryError` if :meth:`finalize` has not been
         called — querying with values still in the cache would silently
         under-count.
+
+        Under fault injection the de-noising mass defaults to
+        :attr:`effective_mass` (known-lost mass subtracted, duplicated
+        mass added); ``compensate=False`` de-noises with the raw
+        recorded mass instead — the uncompensated estimator the fault
+        sweep compares against. Without an injector the two are equal.
         """
         if not self._finalized:
             raise QueryError("call finalize() before estimating (offline query phase)")
+        mass = self.effective_mass if compensate else self._mass_seen
         w = self.counter_values(flow_ids)
         if method == "csm":
             return csm_mod.csm_estimate(
-                w, self._mass_seen, self.config.bank_size, clip_negative=clip_negative
+                w, mass, self.config.bank_size, clip_negative=clip_negative
             )
         if method == "median":
             return csm_mod.counter_median_estimate(
-                w, self._mass_seen, self.config.bank_size, clip_negative=clip_negative
+                w, mass, self.config.bank_size, clip_negative=clip_negative
             )
         if method == "mlm":
             return mlm_mod.mlm_estimate(
                 w,
-                self._mass_seen,
+                mass,
                 self.config.bank_size,
                 entry_capacity=self.config.entry_capacity,
                 clip_negative=clip_negative,
@@ -320,6 +403,59 @@ class Caesar:
         self._packets_seen = 0
         self._mass_seen = 0
         self._finalized = False
+        self._last_checkpoint_mass = 0
+        self._epoch += 1
+        if self._wal is not None:
+            self._wal.begin_epoch(self._epoch)
+
+    # -- crash consistency ---------------------------------------------------
+
+    def checkpoint(self):
+        """Capture a crash-consistent snapshot of this instance.
+
+        Returns a :class:`repro.resilience.checkpoint.Checkpoint`
+        covering *everything* construction depends on — counters, cache
+        contents and policy order, generator states, index memo,
+        statistics, the pending eviction chunk, and fault-injector
+        state — so a :meth:`resume` continues bit-identically. An
+        attached WAL is flushed first so the checkpoint's replay cursor
+        (``wal_seq``) points at durable records.
+        """
+        from repro.resilience.checkpoint import Checkpoint
+
+        if self._wal is not None:
+            self._wal.flush()
+        ckpt = Checkpoint.capture(self)
+        self._last_checkpoint_mass = self._mass_seen
+        return ckpt
+
+    def save_checkpoint(self, path):
+        """:meth:`checkpoint` + :meth:`~repro.resilience.checkpoint.Checkpoint.save`.
+
+        Returns the path actually written (``.npz`` appended if absent).
+        """
+        return self.checkpoint().save(path)
+
+    @classmethod
+    def resume(
+        cls,
+        source,
+        *,
+        registry: MetricsRegistry | None = None,
+        wal: WriteAheadLog | None = None,
+    ) -> "Caesar":
+        """Rebuild an instance from a checkpoint (path or object).
+
+        The resumed instance is bit-identical to the captured one:
+        feeding it the remainder of the stream produces the same
+        counters, statistics, and estimates as a run that was never
+        interrupted (tests/test_resilience.py property-tests this at
+        every chunk boundary, on both engines).
+        """
+        from repro.resilience.checkpoint import Checkpoint
+
+        ckpt = source if isinstance(source, Checkpoint) else Checkpoint.load(source)
+        return ckpt.restore(registry=registry, wal=wal)
 
     def confidence_interval(
         self,
@@ -351,7 +487,7 @@ class Caesar:
             k=self.config.k,
             entry_capacity=self.config.entry_capacity,
             bank_size=self.config.bank_size,
-            num_packets=self._mass_seen,
+            num_packets=self.effective_mass,
             alpha=alpha,
         )
         if method == "csm":

@@ -38,7 +38,7 @@ def build_caesar(
     )
     if remainder != "random":
         cfg = replace(cfg, remainder=remainder)
-    caesar = Caesar(cfg, registry=setup.registry)
+    caesar = Caesar(cfg, registry=setup.registry, fault_plan=setup.fault_plan)
     caesar.process(trace.packets)
     caesar.finalize()
     return caesar
@@ -58,7 +58,7 @@ def build_rcs(
         k=k if k is not None else setup.k,
         seed=setup.seed,
     )
-    rcs = RCS(cfg, registry=setup.registry)
+    rcs = RCS(cfg, registry=setup.registry, fault_plan=setup.fault_plan)
     rcs.process(packets if packets is not None else setup.trace.packets)
     return rcs
 
@@ -75,7 +75,7 @@ def build_case(setup: ExperimentSetup, *, sram_kb: float) -> Case:
         seed=setup.seed,
         engine=setup.engine,
     )
-    case = Case(cfg, registry=setup.registry)
+    case = Case(cfg, registry=setup.registry, fault_plan=setup.fault_plan)
     case.process(trace.packets)
     case.finalize()
     return case

@@ -41,6 +41,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "arrivals": arrival_patterns.run,
     "scaling": scaling.run,
     "robustness": robustness.run,
+    "faults": robustness.run_faults,
 }
 
 

@@ -10,6 +10,12 @@ swept and reported:
 - **workload shape** — the calibrated Zipf vs an explicit
   mice+elephant mixture vs a light-tailed geometric control (where
   clustering noise should collapse and accuracy sharpen).
+
+A second runner, :func:`run_faults` (registered as ``faults``),
+exercises the resilience subsystem: a drop-rate sweep measuring how far
+the estimator-side compensation (:attr:`Caesar.effective_mass`) recovers
+accuracy lost to dropped eviction chunks, plus one row per fault class
+of docs/resilience.md's taxonomy.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from repro.core.config import CaesarConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.trace_setup import ExperimentSetup, standard_setup
 from repro.hashing.tabulation import TabulationIndexer
+from repro.resilience.faults import FaultPlan
+from repro.resilience.health import health_of
 from repro.traffic.distributions import (
     BoundedZipf,
     GeometricDist,
@@ -138,5 +146,120 @@ def run(setup: ExperimentSetup | None = None, num_seeds: int = 5) -> ExperimentR
             "are only a few times the per-counter noise. Shared-counter "
             "accuracy is relative to how far a flow stands above the "
             "noise floor, not to tail heaviness per se.",
+        ],
+    )
+
+
+#: Small eviction chunks so per-chunk fault draws act at fine granularity
+#: (the default 8192-row buffer would make "drop a chunk" a catastrophe).
+_FAULT_BUFFER_ROWS = 256
+
+
+def _faulty_run(
+    trace, setup: ExperimentSetup, plan: FaultPlan | None
+) -> tuple[Caesar, float, float]:
+    """One CAESAR run under ``plan``; returns (instance, compensated
+    packet-weighted ARE, uncompensated packet-weighted ARE)."""
+    cfg = CaesarConfig.for_budgets(
+        sram_kb=setup.sram_kb_main,
+        cache_kb=setup.cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=setup.k,
+        seed=setup.seed,
+        engine=setup.engine,
+    )
+    caesar = Caesar(cfg, buffer_capacity=_FAULT_BUFFER_ROWS, fault_plan=plan)
+    caesar.process(trace.packets)
+    caesar.finalize()
+    truth = trace.flows.sizes
+    comp = evaluate(caesar.estimate(trace.flows.ids), truth).packet_weighted_are
+    raw = evaluate(
+        caesar.estimate(trace.flows.ids, compensate=False), truth
+    ).packet_weighted_are
+    return caesar, comp, raw
+
+
+def run_faults(setup: ExperimentSetup | None = None) -> ExperimentResult:
+    """Fault-injection sweep: estimator compensation under degradation.
+
+    Sweeps the eviction-chunk drop rate and, separately, one plan per
+    fault class (duplication, bit flips, a mid-stream cache wipe,
+    stuck-at-max counters), reporting compensated vs uncompensated
+    accuracy and the health status each run ends in.
+    """
+    setup = setup or standard_setup()
+    trace = setup.trace
+
+    # -- drop-rate sweep ----------------------------------------------------
+    drop_rows = []
+    drop_measured = {}
+    for rate in (0.0, 0.02, 0.05, 0.1, 0.2):
+        plan = FaultPlan(drop_chunk=rate) if rate else None
+        caesar, comp, raw = _faulty_run(trace, setup, plan)
+        snap = health_of(caesar)
+        drop_rows.append(
+            [rate, snap.lost_eviction_mass, comp, raw, snap.status]
+        )
+        drop_measured[f"drop_{rate}"] = {"compensated": comp, "uncompensated": raw}
+    drop_table = format_table(
+        ["drop rate", "lost mass", "ARE (comp)", "ARE (raw)", "health"],
+        drop_rows,
+        title="Eviction-chunk drop sweep (pkt-weighted ARE)",
+    )
+
+    # -- fault taxonomy ------------------------------------------------------
+    wipe_at = trace.num_packets // 2
+    taxonomy = {
+        "duplicate 5%": FaultPlan(duplicate_chunk=0.05),
+        "bit flips 1%/chunk": FaultPlan(flip_bit=0.01),
+        "cache wipe @mid": FaultPlan(wipe_cache_at=(wipe_at,)),
+        "3 stuck-at-max": FaultPlan(stuck_counters=3),
+    }
+    tax_rows = []
+    for name, plan in taxonomy.items():
+        caesar, comp, raw = _faulty_run(trace, setup, plan)
+        snap = health_of(caesar)
+        tax_rows.append(
+            [
+                name,
+                snap.lost_eviction_mass,
+                snap.duplicated_mass,
+                snap.saturated_mass,
+                comp,
+                raw,
+                snap.status,
+            ]
+        )
+    tax_table = format_table(
+        ["fault", "lost", "duplicated", "saturated", "ARE (comp)", "ARE (raw)", "health"],
+        tax_rows,
+        title="Fault taxonomy (one class per run)",
+    )
+
+    baseline = drop_rows[0][2]
+    worst_comp = drop_rows[-1][2]
+    worst_raw = drop_rows[-1][3]
+    return ExperimentResult(
+        experiment_id="faults",
+        title="Fault injection: compensated vs raw estimation under degradation",
+        tables=[drop_table, tax_table],
+        measured={
+            "healthy_pkt_are": baseline,
+            "drop20_compensated_pkt_are": worst_comp,
+            "drop20_uncompensated_pkt_are": worst_raw,
+            "compensation_gain_at_drop20": worst_raw - worst_comp,
+        },
+        paper_reference={
+            "healthy_pkt_are": "matches the robustness baseline (no faults)",
+            "compensation_gain_at_drop20": "> 0: subtracting known-lost mass "
+            "from n recovers part of the dropped accuracy",
+        },
+        notes=[
+            "Compensation corrects the *noise floor* (the n/L term every "
+            "counter shares), not the per-flow mass a dropped chunk took "
+            "with it — so it narrows, but cannot close, the gap to the "
+            "healthy baseline. Lost mass is reported via health signals "
+            "so operators know the residual bias is there.",
         ],
     )

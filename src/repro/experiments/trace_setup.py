@@ -21,6 +21,7 @@ from functools import lru_cache
 
 from repro.errors import ConfigError
 from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import FaultPlan
 from repro.traffic.trace import Trace, default_paper_trace
 
 #: Paper Section 6.2 budgets, in KB, at scale 1.0.
@@ -47,6 +48,9 @@ class ExperimentSetup:
     #: Optional metrics registry threaded into every scheme the
     #: experiment builders construct (None = observability off).
     registry: MetricsRegistry | None = None
+    #: Optional deterministic fault workload injected into every scheme
+    #: the experiment builders construct (None = healthy run).
+    fault_plan: FaultPlan | None = None
 
     @property
     def cache_kb(self) -> float:

@@ -173,6 +173,29 @@ class BankedIndexMemo:
                 store[fid] = row
         return self._table[rows[inverse]]
 
+    def preload(self, flow_ids: npt.NDArray[np.uint64]) -> None:
+        """Bulk-insert flows in the given order (checkpoint restore).
+
+        ``flow_ids`` must be distinct and not yet memoized — exactly the
+        shape :meth:`flows` returns — so a resumed instance reproduces
+        both the mapping *and* the first-seen ordering of the original.
+        """
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        if len(flow_ids) == 0:
+            return
+        store = self._rows
+        if len(np.unique(flow_ids)) != len(flow_ids) or any(
+            fid in store for fid in flow_ids.tolist()
+        ):
+            raise ConfigError("preload requires distinct, unseen flow IDs")
+        base = self._length
+        self._grow_to(base + len(flow_ids))
+        self._ids[base : base + len(flow_ids)] = flow_ids
+        self._table[base : base + len(flow_ids)] = self.indexer.indices(flow_ids)
+        self._length = base + len(flow_ids)
+        for i, fid in enumerate(flow_ids.tolist()):
+            store[fid] = base + i
+
     def flows(self) -> npt.NDArray[np.uint64]:
         """Every flow ID memoized so far, in first-seen order."""
         return self._ids[: self._length].copy()

@@ -1,0 +1,34 @@
+"""Resilience subsystem: checkpoint/restore, fault injection, health.
+
+Three cooperating layers, documented in docs/resilience.md:
+
+- :mod:`repro.resilience.checkpoint` — crash-consistent snapshots of a
+  full CAESAR instance, restorable bit-identically;
+- :mod:`repro.resilience.wal` — a write-ahead log of eviction chunks
+  covering the window between checkpoints, plus checkpoint+replay
+  recovery;
+- :mod:`repro.resilience.faults` — seeded, deterministic fault
+  injection on the cache → split → SRAM hot path;
+- :mod:`repro.resilience.health` — degraded-mode health signals over
+  the fault/saturation accounting, exported via the metrics registry.
+"""
+
+from repro.resilience.checkpoint import CHECKPOINT_FORMAT_VERSION, Checkpoint
+from repro.resilience.faults import FaultInjector, FaultPlan, parse_fault_spec
+from repro.resilience.health import HealthSnapshot, health_of, observe_health
+from repro.resilience.wal import RecoveryResult, WalRecord, WriteAheadLog, recover
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthSnapshot",
+    "RecoveryResult",
+    "WalRecord",
+    "WriteAheadLog",
+    "health_of",
+    "observe_health",
+    "parse_fault_spec",
+    "recover",
+]

@@ -1,0 +1,364 @@
+"""Deterministic fault injection for the cache → split → SRAM seam.
+
+PriMe-style SRAM+DRAM splits (PAPERS.md) make the eviction transfer the
+fragile link of a cache-assisted scheme: a dropped chunk, a duplicated
+DMA, a flipped counter bit, or a wiped on-chip table all bias every
+colliding flow's estimate *silently*. :class:`FaultPlan` describes such
+a fault workload as data — seeded, so a given plan replays the exact
+same fault sequence on the exact same stream — and
+:class:`FaultInjector` executes it at the chunk boundaries of the
+eviction pipeline without perturbing the no-fault path (a disabled plan
+builds no injector at all, and every fault draw is conditional on its
+fault type being enabled, so enabling one fault never shifts another's
+randomness).
+
+The injector keeps full accounting (dropped / duplicated / wiped /
+stuck-rejected mass, bit-flip deltas). Schemes use
+:attr:`FaultInjector.mass_delta` to compensate their estimators — CSM
+and MLM de-noise with the mass *actually landed* in the counters rather
+than the mass seen on the wire — and :mod:`repro.resilience.health`
+projects the same accounting into degraded-mode health signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cachesim.base import EvictionReason
+    from repro.cachesim.cache import FlowCache
+    from repro.sram.counterarray import BankedCounterArray
+
+#: Default seed for fault randomness — independent of measurement seeds.
+DEFAULT_FAULT_SEED = 0xFA017
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault workload.
+
+    All probabilities are per *drained chunk* on the batched engine and
+    per eviction on the scalar engine (a scalar eviction is a 1-row
+    chunk). The plan is pure data: the same plan on the same stream and
+    configuration reproduces the same faults bit-for-bit.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the injector's private generator — fault randomness
+        never touches the measurement generators.
+    drop_chunk:
+        Probability that a drained eviction chunk is lost before it
+        reaches the SRAM (dropped cache → SRAM transfer).
+    duplicate_chunk:
+        Probability that a drained chunk is landed twice (replayed DMA).
+    flip_bit:
+        Probability, per chunk, that one random bit of one random SRAM
+        counter flips (soft error).
+    wipe_cache_at:
+        Access counts at which the entire on-chip cache is wiped without
+        flushing (power glitch); checked at chunk boundaries.
+    stuck_counters:
+        Number of SRAM counters pinned ("stuck-at") from the start.
+    stuck_value:
+        The pinned value; ``None`` pins at the counter capacity
+        (stuck-at-max, the classic failure of a saturating cell).
+    """
+
+    seed: int = DEFAULT_FAULT_SEED
+    drop_chunk: float = 0.0
+    duplicate_chunk: float = 0.0
+    flip_bit: float = 0.0
+    wipe_cache_at: tuple[int, ...] = field(default_factory=tuple)
+    stuck_counters: int = 0
+    stuck_value: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_chunk", "duplicate_chunk", "flip_bit"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be a probability in [0, 1], got {p}")
+        if self.stuck_counters < 0:
+            raise ConfigError(f"stuck_counters must be >= 0, got {self.stuck_counters}")
+        if any(w < 0 for w in self.wipe_cache_at):
+            raise ConfigError(f"wipe_cache_at points must be >= 0, got {self.wipe_cache_at}")
+        # Normalize to a sorted tuple so the wipe schedule is canonical.
+        object.__setattr__(self, "wipe_cache_at", tuple(sorted(self.wipe_cache_at)))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return bool(
+            self.drop_chunk
+            or self.duplicate_chunk
+            or self.flip_bit
+            or self.wipe_cache_at
+            or self.stuck_counters
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (checkpoint serialization)."""
+        d = asdict(self)
+        d["wipe_cache_at"] = list(self.wipe_cache_at)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        d["wipe_cache_at"] = tuple(d.get("wipe_cache_at", ()))
+        return cls(**d)
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the CLI's ``--inject`` mini-language into a :class:`FaultPlan`.
+
+    Comma-separated ``key=value`` tokens::
+
+        drop=0.1,dup=0.05,flip=0.01,wipe=5000+20000,stuck=3,stuck_value=7,seed=9
+
+    ``wipe`` takes one or more ``+``-separated access counts. Unknown
+    keys and malformed values raise :class:`~repro.errors.ConfigError`.
+    """
+    kwargs: dict = {}
+    aliases = {
+        "drop": "drop_chunk",
+        "dup": "duplicate_chunk",
+        "duplicate": "duplicate_chunk",
+        "flip": "flip_bit",
+        "stuck": "stuck_counters",
+    }
+    for token in filter(None, (t.strip() for t in spec.split(","))):
+        if "=" not in token:
+            raise ConfigError(f"--inject token {token!r} is not key=value")
+        key, _, raw = token.partition("=")
+        key = aliases.get(key.strip(), key.strip())
+        try:
+            if key in ("drop_chunk", "duplicate_chunk", "flip_bit"):
+                kwargs[key] = float(raw)
+            elif key == "wipe":
+                kwargs["wipe_cache_at"] = tuple(int(w) for w in raw.split("+"))
+            elif key in ("stuck_counters", "stuck_value", "seed"):
+                kwargs[key] = int(raw)
+            else:
+                raise ConfigError(f"unknown --inject key {key!r}")
+        except ValueError as exc:
+            raise ConfigError(f"bad --inject value {token!r}: {exc}") from exc
+    return FaultPlan(**kwargs)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against one scheme instance.
+
+    Wraps the scheme's eviction drain/sink; owns a private generator so
+    the fault sequence is deterministic under the plan's seed and
+    independent of the measurement randomness. All mass accounting is
+    public — health signals and estimator compensation read it.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not plan.enabled:
+            raise ConfigError("FaultInjector requires a plan with at least one fault")
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._cache: "FlowCache | None" = None
+        self._counters: "BankedCounterArray | None" = None
+        self._wipes_done = 0
+        # -- accounting (all deterministic under the plan seed) -----------
+        self.dropped_chunks = 0
+        self.dropped_mass = 0
+        self.duplicated_chunks = 0
+        self.duplicated_mass = 0
+        self.bitflip_events = 0
+        self.bitflip_delta = 0
+        self.wiped_entries = 0
+        self.wiped_mass = 0
+
+    def attach(
+        self,
+        *,
+        cache: "FlowCache | None" = None,
+        counters: "BankedCounterArray | None" = None,
+    ) -> "FaultInjector":
+        """Bind the injector to its targets and apply start-of-run faults.
+
+        ``cache`` enables wipe faults; ``counters`` enables bit flips
+        and stuck-at pins (applied here, before any traffic).
+        """
+        self._cache = cache
+        self._counters = counters
+        if self.plan.stuck_counters and counters is not None:
+            n = min(self.plan.stuck_counters, counters.total_counters)
+            idx = self._rng.choice(counters.total_counters, size=n, replace=False)
+            value = (
+                counters.counter_capacity
+                if self.plan.stuck_value is None
+                else self.plan.stuck_value
+            )
+            counters.stick(idx.astype(np.int64), value)
+        return self
+
+    # -- chunk-level fault decisions (each draw gated on its own knob) -----
+
+    def drops_chunk(self) -> bool:
+        """Decide whether the next chunk transfer is lost."""
+        return bool(self.plan.drop_chunk) and self._rng.random() < self.plan.drop_chunk
+
+    def duplicates_chunk(self) -> bool:
+        """Decide whether the next chunk transfer is replayed."""
+        return (
+            bool(self.plan.duplicate_chunk)
+            and self._rng.random() < self.plan.duplicate_chunk
+        )
+
+    def account_dropped(self, mass: int) -> None:
+        """Record one dropped transfer of ``mass`` counted units."""
+        self.dropped_chunks += 1
+        self.dropped_mass += int(mass)
+
+    def account_duplicated(self, mass: int) -> None:
+        """Record one duplicated transfer of ``mass`` counted units."""
+        self.duplicated_chunks += 1
+        self.duplicated_mass += int(mass)
+
+    def maybe_flip_bit(self) -> None:
+        """Possibly flip one random counter bit (needs attached counters)."""
+        if not self.plan.flip_bit or self._counters is None:
+            return
+        if self._rng.random() < self.plan.flip_bit:
+            index = int(self._rng.integers(self._counters.total_counters))
+            bit = int(self._rng.integers(self._counters.bits_per_counter))
+            self.bitflip_delta += self._counters.flip_bit(index, bit)
+            self.bitflip_events += 1
+
+    def maybe_wipe_cache(self) -> None:
+        """Wipe the cache if an access-count trigger has been crossed."""
+        cache = self._cache
+        if cache is None:
+            return
+        plan_points = self.plan.wipe_cache_at
+        while (
+            self._wipes_done < len(plan_points)
+            and cache.stats.accesses >= plan_points[self._wipes_done]
+        ):
+            entries, mass = cache.wipe()
+            self.wiped_entries += entries
+            self.wiped_mass += mass
+            self._wipes_done += 1
+
+    # -- drain/sink wrapping -------------------------------------------------
+
+    def wrap_drain(
+        self,
+        drain: Callable[
+            [
+                npt.NDArray[np.uint64],
+                npt.NDArray[np.int64],
+                npt.NDArray[np.uint8],
+            ],
+            None,
+        ],
+    ) -> Callable[
+        [npt.NDArray[np.uint64], npt.NDArray[np.int64], npt.NDArray[np.uint8]], None
+    ]:
+        """The faulty version of a batched eviction drain."""
+
+        def faulty_drain(
+            ids: npt.NDArray[np.uint64],
+            values: npt.NDArray[np.int64],
+            reasons: npt.NDArray[np.uint8],
+        ) -> None:
+            if self.drops_chunk():
+                self.account_dropped(int(values.sum()))
+            else:
+                drain(ids, values, reasons)
+                if self.duplicates_chunk():
+                    drain(ids, values, reasons)
+                    self.account_duplicated(int(values.sum()))
+            self.maybe_flip_bit()
+            self.maybe_wipe_cache()
+
+        return faulty_drain
+
+    def wrap_sink(
+        self, sink: Callable[[int, int, "EvictionReason"], None]
+    ) -> Callable[[int, int, "EvictionReason"], None]:
+        """The faulty version of a scalar eviction sink (1-row chunks)."""
+
+        def faulty_sink(flow_id: int, value: int, reason: "EvictionReason") -> None:
+            if self.drops_chunk():
+                self.account_dropped(value)
+            else:
+                sink(flow_id, value, reason)
+                if self.duplicates_chunk():
+                    sink(flow_id, value, reason)
+                    self.account_duplicated(value)
+            self.maybe_flip_bit()
+            self.maybe_wipe_cache()
+
+        return faulty_sink
+
+    # -- accounting roll-ups ---------------------------------------------------
+
+    @property
+    def stuck_lost_mass(self) -> int:
+        """Mass rejected by stuck counters (0 when none attached)."""
+        return self._counters.stuck_lost_mass if self._counters is not None else 0
+
+    @property
+    def lost_mass(self) -> int:
+        """Counted units that left the cache but never reached a counter."""
+        return self.dropped_mass + self.wiped_mass + self.stuck_lost_mass
+
+    @property
+    def mass_delta(self) -> int:
+        """Net difference between landed and seen mass — what estimator
+        compensation adds to the recorded mass before de-noising."""
+        return self.duplicated_mass + self.bitflip_delta - self.lost_mass
+
+    # -- checkpoint state --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """All mutable injector state (checkpoint capture; JSON-ready)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "rng": self._rng.bit_generator.state,
+            "wipes_done": self._wipes_done,
+            "dropped_chunks": self.dropped_chunks,
+            "dropped_mass": self.dropped_mass,
+            "duplicated_chunks": self.duplicated_chunks,
+            "duplicated_mass": self.duplicated_mass,
+            "bitflip_events": self.bitflip_events,
+            "bitflip_delta": self.bitflip_delta,
+            "wiped_entries": self.wiped_entries,
+            "wiped_mass": self.wiped_mass,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (plan identity is the caller's
+        responsibility — restore into an injector built from the same plan)."""
+        self._rng.bit_generator.state = state["rng"]
+        self._wipes_done = int(state["wipes_done"])
+        for name in (
+            "dropped_chunks",
+            "dropped_mass",
+            "duplicated_chunks",
+            "duplicated_mass",
+            "bitflip_events",
+            "bitflip_delta",
+            "wiped_entries",
+            "wiped_mass",
+        ):
+            setattr(self, name, int(state[name]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(lost={self.lost_mass}, dup={self.duplicated_mass}, "
+            f"flips={self.bitflip_events}, wipes={self._wipes_done})"
+        )

@@ -1,0 +1,147 @@
+"""Degraded-mode health signals for cache-assisted schemes.
+
+A measurement that silently lost mass is worse than one that failed: the
+estimates look plausible and are wrong. This module condenses the fault
+and saturation accounting scattered across a scheme — counter
+saturation, injector loss/duplication, cache wipes, checkpoint lag —
+into one :class:`HealthSnapshot` with a three-level status, and mirrors
+it into the PR-2 :class:`~repro.obs.registry.MetricsRegistry` as
+``<prefix>.health.*`` gauges so operators see degradation without
+querying a single flow.
+
+Status policy (documented in docs/resilience.md):
+
+- ``critical`` — mass was irrecoverably clipped (counter saturation) or
+  more than :data:`CRITICAL_LOSS_FRACTION` of the recorded mass is
+  known lost: estimates are biased beyond the compensation's reach.
+- ``degraded`` — some fault accounting is non-zero, or the saturation
+  watermark is above :data:`WATERMARK_DEGRADED` (one more heavy epoch
+  may clip): estimates are compensated but the run should be flagged.
+- ``ok`` — nothing lost, nothing close to clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.caesar import Caesar
+
+#: Fraction of recorded mass known-lost beyond which status is critical.
+CRITICAL_LOSS_FRACTION = 0.05
+
+#: Saturation watermark (max counter / capacity) that flags degradation.
+WATERMARK_DEGRADED = 0.9
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One scheme's health at a point in time (all counts cumulative)."""
+
+    #: ``"ok"``, ``"degraded"``, or ``"critical"``.
+    status: str
+    #: Largest counter value as a fraction of counter capacity.
+    saturation_watermark: float
+    #: Counters sitting exactly at the capacity ceiling.
+    saturated_counters: int
+    #: Mass clipped by saturation (irrecoverable).
+    saturated_mass: int
+    #: Mass that left the cache but never landed (drops + wipes + stuck).
+    lost_eviction_mass: int
+    #: Mass landed more than once (duplicated transfers).
+    duplicated_mass: int
+    #: Counter bit flips injected so far.
+    bitflip_events: int
+    #: Cache wipes executed so far.
+    cache_wipes: int
+    #: Mass recorded since the last checkpoint (exposure to a crash).
+    checkpoint_lag: int
+    #: Mass seen on the wire.
+    recorded_mass: int
+    #: Mass the estimators de-noise with after compensation.
+    effective_mass: int
+
+    @property
+    def healthy(self) -> bool:
+        """True when the status is ``"ok"``."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (reports, JSON)."""
+        return asdict(self)
+
+
+def health_of(scheme: "Caesar") -> HealthSnapshot:
+    """Compute the current :class:`HealthSnapshot` of a scheme.
+
+    Works for any scheme exposing ``counters`` (a
+    :class:`~repro.sram.BankedCounterArray`), ``recorded_mass``, and
+    optionally ``_injector`` / ``effective_mass`` / ``checkpoint_lag``
+    — i.e. :class:`Caesar` and the fault-aware baselines.
+    """
+    counters = scheme.counters
+    injector = getattr(scheme, "_injector", None)
+    recorded = int(scheme.recorded_mass)
+    effective = int(getattr(scheme, "effective_mass", recorded))
+    watermark = (
+        int(counters.values.max()) / counters.counter_capacity
+        if counters.total_counters
+        else 0.0
+    )
+    lost = injector.lost_mass if injector is not None else counters.stuck_lost_mass
+    duplicated = injector.duplicated_mass if injector is not None else 0
+    flips = injector.bitflip_events if injector is not None else 0
+    wipes = injector.wiped_entries if injector is not None else 0
+
+    if counters.saturated_mass > 0 or (recorded and lost / recorded > CRITICAL_LOSS_FRACTION):
+        status = "critical"
+    elif lost or duplicated or flips or wipes or watermark > WATERMARK_DEGRADED:
+        status = "degraded"
+    else:
+        status = "ok"
+
+    return HealthSnapshot(
+        status=status,
+        saturation_watermark=watermark,
+        saturated_counters=counters.saturated_counters,
+        saturated_mass=counters.saturated_mass,
+        lost_eviction_mass=lost,
+        duplicated_mass=duplicated,
+        bitflip_events=flips,
+        cache_wipes=int(getattr(injector, "_wipes_done", 0)) if injector else 0,
+        checkpoint_lag=int(getattr(scheme, "checkpoint_lag", 0)),
+        recorded_mass=recorded,
+        effective_mass=effective,
+    )
+
+
+#: Numeric encoding of the status for the gauge registry.
+_STATUS_LEVELS = {"ok": 0, "degraded": 1, "critical": 2}
+
+
+def observe_health(
+    registry: MetricsRegistry, scheme: "Caesar", prefix: str = "caesar"
+) -> HealthSnapshot | None:
+    """Publish a scheme's health as ``<prefix>.health.*`` gauges.
+
+    Returns the snapshot, or ``None`` under the null registry (nothing
+    is even computed — finalize stays zero-overhead with metrics off).
+    """
+    if not registry.enabled:
+        return None
+    snap = health_of(scheme)
+    gauge = registry.gauge
+    gauge(f"{prefix}.health.status_level").set(_STATUS_LEVELS[snap.status])
+    gauge(f"{prefix}.health.saturation_watermark").set(snap.saturation_watermark)
+    gauge(f"{prefix}.health.saturated_counters").set(snap.saturated_counters)
+    gauge(f"{prefix}.health.saturated_mass").set(snap.saturated_mass)
+    gauge(f"{prefix}.health.lost_eviction_mass").set(snap.lost_eviction_mass)
+    gauge(f"{prefix}.health.duplicated_mass").set(snap.duplicated_mass)
+    gauge(f"{prefix}.health.bitflip_events").set(snap.bitflip_events)
+    gauge(f"{prefix}.health.cache_wipes").set(snap.cache_wipes)
+    gauge(f"{prefix}.health.checkpoint_lag").set(snap.checkpoint_lag)
+    gauge(f"{prefix}.health.effective_mass").set(snap.effective_mass)
+    return snap

@@ -1,0 +1,248 @@
+"""Write-ahead log of eviction chunks (crash recovery between checkpoints).
+
+A checkpoint captures a scheme at one chunk boundary; the WAL covers the
+gap to the *next* boundary. Every chunk drained from the cache is
+appended (with a CRC) before it is landed on the SRAM — and before the
+fault injector sees it, so even a chunk the injector drops is in the
+log. Recovery is checkpoint + replay: restore the last checkpoint, then
+re-drain every logged chunk with a sequence number at or past the
+checkpoint's ``wal_seq``. Because the checkpoint restores the split
+RNG's exact state and chunks replay in log order, the recovered counters
+are bit-identical to an uninterrupted run (see docs/resilience.md).
+
+The on-disk format is deliberately boring: a magic header, then
+self-delimiting records ``<type u8><seq u32><rows u32><crc u32>``
+followed by the raw ``ids``/``values``/``reasons`` bytes. A torn final
+record — the normal shape of a crash mid-write — is detected and
+silently ignored; a CRC mismatch on a *complete* record is corruption
+and raises :class:`~repro.errors.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterator
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import TraceFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.caesar import Caesar
+
+#: File magic: identifies a repro WAL and its format version.
+WAL_MAGIC = b"RPRWAL01"
+
+#: Record types.
+CHUNK_RECORD = 0
+EPOCH_RECORD = 1
+
+_HEADER = struct.Struct("<BII I")  # type, seq, rows, crc
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record (a drained chunk or an epoch marker)."""
+
+    kind: int
+    seq: int
+    ids: npt.NDArray[np.uint64]
+    values: npt.NDArray[np.int64]
+    reasons: npt.NDArray[np.uint8]
+
+    @property
+    def mass(self) -> int:
+        """Counted units carried by this record."""
+        return int(self.values.sum())
+
+
+class WriteAheadLog:
+    """Appendable, CRC-protected log of eviction chunks.
+
+    One log belongs to one measurement run; sequence numbers are
+    monotonically increasing across chunk and epoch records so a
+    checkpoint can name the exact replay start point.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        new = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh: IO[bytes] = open(self.path, "ab")
+        self.records_written = 0
+        self.next_seq = 0
+        if new:
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+        else:
+            # Re-opening an existing log: continue its sequence.
+            last = -1
+            for record in self.iter_records(self.path):
+                last = record.seq
+            self.next_seq = last + 1
+
+    # -- writing -----------------------------------------------------------
+
+    def _write(
+        self,
+        kind: int,
+        ids: npt.NDArray[np.uint64],
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+    ) -> int:
+        seq = self.next_seq
+        payload = (
+            np.ascontiguousarray(ids, dtype=np.uint64).tobytes()
+            + np.ascontiguousarray(values, dtype=np.int64).tobytes()
+            + np.ascontiguousarray(reasons, dtype=np.uint8).tobytes()
+        )
+        crc = zlib.crc32(payload)
+        self._fh.write(_HEADER.pack(kind, seq, len(ids), crc))
+        self._fh.write(payload)
+        self.next_seq += 1
+        self.records_written += 1
+        return seq
+
+    def append_chunk(
+        self,
+        ids: npt.NDArray[np.uint64],
+        values: npt.NDArray[np.int64],
+        reasons: npt.NDArray[np.uint8],
+    ) -> int:
+        """Log one drained chunk; returns its sequence number."""
+        return self._write(CHUNK_RECORD, ids, values, reasons)
+
+    def append_event(self, flow_id: int, value: int, code: int) -> int:
+        """Log one scalar eviction as a 1-row chunk (scalar engine)."""
+        return self._write(
+            CHUNK_RECORD,
+            np.array([flow_id], dtype=np.uint64),
+            np.array([value], dtype=np.int64),
+            np.array([code], dtype=np.uint8),
+        )
+
+    def begin_epoch(self, epoch: int) -> int:
+        """Log an epoch boundary (``reset()``); replay stops crossing it.
+
+        Carries a full 1-row payload (epoch number in the ids column,
+        zero value/reason) so every record decodes with one rule.
+        """
+        return self._write(
+            EPOCH_RECORD,
+            np.array([epoch], dtype=np.uint64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.uint8),
+        )
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (called at checkpoint time)."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def iter_records(path: str | Path, start_seq: int = 0) -> Iterator[WalRecord]:
+        """Yield complete records with ``seq >= start_seq``.
+
+        A truncated final record (torn write at crash time) ends
+        iteration silently; a corrupt complete record raises
+        :class:`TraceFormatError`.
+        """
+        data = Path(path).read_bytes()
+        if len(data) < len(WAL_MAGIC) or data[: len(WAL_MAGIC)] != WAL_MAGIC:
+            raise TraceFormatError(f"{path} is not a repro write-ahead log")
+        pos = len(WAL_MAGIC)
+        while pos < len(data):
+            if pos + _HEADER.size > len(data):
+                return  # torn header: crash mid-write
+            kind, seq, rows, crc = _HEADER.unpack_from(data, pos)
+            pos += _HEADER.size
+            payload_len = rows * (8 + 8 + 1)
+            if pos + payload_len > len(data):
+                return  # torn payload: crash mid-write
+            payload = data[pos : pos + payload_len]
+            pos += payload_len
+            if zlib.crc32(payload) != crc:
+                raise TraceFormatError(
+                    f"WAL record seq={seq} failed its CRC check ({path})"
+                )
+            if kind not in (CHUNK_RECORD, EPOCH_RECORD):
+                raise TraceFormatError(f"WAL record seq={seq} has unknown type {kind}")
+            if seq < start_seq:
+                continue
+            ids = np.frombuffer(payload, dtype=np.uint64, count=rows)
+            values = np.frombuffer(payload, dtype=np.int64, count=rows, offset=rows * 8)
+            reasons = np.frombuffer(payload, dtype=np.uint8, count=rows, offset=rows * 16)
+            yield WalRecord(kind, seq, ids, values, reasons)
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of :func:`recover`."""
+
+    caesar: "Caesar"
+    chunks_replayed: int
+    mass_replayed: int
+
+
+def recover(
+    checkpoint_source: str | Path | object,
+    wal_path: str | Path,
+    *,
+    registry: object | None = None,
+) -> RecoveryResult:
+    """Checkpoint + WAL → the scheme as it stood at the crash.
+
+    Restores the checkpoint (path or :class:`~repro.resilience.checkpoint.
+    Checkpoint`), then replays every logged chunk from the checkpoint's
+    ``wal_seq`` onward straight through the resumed instance's drain —
+    same chunks, same order, same restored split-RNG state — so the
+    recovered counters equal the pre-crash counters bit for bit.
+
+    Cache *contents* at crash time are gone (they never left the chip),
+    which is exactly the loss a real crash inflicts — so the
+    checkpoint-time residents are dropped before replay. Keeping them
+    would double-count every entry that drained again between the
+    checkpoint and the crash (its drained value includes the resident
+    part). Mass accounting follows: the recovered ``recorded_mass`` is
+    the mass that durably landed in the SRAM, so
+    ``recorded_mass == counters.total_mass`` holds after recovery
+    (absent saturation).
+    """
+    from repro.resilience.checkpoint import Checkpoint
+
+    ckpt = (
+        checkpoint_source
+        if isinstance(checkpoint_source, Checkpoint)
+        else Checkpoint.load(checkpoint_source)
+    )
+    caesar = ckpt.restore(registry=registry)
+    _, resident = caesar.cache.wipe()
+    caesar._mass_seen -= resident
+    start_seq = int(ckpt.meta["wal_seq"])
+    chunks = 0
+    mass = 0
+    for record in WriteAheadLog.iter_records(wal_path, start_seq=start_seq):
+        if record.kind == EPOCH_RECORD:
+            break  # records past an epoch boundary belong to the next epoch
+        caesar._drain(record.ids, record.values, record.reasons)
+        caesar.cache.stats.record_batch(record.values, record.reasons, record.ids)
+        chunks += 1
+        mass += record.mass
+    caesar._mass_seen += mass
+    return RecoveryResult(caesar=caesar, chunks_replayed=chunks, mass_replayed=mass)

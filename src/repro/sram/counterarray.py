@@ -42,6 +42,12 @@ class BankedCounterArray:
         self._values = np.zeros(self.total_counters, dtype=_COUNTER_DTYPE)
         #: Packet mass dropped because a counter was saturated.
         self.saturated_mass = 0
+        # Stuck-at fault state (None on the healthy path — one attribute
+        # check per update is the entire cost of supporting it).
+        self._stuck_idx: npt.NDArray[np.int64] | None = None
+        self._stuck_values: npt.NDArray[np.int64] | None = None
+        #: Packet mass rejected by stuck counters (fault accounting).
+        self.stuck_lost_mass = 0
 
     # -- updates ---------------------------------------------------------
 
@@ -65,6 +71,8 @@ class BankedCounterArray:
         if over.any():
             self.saturated_mass += int((vals[over] - self.counter_capacity).sum())
             self._values[touched[over]] = self.counter_capacity
+        if self._stuck_idx is not None:
+            self._repin()
 
     def add_one(self, index: int, amount: int = 1) -> None:
         """Single-counter add with saturation (per-eviction hot path)."""
@@ -73,6 +81,80 @@ class BankedCounterArray:
             self.saturated_mass += int(v - self.counter_capacity)
             v = self.counter_capacity
         self._values[index] = v
+        if self._stuck_idx is not None:
+            self._repin()
+
+    # -- fault-injection hooks ------------------------------------------------
+
+    def stick(self, indices: npt.NDArray[np.int64], value: int) -> None:
+        """Pin counters at ``value`` — the stuck-at fault of a failing
+        SRAM cell. Pinned counters reject all future updates; rejected
+        mass accumulates in :attr:`stuck_lost_mass`."""
+        idx = np.unique(np.asarray(indices, dtype=np.int64))
+        if len(idx) and (idx.min() < 0 or idx.max() >= self.total_counters):
+            raise ConfigError("stuck counter index out of range")
+        self._stuck_idx = idx
+        self._stuck_values = np.full(len(idx), int(value), dtype=_COUNTER_DTYPE)
+        self._values[idx] = self._stuck_values
+
+    def _repin(self) -> None:
+        """Re-pin stuck counters after an update, accounting the rejected mass."""
+        vals = self._values[self._stuck_idx]
+        delta = vals - self._stuck_values
+        if delta.any():
+            self.stuck_lost_mass += int(np.maximum(delta, 0).sum())
+            self._values[self._stuck_idx] = self._stuck_values
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        """Flip one bit of one counter (transient corruption fault).
+
+        Returns the signed mass delta the flip introduced. Stuck
+        counters win over flips (the pin is reapplied immediately).
+        """
+        if not 0 <= index < self.total_counters:
+            raise ConfigError(f"counter index {index} out of range")
+        if not 0 <= bit < self.bits_per_counter:
+            raise ConfigError(f"bit {bit} outside the {self.bits_per_counter}-bit width")
+        old = int(self._values[index])
+        new = old ^ (1 << bit)
+        self._values[index] = new
+        if self._stuck_idx is not None:
+            self._repin()
+            new = int(self._values[index])
+        return new - old
+
+    # -- checkpoint state ------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot of all mutable state (checkpoint capture)."""
+        return {
+            "values": self._values.copy(),
+            "saturated_mass": self.saturated_mass,
+            "stuck_idx": None if self._stuck_idx is None else self._stuck_idx.copy(),
+            "stuck_values": (
+                None if self._stuck_values is None else self._stuck_values.copy()
+            ),
+            "stuck_lost_mass": self.stuck_lost_mass,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (checkpoint restore)."""
+        values = np.asarray(state["values"], dtype=_COUNTER_DTYPE)
+        if values.shape != self._values.shape:
+            raise ConfigError(
+                f"counter state holds {values.shape[0]} counters, "
+                f"array has {self.total_counters}"
+            )
+        self._values[:] = values
+        self.saturated_mass = int(state["saturated_mass"])
+        stuck_idx = state.get("stuck_idx")
+        if stuck_idx is None or len(stuck_idx) == 0:
+            self._stuck_idx = None
+            self._stuck_values = None
+        else:
+            self._stuck_idx = np.asarray(stuck_idx, dtype=np.int64)
+            self._stuck_values = np.asarray(state["stuck_values"], dtype=_COUNTER_DTYPE)
+        self.stuck_lost_mass = int(state.get("stuck_lost_mass", 0))
 
     # -- reads -----------------------------------------------------------
 
@@ -123,9 +205,16 @@ class BankedCounterArray:
         return self.memory_bits / 8192.0
 
     def reset(self) -> None:
-        """Zero all counters and the saturation account."""
+        """Zero all counters and the saturation account.
+
+        Stuck-at faults model broken hardware, so pinned counters stay
+        pinned across epochs (their rejected-mass account restarts).
+        """
         self._values[:] = 0
         self.saturated_mass = 0
+        self.stuck_lost_mass = 0
+        if self._stuck_idx is not None:
+            self._values[self._stuck_idx] = self._stuck_values
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,10 +5,19 @@ the modeled widths (20-bit counters) an int64 dump wastes 3x the
 space. These helpers round-trip a counter snapshot through the
 bit-packed layout into ``.npz`` — the on-disk footprint matches the
 modeled SRAM budget plus a small header.
+
+Snapshots written since the resilience PR carry a SHA-256 content
+checksum; :func:`load_counters` verifies it when present (older files
+without one still load), so silent bit-rot fails loudly as
+:class:`~repro.errors.TraceFormatError` instead of returning corrupt
+counters. All damage modes — truncation, zip corruption, missing
+members, checksum mismatch — surface as that one exception type.
 """
 
 from __future__ import annotations
 
+import hashlib
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -19,13 +28,21 @@ from repro.sram.bitpacked import BitPackedArray
 from repro.sram.layout import counter_bits
 
 
+def _checksum(words: npt.NDArray[np.uint64], size: int, width: int) -> str:
+    """SHA-256 over the packed payload and its layout parameters."""
+    h = hashlib.sha256()
+    h.update(f"{size}:{width}:".encode())
+    h.update(np.ascontiguousarray(words).tobytes())
+    return h.hexdigest()
+
+
 def save_counters(
     path: str | Path,
     values: npt.NDArray[np.int64],
     counter_capacity: int,
     metadata: dict[str, int] | None = None,
 ) -> Path:
-    """Write a counter snapshot at its modeled width."""
+    """Write a counter snapshot at its modeled width (checksummed)."""
     width = counter_bits(counter_capacity)
     packed = BitPackedArray.pack(np.asarray(values, dtype=np.int64), width)
     meta = {f"meta_{k}": v for k, v in (metadata or {}).items()}
@@ -35,6 +52,7 @@ def save_counters(
         words=packed._words,  # noqa: SLF001 - serialization of own layout
         size=np.int64(packed.size),
         width=np.int64(width),
+        checksum=np.array(_checksum(packed._words, packed.size, width)),  # noqa: SLF001
         **meta,
     )
     return path
@@ -43,7 +61,11 @@ def save_counters(
 def load_counters(
     path: str | Path,
 ) -> tuple[npt.NDArray[np.int64], dict[str, int]]:
-    """Read a snapshot back: ``(values, metadata)``."""
+    """Read a snapshot back: ``(values, metadata)``.
+
+    Verifies the content checksum when the file carries one; any parse
+    failure or integrity violation raises :class:`TraceFormatError`.
+    """
     try:
         with np.load(Path(path)) as data:
             size = int(data["size"])
@@ -52,6 +74,12 @@ def load_counters(
             words = data["words"]
             if words.shape != arr._words.shape:  # noqa: SLF001
                 raise TraceFormatError(f"{path}: word buffer shape mismatch")
+            if "checksum" in data.files and (
+                str(data["checksum"]) != _checksum(words, size, width)
+            ):
+                raise TraceFormatError(
+                    f"{path}: checksum mismatch (snapshot is corrupt or tampered)"
+                )
             arr._words[:] = words  # noqa: SLF001
             meta = {
                 key[5:]: int(data[key])
@@ -59,5 +87,5 @@ def load_counters(
                 if key.startswith("meta_")
             }
             return arr.unpack(), meta
-    except (KeyError, OSError, ValueError) as exc:
+    except (KeyError, OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
         raise TraceFormatError(f"cannot load counter snapshot from {path}: {exc}") from exc

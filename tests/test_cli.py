@@ -94,3 +94,81 @@ class TestMain:
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
+
+
+class TestResilienceCli:
+    """--inject / --checkpoint-every / --resume-from and error exits."""
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.npz")
+        assert main(["trace", "--scale", "0.003", "--seed", "2", "--out", path]) == 0
+        return path
+
+    def test_repro_error_exits_2_with_one_line(self, capsys, trace_path):
+        """Missing budgets is a ReproError: exit 2, message on stderr,
+        no traceback."""
+        assert main(["measure", "--trace", trace_path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_inject_spec_exits_2(self, capsys, trace_path):
+        args = ["measure", "--trace", trace_path, "--sram-kb", "2", "--cache-kb", "1"]
+        assert main([*args, "--inject", "bogus=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_every_requires_out(self, capsys, trace_path):
+        args = ["measure", "--trace", trace_path, "--sram-kb", "2", "--cache-kb", "1"]
+        assert main([*args, "--checkpoint-every", "1000"]) == 2
+        assert "--checkpoint-out" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_matches(self, capsys, tmp_path, trace_path):
+        """The full kill-and-resume cycle through the CLI: the resumed
+        run prints the same accuracy summary as the checkpointing run."""
+        ck = str(tmp_path / "ck.npz")
+        base = ["measure", "--trace", trace_path, "--top", "3"]
+        assert (
+            main(
+                [
+                    *base,
+                    "--sram-kb",
+                    "2",
+                    "--cache-kb",
+                    "1",
+                    "--checkpoint-every",
+                    "30000",
+                    "--checkpoint-out",
+                    ck,
+                ]
+            )
+            == 0
+        )
+        full = capsys.readouterr().out
+        assert main([*base, "--resume-from", ck]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed" in resumed
+        # Identical estimates: same summary lines and same top flows.
+        tail = full.split("top 3 flows")[1]
+        assert tail == resumed.split("top 3 flows")[1]
+
+    def test_inject_runs_and_reports(self, capsys, trace_path):
+        assert (
+            main(
+                [
+                    "measure",
+                    "--trace",
+                    trace_path,
+                    "--sram-kb",
+                    "2",
+                    "--cache-kb",
+                    "1",
+                    "--inject",
+                    "drop=0.1,seed=5",
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "top 2 flows" in capsys.readouterr().out

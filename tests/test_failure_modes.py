@@ -8,10 +8,12 @@ or accounted loss), never silently corrupt results.
 import numpy as np
 import pytest
 
+from repro.baselines.case import Case, CaseConfig
 from repro.baselines.rcs import RCS, RCSConfig
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
-from repro.errors import QueryError
+from repro.errors import ConfigError, QueryError
+from repro.resilience.faults import FaultInjector, FaultPlan, parse_fault_spec
 
 
 class TestDegenerateGeometries:
@@ -153,3 +155,153 @@ class TestAdversarialInputs:
         )
         with pytest.raises(QueryError):
             caesar.estimate(np.array([1], dtype=np.uint64))
+
+
+def _fault_caesar(plan, *, engine="batched", seed=5):
+    return Caesar(
+        CaesarConfig(
+            cache_entries=64, entry_capacity=16, k=3, bank_size=512,
+            seed=seed, engine=engine,
+        ),
+        buffer_capacity=64,
+        fault_plan=plan,
+    )
+
+
+class TestFaultPlan:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_chunk=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(flip_bit=-0.1)
+
+    def test_negative_stuck_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(stuck_counters=-1)
+
+    def test_disabled_plan_builds_no_injector(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan())
+        assert caesar._injector is None
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan())
+
+    def test_roundtrip_dict(self):
+        plan = FaultPlan(drop_chunk=0.1, wipe_cache_at=(9000, 5000), seed=3)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.wipe_cache_at == (5000, 9000)  # canonical order
+
+    def test_parse_fault_spec(self):
+        plan = parse_fault_spec("drop=0.1,dup=0.05,flip=0.01,wipe=5000+9000,stuck=3,seed=9")
+        assert plan.drop_chunk == 0.1
+        assert plan.duplicate_chunk == 0.05
+        assert plan.flip_bit == 0.01
+        assert plan.wipe_cache_at == (5000, 9000)
+        assert plan.stuck_counters == 3
+        assert plan.seed == 9
+
+    def test_parse_fault_spec_rejects_garbage(self):
+        for bad in ("drop", "nope=1", "drop=abc", "drop=2.0"):
+            with pytest.raises(ConfigError):
+                parse_fault_spec(bad)
+
+
+class TestFaultInjection:
+    """Fault runs must degrade loudly: every lost/extra unit accounted."""
+
+    def test_no_fault_path_is_untouched(self, tiny_trace):
+        """A run without a plan and a run with plan=None are the same
+        objects on the hot path (no wrapper, no overhead)."""
+        caesar = _fault_caesar(None)
+        assert caesar._injector is None
+        assert caesar._drain_fn == caesar._drain
+
+    def test_drop_accounting_conserves_mass(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan(drop_chunk=0.2, seed=11))
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        inj = caesar._injector
+        assert inj.dropped_chunks > 0
+        # Landed + dropped == seen: nothing vanishes unaccounted.
+        assert caesar.counters.total_mass + inj.dropped_mass == tiny_trace.num_packets
+        assert caesar.effective_mass == tiny_trace.num_packets - inj.dropped_mass
+
+    def test_duplicate_accounting(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan(duplicate_chunk=0.2, seed=11))
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        inj = caesar._injector
+        assert inj.duplicated_chunks > 0
+        assert caesar.counters.total_mass == tiny_trace.num_packets + inj.duplicated_mass
+        assert caesar.effective_mass == tiny_trace.num_packets + inj.duplicated_mass
+
+    def test_bitflip_accounting(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan(flip_bit=0.5, seed=11))
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        inj = caesar._injector
+        assert inj.bitflip_events > 0
+        assert caesar.counters.total_mass == tiny_trace.num_packets + inj.bitflip_delta
+
+    def test_cache_wipe_fires_once_per_trigger(self, tiny_trace):
+        mid = len(tiny_trace.packets) // 2
+        caesar = _fault_caesar(FaultPlan(wipe_cache_at=(mid,)))
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        inj = caesar._injector
+        assert inj._wipes_done == 1
+        assert inj.wiped_mass > 0
+        assert caesar.counters.total_mass + inj.wiped_mass == tiny_trace.num_packets
+
+    def test_stuck_counters_pinned(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan(stuck_counters=5, stuck_value=7))
+        pinned_before = caesar.counters.values.copy()
+        assert (pinned_before == 7).sum() == 5
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        assert (caesar.counters.values[pinned_before == 7] == 7).all()
+
+    def test_identical_plans_are_deterministic(self, tiny_trace):
+        plan = FaultPlan(drop_chunk=0.1, duplicate_chunk=0.1, flip_bit=0.05, seed=21)
+        runs = []
+        for _ in range(2):
+            caesar = _fault_caesar(plan)
+            caesar.process(tiny_trace.packets)
+            caesar.finalize()
+            runs.append(caesar)
+        np.testing.assert_array_equal(runs[0].counters.values, runs[1].counters.values)
+        assert runs[0]._injector.lost_mass == runs[1]._injector.lost_mass
+        assert runs[0]._injector.mass_delta == runs[1]._injector.mass_delta
+
+    def test_scalar_engine_faults(self, tiny_trace):
+        caesar = _fault_caesar(FaultPlan(drop_chunk=0.1, seed=11), engine="scalar")
+        caesar.process(tiny_trace.packets)
+        caesar.finalize()
+        inj = caesar._injector
+        assert inj.dropped_mass > 0
+        assert caesar.counters.total_mass + inj.dropped_mass == tiny_trace.num_packets
+
+    def test_case_faults_on_cache_path(self, tiny_trace):
+        cfg = CaseConfig.for_budgets(
+            sram_kb=0.4,  # ~10-bit counters at one per flow
+            cache_kb=0.5,
+            num_packets=tiny_trace.num_packets,
+            num_flows=tiny_trace.num_flows,
+            max_value=float(tiny_trace.flows.sizes.max()),
+        )
+        case = Case(cfg, fault_plan=FaultPlan(drop_chunk=0.2, seed=11))
+        case.process(tiny_trace.packets)
+        case.finalize()
+        assert case._injector.dropped_mass > 0
+        est = case.estimate(tiny_trace.flows.ids)
+        assert np.isfinite(est).all()
+
+    def test_rcs_faults_and_compensation(self, tiny_trace):
+        cfg = RCSConfig.for_budget(2, k=3)
+        rcs = RCS(cfg, fault_plan=FaultPlan(drop_chunk=0.2, seed=11))
+        rcs.process(tiny_trace.packets)
+        inj = rcs._injector
+        assert inj.dropped_mass > 0
+        assert rcs.effective_mass == rcs.recorded_mass - inj.dropped_mass
+        est = rcs.estimate(tiny_trace.flows.ids)
+        assert np.isfinite(est).all()

@@ -110,6 +110,58 @@ class TestSnapshots:
         with pytest.raises(TraceFormatError):
             load_counters(path)
 
+    def test_truncation_rejected(self, tmp_path):
+        """A half-written file (disk full, crash) must not parse —
+        zipfile's EOFError/BadZipFile surface as TraceFormatError."""
+        values = np.arange(256, dtype=np.int64)
+        path = save_counters(tmp_path / "c.npz", values, 2**20 - 1)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            load_counters(path)
+
+    def test_bitrot_fails_checksum(self, tmp_path):
+        """Valid zip, tampered words: the content checksum catches what
+        the container format cannot."""
+        values = np.arange(256, dtype=np.int64)
+        path = save_counters(tmp_path / "c.npz", values, 2**20 - 1)
+        with np.load(path) as z:
+            members = {k: z[k].copy() for k in z.files}
+        members["words"][0] ^= 1
+        np.savez_compressed(path, **members)
+        with pytest.raises(TraceFormatError, match="checksum"):
+            load_counters(path)
+
+    def test_wrong_width_tamper_rejected(self, tmp_path):
+        """Rewriting the width member desyncs it from the checksum."""
+        values = np.arange(64, dtype=np.int64)
+        path = save_counters(tmp_path / "c.npz", values, 2**20 - 1)
+        with np.load(path) as z:
+            members = {k: z[k].copy() for k in z.files}
+        members["width"] = np.int64(int(members["width"]) - 4)
+        np.savez_compressed(path, **members)
+        with pytest.raises(TraceFormatError):
+            load_counters(path)
+
+    def test_legacy_file_without_checksum_loads(self, tmp_path):
+        """Snapshots from before the checksum member still round-trip."""
+        values = np.arange(64, dtype=np.int64)
+        path = save_counters(tmp_path / "c.npz", values, 2**20 - 1)
+        with np.load(path) as z:
+            members = {k: z[k].copy() for k in z.files if k != "checksum"}
+        np.savez_compressed(path, **members)
+        loaded, _ = load_counters(path)
+        np.testing.assert_array_equal(loaded, values)
+
+    def test_metadata_roundtrip_with_checksum(self, tmp_path):
+        values = np.arange(32, dtype=np.int64)
+        path = save_counters(
+            tmp_path / "c.npz", values, 255, metadata={"epoch": 9, "wal_seq": 44}
+        )
+        loaded, meta = load_counters(path)
+        np.testing.assert_array_equal(loaded, values)
+        assert meta == {"epoch": 9, "wal_seq": 44}
+
     def test_caesar_counters_roundtrip(self, tiny_trace, tmp_path):
         caesar = make_caesar()
         caesar.process(tiny_trace.packets)
