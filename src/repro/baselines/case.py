@@ -10,10 +10,11 @@ precisely why its estimates collapse to ~0 at 183.11 KB in the paper).
 Eviction path: fold the evicted cache value into the flow's compressed
 counter via the DISCO curve — ``c' = inverse(rep(c) + value)`` — the
 power operation the paper charges CASE's processing time with. Like
-CAESAR, CASE runs either engine: ``"batched"`` (default) drains the
-eviction buffer chunk-wise into one vectorized compressed fold,
-``"scalar"`` folds per eviction; both are bit-identical under a fixed
-seed.
+CAESAR, CASE runs any engine: ``"batched"`` (default) drains the
+eviction buffer chunk-wise into one vectorized compressed fold (run
+coalescing auto-selected per chunk), ``"runs"`` forces the
+run-coalescing cache kernel on, ``"scalar"`` folds per eviction; all
+are bit-identical under a fixed seed.
 """
 
 from __future__ import annotations
@@ -63,8 +64,10 @@ class CaseConfig:
             raise ConfigError(f"counter_capacity must be >= 1, got {self.counter_capacity}")
         if self.replacement not in ("lru", "random"):
             raise ConfigError(f"replacement must be 'lru' or 'random', got {self.replacement!r}")
-        if self.engine not in ("batched", "scalar"):
-            raise ConfigError(f"engine must be 'batched' or 'scalar', got {self.engine!r}")
+        if self.engine not in ("batched", "runs", "scalar"):
+            raise ConfigError(
+                f"engine must be 'batched', 'runs', or 'scalar', got {self.engine!r}"
+            )
 
     @classmethod
     def for_budgets(
@@ -184,10 +187,15 @@ class Case:
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
         with self.metrics.timer("case.process"):
-            if self.engine == "batched":
-                self.cache.process_into(packets, self._buffer, self._drain_fn)
-            else:
+            if self.engine == "scalar":
                 self.cache.process(packets, self._sink_fn)
+            else:
+                self.cache.process_into(
+                    packets,
+                    self._buffer,
+                    self._drain_fn,
+                    coalesce=True if self.engine == "runs" else None,
+                )
         self._packets_seen += len(packets)
 
     def finalize(self) -> None:
@@ -195,10 +203,10 @@ class Case:
         if self._finalized:
             return
         with self.metrics.timer("case.finalize"):
-            if self.engine == "batched":
-                self.cache.dump_into(self._buffer, self._drain_fn)
-            else:
+            if self.engine == "scalar":
                 self.cache.dump(self._sink_fn)
+            else:
+                self.cache.dump_into(self._buffer, self._drain_fn)
         self._finalized = True
         observe_cache_stats(self.metrics, self.cache.stats, "case.cache")
         observe_scheme(self.metrics, self, "case")

@@ -68,6 +68,25 @@ class EvictionBuffer:
         self.length = n + 1
         return self.length == self.capacity
 
+    def extend_same(self, flow_id: int, value: int, reason_code: int, n: int) -> int:
+        """Append up to ``n`` copies of one eviction row (a coalesced
+        run's closed-form expansion); returns how many were appended.
+
+        Fills at most the remaining space — the caller loops, flushing
+        between rounds, so chunk boundaries land exactly where ``n``
+        scalar :meth:`append` calls would have put them.
+        """
+        start = self.length
+        space = self.capacity - start
+        if n > space:
+            n = space
+        end = start + n
+        self.ids[start:end] = flow_id
+        self.values[start:end] = value
+        self.reasons[start:end] = reason_code
+        self.length = end
+        return n
+
     @property
     def is_full(self) -> bool:
         return self.length == self.capacity

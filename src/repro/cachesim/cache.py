@@ -19,9 +19,12 @@ Evictions leave the cache along one of two equivalent paths:
 - **batched** — :meth:`FlowCache.process_into` appends evictions into a
   preallocated :class:`~repro.cachesim.buffer.EvictionBuffer` and hands
   full chunks to a *drain* callable as array views, letting the scheme
-  land a whole chunk with a few vectorized calls.
+  land a whole chunk with a few vectorized calls. When a chunk shows
+  enough temporal locality, the batched path auto-selects the
+  run-coalescing kernel (:mod:`repro.cachesim.runs`), which replays
+  each maximal same-flow run in O(1) instead of per packet.
 
-Both paths produce the identical eviction sequence and statistics; the
+All paths produce the identical eviction sequence and statistics; the
 cache itself is scheme-agnostic.
 """
 
@@ -44,6 +47,7 @@ from repro.cachesim.base import (
 from repro.cachesim.buffer import EvictionBuffer, EvictionDrain
 from repro.cachesim.lru import LRUPolicy
 from repro.cachesim.random_replace import RandomPolicy
+from repro.cachesim.runs import replay_runs_into, should_coalesce
 from repro.errors import ConfigError
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.trace import EvictionTrace
@@ -129,7 +133,7 @@ class FlowCache:
         counts[flow_id] = weight
         self._policy.insert(flow_id)
         if weight >= self.entry_capacity:
-            # A single jumbo update can overflow a fresh entry outright.
+            # A single jumbo update overflows a fresh entry outright.
             stats.record_eviction(weight, EvictionReason.OVERFLOW, flow_id)
             sink(flow_id, weight, EvictionReason.OVERFLOW)
             counts[flow_id] = 0
@@ -143,10 +147,13 @@ class FlowCache:
         """Feed a whole packet stream through :meth:`access`.
 
         ``weights`` (optional, aligned with ``packets``) switches the
-        cache from packet counting to volume counting. The loop body is
-        deliberately minimal (dict ops + policy ops, all O(1));
-        converting arrays to Python lists once avoids per-element
-        ``np.uint64`` boxing, which roughly halves per-packet cost.
+        cache from packet counting to volume counting. This is the
+        *scalar reference* path: one :meth:`access` call (dict ops +
+        policy ops, all O(1)) and one sink callback per event, kept
+        deliberately simple so the fast paths have a ground truth to be
+        bit-identical against. Throughput lives elsewhere — the batched
+        chunk pipeline (:meth:`process_into`) and the run-coalescing
+        kernel (:mod:`repro.cachesim.runs`) it auto-selects.
         """
         access = self.access
         with self._metrics.timer("cache.process"):
@@ -184,12 +191,32 @@ class FlowCache:
         """
         self._flush(buffer, drain)
 
+    def _append_overflow_run(
+        self,
+        buffer: EvictionBuffer,
+        drain: EvictionDrain,
+        flow_id: int,
+        value: int,
+        n: int,
+    ) -> None:
+        """Append ``n`` identical OVERFLOW evictions (a coalesced run's
+        closed-form expansion), flushing whenever the buffer fills —
+        event order and chunk boundaries are exactly those of ``n``
+        scalar appends."""
+        extend = buffer.extend_same
+        while n:
+            n -= extend(flow_id, value, OVERFLOW_CODE, n)
+            if buffer.is_full:
+                self._flush(buffer, drain)
+
     def process_into(
         self,
         packets: npt.NDArray[np.uint64],
         buffer: EvictionBuffer,
         drain: EvictionDrain,
         weights: npt.NDArray[np.int64] | None = None,
+        *,
+        coalesce: bool | None = None,
     ) -> None:
         """Batched counterpart of :meth:`process`: evictions are appended
         to ``buffer`` and delivered to ``drain`` in array chunks.
@@ -200,18 +227,31 @@ class FlowCache:
         flushed before returning, so counters downstream of ``drain``
         are up to date at every API boundary. ``drain`` must not touch
         this cache (it runs mid-loop).
+
+        ``coalesce`` picks the loop: ``True`` replays maximal same-flow
+        runs in O(1) via :func:`~repro.cachesim.runs.replay_runs_into`,
+        ``False`` runs the plain per-packet loop, and ``None`` (default)
+        probes the chunk with
+        :func:`~repro.cachesim.runs.should_coalesce` and coalesces only
+        when the locality pays for it. All three are bit-identical.
         """
         with self._metrics.timer("cache.process"):
-            self._process_into(packets, buffer, drain, weights)
+            if coalesce is None:
+                coalesce = should_coalesce(packets)
+            if coalesce:
+                replay_runs_into(self, packets, buffer, drain, weights)
+            else:
+                self._process_packets_into(packets, buffer, drain, weights)
 
-    def _process_into(
+    def _process_packets_into(
         self,
         packets: npt.NDArray[np.uint64],
         buffer: EvictionBuffer,
         drain: EvictionDrain,
         weights: npt.NDArray[np.int64] | None = None,
     ) -> None:
-        """Untimed :meth:`process_into` body (one loop per weight mode)."""
+        """Untimed per-packet :meth:`process_into` body (one loop per
+        weight mode)."""
         counts = self._counts
         policy = self._policy
         touch, insert, remove, pick_victim = (

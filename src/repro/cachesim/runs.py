@@ -1,0 +1,337 @@
+"""Run-coalescing cache kernel (the per-packet hot loop, amortized).
+
+Real traffic has strong temporal locality: a flow's packets arrive in
+contiguous *runs* (TCP trains, bursts behind a NIC queue). The scalar
+cache loop pays the full dict + policy + branch cost for every packet
+of a run even though every packet after the first is, by construction,
+a hit on the same resident entry. This module exploits that:
+
+- :func:`find_runs` detects maximal same-flow runs in one vectorized
+  NumPy pass (``ids[1:] != ids[:-1]`` boundary detection);
+- :func:`replay_runs_into` replays each run in O(1) via closed-form
+  overflow expansion that is **bit-identical** to the per-packet body.
+
+Why the closed forms are exact (the equivalence argument):
+
+- a resident entry's count ``c`` always satisfies ``0 <= c < y``
+  (every access either keeps it below the capacity ``y`` or flushes it
+  to 0), so a *unit-weight* run of length ``r`` on a resident entry
+  emits exactly ``(c + r) // y`` OVERFLOW evictions, every one of
+  value exactly ``y``, and leaves ``(c + r) % y`` behind
+  (:func:`unit_run_overflows`);
+- an *equal-weight* run (weight ``w``) is periodic after its first
+  overflow: the first fires after ``ceil((y - c) / w)`` packets with
+  value ``c + ceil((y - c) / w) * w``, then every ``ceil(y / w)``
+  packets with value ``ceil(y / w) * w``
+  (:func:`weighted_run_overflows`) — this covers jumbo weights
+  ``w >= y`` (cycle length 1) as a special case;
+- mixed-weight runs have no closed form and fall back to the exact
+  per-packet body, run by run;
+- repeated ``touch`` is idempotent for LRU (the entry is already most
+  recent after the first) and a no-op for random replacement, so one
+  touch per run leaves the recency order identical to one per packet;
+- hits consume no randomness, so the random-replacement victim
+  sequence — drawn only on misses, which runs never coalesce across —
+  is unchanged.
+
+The kernel therefore produces the identical eviction sequence,
+statistics, policy state, and generator state as the per-packet loop;
+``tests/test_engine_equivalence.py`` and ``tests/test_cachesim_runs.py``
+enforce this property-wise. It keeps **no state between calls**: a run
+never spans a ``process_into`` boundary (each call replays its chunk to
+completion), so a checkpoint taken between calls needs nothing beyond
+what the per-packet engines already capture — cache contents, policy
+order, and the pending eviction buffer.
+
+:func:`should_coalesce` is the auto-selection probe the default
+batched engine uses: one cheap vectorized pass counts runs, and the
+run kernel engages only when the chunk actually coalesces
+(mean run length >= :data:`RUN_COALESCE_THRESHOLD`), so worst-case
+uniform traffic keeps the plain per-packet loop and pays only the
+detection pass.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.cachesim.base import OVERFLOW_CODE, REPLACEMENT_CODE
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cachesim.buffer import EvictionBuffer, EvictionDrain
+    from repro.cachesim.cache import FlowCache
+
+#: Mean run length above which run replay beats the per-packet loop.
+#: Below it the per-run bookkeeping (zip over run heads, closed-form
+#: arithmetic) roughly matches the per-packet body, so auto-selection
+#: keeps the plain loop and the detection pass is the only overhead.
+RUN_COALESCE_THRESHOLD = 1.25
+
+
+# -- vectorized run detection -------------------------------------------------
+
+
+def find_runs(
+    ids: npt.NDArray[np.uint64],
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    """Maximal same-flow runs of ``ids`` as ``(starts, lengths)``.
+
+    One vectorized boundary pass: a run starts at index 0 and wherever
+    ``ids[i] != ids[i-1]``. ``lengths`` aligns with ``starts`` and sums
+    to ``len(ids)``. Empty input yields two empty arrays.
+    """
+    n = len(ids)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    boundaries = np.flatnonzero(ids[1:] != ids[:-1])
+    starts = np.empty(len(boundaries) + 1, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = boundaries
+    starts[1:] += 1
+    lengths = np.empty_like(starts)
+    lengths[:-1] = np.diff(starts)
+    lengths[-1] = n - starts[-1]
+    return starts, lengths
+
+
+def count_runs(ids: npt.NDArray[np.uint64]) -> int:
+    """Number of maximal same-flow runs (cheaper than :func:`find_runs`)."""
+    n = len(ids)
+    if n == 0:
+        return 0
+    return int(np.count_nonzero(ids[1:] != ids[:-1])) + 1
+
+
+def should_coalesce(ids: npt.NDArray[np.uint64]) -> bool:
+    """Auto-selection probe: does this chunk coalesce enough to win?
+
+    True when the mean run length reaches
+    :data:`RUN_COALESCE_THRESHOLD`. Costs one vectorized comparison
+    over the chunk — about two orders of magnitude below the loop it
+    routes around.
+    """
+    n = len(ids)
+    if n < 2:
+        return False
+    return n >= RUN_COALESCE_THRESHOLD * count_runs(ids)
+
+
+def uniform_weight_runs(
+    weights: npt.NDArray[np.int64], starts: npt.NDArray[np.int64]
+) -> npt.NDArray[np.bool_]:
+    """Per-run flag: does every packet of the run carry the same weight?
+
+    Vectorized: adjacent-equality mask, forced True at run starts (the
+    first packet of a run never compares against the previous run),
+    then a logical-AND reduction per run.
+    """
+    eq = np.empty(len(weights), dtype=bool)
+    eq[0] = True
+    np.equal(weights[1:], weights[:-1], out=eq[1:])
+    eq[starts] = True
+    return np.logical_and.reduceat(eq, starts)
+
+
+# -- closed-form overflow expansion -------------------------------------------
+
+
+def unit_run_overflows(count: int, run_length: int, capacity: int) -> tuple[int, int]:
+    """Replay a unit-weight run of ``run_length`` hits on a resident
+    entry holding ``count`` (< ``capacity``): returns
+    ``(n_evictions, remainder)``. Every eviction has value exactly
+    ``capacity``.
+    """
+    total = count + run_length
+    return total // capacity, total % capacity
+
+
+def weighted_run_overflows(
+    count: int, run_length: int, weight: int, capacity: int
+) -> tuple[int, int, int, int]:
+    """Replay an equal-weight run of ``run_length`` hits (each adding
+    ``weight`` >= 1) on a resident entry holding ``count``
+    (< ``capacity``).
+
+    Returns ``(first_value, n_cycles, cycle_value, remainder)``: one
+    eviction of ``first_value`` (0 means the run never overflows),
+    then ``n_cycles`` evictions of ``cycle_value``, leaving
+    ``remainder`` in the entry. Exact for jumbo weights too: with
+    ``weight >= capacity`` the cycle length is 1, so every remaining
+    hit evicts ``weight`` outright.
+    """
+    # Overflow fires at the first j with count + j*weight >= capacity.
+    to_first = -((count - capacity) // weight)  # ceil((capacity - count) / weight)
+    if run_length < to_first:
+        return 0, 0, 0, count + run_length * weight
+    cycle_len = -(-capacity // weight)  # ceil(capacity / weight)
+    n_cycles, leftover = divmod(run_length - to_first, cycle_len)
+    return (
+        count + to_first * weight,
+        n_cycles,
+        cycle_len * weight,
+        leftover * weight,
+    )
+
+
+# -- the replay kernel --------------------------------------------------------
+
+
+def replay_runs_into(
+    cache: "FlowCache",
+    packets: npt.NDArray[np.uint64],
+    buffer: "EvictionBuffer",
+    drain: "EvictionDrain",
+    weights: npt.NDArray[np.int64] | None = None,
+) -> None:
+    """Run-coalescing counterpart of the per-packet ``process_into``
+    body: detect runs, replay each in O(1), fall back per packet only
+    for mixed-weight runs. Bit-identical to the per-packet loop (see
+    the module docstring for the argument).
+    """
+    n_packets = len(packets)
+    if weights is not None and len(weights) != n_packets:
+        raise ConfigError("weights must align with packets")
+    starts, lengths = find_runs(packets)
+    n_runs = len(starts)
+    metrics = cache._metrics
+    if metrics.enabled and n_runs:
+        metrics.counter("cache.run_chunks").inc()
+        metrics.counter("cache.run_packets").inc(n_packets)
+        metrics.counter("cache.runs").inc(n_runs)
+        metrics.histogram("cache.runs_per_chunk").observe(n_runs)
+        metrics.gauge("cache.coalescing_ratio").set(n_packets / n_runs)
+    counts = cache._counts
+    policy = cache._policy
+    touch, insert, remove, pick_victim = (
+        policy.touch,
+        policy.insert,
+        policy.remove,
+        policy.victim,
+    )
+    get = counts.get
+    append = buffer.append
+    flush = cache._flush
+    append_run = cache._append_overflow_run
+    y = cache.entry_capacity
+    limit = cache.num_entries
+    hits = 0
+    if weights is None:
+        for fid, r in zip(packets[starts].tolist(), lengths.tolist()):
+            cur = get(fid)
+            if cur is None:
+                # Miss at the head of the run: identical to the scalar body
+                # (one victim draw at most — runs never coalesce misses).
+                if len(counts) >= limit:
+                    victim = pick_victim()
+                    value = counts.pop(victim)
+                    remove(victim)
+                    if value > 0:
+                        if append(victim, value, REPLACEMENT_CODE):
+                            flush(buffer, drain)
+                insert(fid)
+                if y <= 1:
+                    # Unit-weight inserts overflow a fresh entry only when y == 1.
+                    if append(fid, 1, OVERFLOW_CODE):
+                        flush(buffer, drain)
+                    cur = 0
+                else:
+                    cur = 1
+                counts[fid] = cur
+                r -= 1
+                if r == 0:
+                    continue
+            else:
+                # One touch per run == one per packet (LRU move-to-end is
+                # idempotent; random replacement ignores touches).
+                touch(fid)
+            hits += r
+            total = cur + r
+            n_evict = total - total % y  # == (total // y) * y
+            if n_evict:
+                append_run(buffer, drain, fid, y, n_evict // y)
+                counts[fid] = total - n_evict
+            else:
+                counts[fid] = total
+    else:
+        uniform = uniform_weight_runs(weights, starts).tolist() if n_runs else []
+        starts_list = starts.tolist()
+        run_weights = weights[starts].tolist() if n_runs else []
+        for i, (fid, r) in enumerate(
+            zip(packets[starts].tolist(), lengths.tolist())
+        ):
+            w = run_weights[i]
+            if not uniform[i] or w <= 0:
+                # Mixed-weight (or degenerate non-positive-weight) run:
+                # no closed form — replay the exact per-packet body.
+                s = starts_list[i]
+                for w in weights[s : s + r].tolist():
+                    cur = get(fid)
+                    if cur is not None:
+                        hits += 1
+                        touch(fid)
+                        cur += w
+                        if cur >= y:
+                            if append(fid, cur, OVERFLOW_CODE):
+                                flush(buffer, drain)
+                            counts[fid] = 0
+                        else:
+                            counts[fid] = cur
+                        continue
+                    if len(counts) >= limit:
+                        victim = pick_victim()
+                        value = counts.pop(victim)
+                        remove(victim)
+                        if value > 0:
+                            if append(victim, value, REPLACEMENT_CODE):
+                                flush(buffer, drain)
+                    counts[fid] = w
+                    insert(fid)
+                    if w >= y:
+                        # A single jumbo update overflows a fresh entry outright.
+                        if append(fid, w, OVERFLOW_CODE):
+                            flush(buffer, drain)
+                        counts[fid] = 0
+                continue
+            cur = get(fid)
+            if cur is None:
+                if len(counts) >= limit:
+                    victim = pick_victim()
+                    value = counts.pop(victim)
+                    remove(victim)
+                    if value > 0:
+                        if append(victim, value, REPLACEMENT_CODE):
+                            flush(buffer, drain)
+                insert(fid)
+                if w >= y:
+                    # A single jumbo update overflows a fresh entry outright.
+                    if append(fid, w, OVERFLOW_CODE):
+                        flush(buffer, drain)
+                    cur = 0
+                else:
+                    cur = w
+                counts[fid] = cur
+                r -= 1
+                if r == 0:
+                    continue
+            else:
+                touch(fid)
+            hits += r
+            first_value, n_cycles, cycle_value, remainder = weighted_run_overflows(
+                cur, r, w, y
+            )
+            if first_value:
+                if append(fid, first_value, OVERFLOW_CODE):
+                    flush(buffer, drain)
+                if n_cycles:
+                    append_run(buffer, drain, fid, cycle_value, n_cycles)
+            counts[fid] = remainder
+    stats = cache.stats
+    stats.accesses += n_packets
+    stats.hits += hits
+    stats.misses += n_packets - hits
+    flush(buffer, drain)

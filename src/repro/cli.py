@@ -60,10 +60,12 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=["scalar", "batched"],
+        choices=["scalar", "batched", "runs"],
         default="batched",
         help="construction engine: 'batched' (array-native eviction pipeline, "
-        "default) or 'scalar' (per-eviction reference); results are bit-identical",
+        "default; auto-selects run coalescing per chunk), 'runs' (run-coalescing "
+        "cache kernel forced on), or 'scalar' (per-eviction reference); "
+        "results are bit-identical",
     )
 
 

@@ -11,19 +11,25 @@ into the two-phase architecture of Figure 1:
   (required before querying; the query phase is strictly offline);
 - :meth:`Caesar.estimate` — offline query via CSM or MLM.
 
-Two construction engines implement the same dataflow:
+Three construction engines implement the same dataflow:
 
 - ``engine="batched"`` (default) — evictions stream through a
   preallocated :class:`~repro.cachesim.EvictionBuffer`; each drained
   chunk is resolved to counter indices by the array-backed
   :class:`~repro.hashing.family.BankedIndexMemo`, split in one
   vectorized :func:`~repro.core.split.split_batch` call, and landed
-  with a single scatter-add;
+  with a single scatter-add. Chunks with enough temporal locality are
+  auto-routed through the run-coalescing kernel;
+- ``engine="runs"`` — the batched pipeline with run coalescing forced
+  on: maximal same-flow runs are detected vectorized and replayed in
+  O(1) each via closed-form overflow expansion
+  (:mod:`repro.cachesim.runs`);
 - ``engine="scalar"`` — the per-eviction callback reference path.
 
-Both are *bit-identical* under a fixed seed: the batched splitter
-consumes the generator exactly like the scalar loop, so evictions,
-counters, statistics, and generator state all match (enforced by
+All are *bit-identical* under a fixed seed: the batched splitter
+consumes the generator exactly like the scalar loop and the run kernel
+replays exactly the per-packet semantics, so evictions, counters,
+statistics, and generator state all match (enforced by
 ``tests/test_engine_equivalence.py``).
 """
 
@@ -235,12 +241,18 @@ class Caesar:
         if self._finalized:
             raise QueryError("cannot process packets after finalize()")
         with self.metrics.timer("caesar.process"):
-            if self.engine == "batched":
-                self.cache.process_into(
-                    packets, self._buffer, self._drain_fn, weights=lengths
-                )
-            else:
+            if self.engine == "scalar":
                 self.cache.process(packets, self._sink_fn, weights=lengths)
+            else:
+                # "batched" auto-selects run coalescing per chunk;
+                # "runs" forces the run kernel on.
+                self.cache.process_into(
+                    packets,
+                    self._buffer,
+                    self._drain_fn,
+                    weights=lengths,
+                    coalesce=True if self.engine == "runs" else None,
+                )
         self._packets_seen += len(packets)
         self._mass_seen += int(lengths.sum()) if lengths is not None else len(packets)
 
@@ -252,10 +264,10 @@ class Caesar:
         if self._finalized:
             return
         with self.metrics.timer("caesar.finalize"):
-            if self.engine == "batched":
-                self.cache.dump_into(self._buffer, self._drain_fn)
-            else:
+            if self.engine == "scalar":
                 self.cache.dump(self._sink_fn)
+            else:
+                self.cache.dump_into(self._buffer, self._drain_fn)
         self._finalized = True
         if self._wal is not None:
             self._wal.flush()
@@ -306,7 +318,7 @@ class Caesar:
     def flows_seen(self) -> npt.NDArray[np.uint64]:
         """Every flow the cache ever evicted or dumped (after
         :meth:`finalize`: every flow that appeared in the stream)."""
-        if self.engine == "batched":
+        if self.engine != "scalar":
             return self._memo.flows()
         return np.fromiter(
             self._index_memo, dtype=np.uint64, count=len(self._index_memo)
@@ -394,10 +406,10 @@ class Caesar:
         preserved — Section 3.1's fixed mapping — but counters, cache,
         statistics, and the recorded-mass accounting start over.
         """
-        if self.engine == "batched":
-            self.cache.dump_into(self._buffer, _discard_drain)
-        else:
+        if self.engine == "scalar":
             self.cache.dump(lambda fid, value, reason: None)
+        else:
+            self.cache.dump_into(self._buffer, _discard_drain)
         self.cache.reset_stats()
         self.counters.reset()
         self._packets_seen = 0

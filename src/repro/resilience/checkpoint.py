@@ -4,7 +4,10 @@ The PR-0/PR-1 snapshot (:mod:`repro.sram.snapshot`) persists the SRAM
 counters alone — enough to re-run the offline query phase, not enough
 to *continue construction*: mid-measurement, flow state also lives in
 the on-chip cache, the index memo, the split generator, the replacement
-policy, and (on the batched engine) a partially-filled eviction buffer.
+policy, and (on the batched/runs engines) a partially-filled eviction
+buffer. The run-coalescing kernel holds no pending state of its own —
+every ``process`` call replays its chunk's runs to completion — so the
+captured members cover all three engines alike.
 :class:`Checkpoint` captures every one of those, so a process killed at
 any eviction-chunk boundary can :meth:`restore` and finish the stream
 **bit-identically** to an uninterrupted run — same counters, same
@@ -40,7 +43,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.resilience.wal import WriteAheadLog
 
 #: Bumped on any incompatible change to the member layout.
-CHECKPOINT_FORMAT_VERSION = 1
+#: v2: the digest normalizes the ``engine`` config field away, so
+#: checkpoints of the same measurement state are digest-equal across
+#: engines (the engine picks *how* state is computed, never *what*).
+CHECKPOINT_FORMAT_VERSION = 2
 
 #: Fixed member order for the digest (stability across numpy versions).
 _ARRAY_MEMBERS = (
@@ -70,15 +76,36 @@ _STATS_FIELDS = (
 
 
 def _digest(arrays: dict[str, np.ndarray], config_json: str, state_json: str) -> str:
-    """SHA-256 over every member in fixed order (content integrity)."""
+    """SHA-256 over every member in fixed order (content integrity).
+
+    Engine-invariant by construction: the three engines are
+    bit-identical by contract, so two checkpoints capturing the same
+    measurement state digest equal no matter which engine built them
+    (tests/test_engine_equivalence.py relies on this). Presentation
+    state that legitimately varies by engine is canonicalized — the
+    ``engine`` config field is dropped, ``memo_flows`` is hashed
+    sorted, and the eviction-value histogram is hashed key-sorted (the
+    memo's first-seen order and the histogram dict's insertion order
+    follow per-event order on the scalar engine but sorted-per-chunk
+    order on the batched ones; neither affects any measurement
+    output). The stored members themselves are untouched — a resumed
+    run keeps its engine, memo order, and histogram order exactly.
+    """
+    config = json.loads(config_json)
+    config.pop("engine", None)
+    canonical = dict(arrays)
+    canonical["memo_flows"] = np.sort(arrays["memo_flows"])
+    hist_order = np.argsort(arrays["hist_values"], kind="stable")
+    canonical["hist_values"] = arrays["hist_values"][hist_order]
+    canonical["hist_counts"] = arrays["hist_counts"][hist_order]
     h = hashlib.sha256()
     for name in _ARRAY_MEMBERS:
-        arr = arrays[name]
+        arr = canonical[name]
         h.update(name.encode())
         h.update(str(arr.dtype).encode())
         h.update(str(arr.shape).encode())
         h.update(np.ascontiguousarray(arr).tobytes())
-    h.update(config_json.encode())
+    h.update(json.dumps(config, sort_keys=True).encode())
     h.update(state_json.encode())
     return h.hexdigest()
 
@@ -228,7 +255,7 @@ class Checkpoint:
         )
         caesar._rng.bit_generator.state = meta["rng"]
         flows = self.arrays["memo_flows"]
-        if config.engine == "batched":
+        if config.engine != "scalar":
             caesar._memo.preload(flows)
         elif len(flows):
             rows = caesar.indexer.indices(flows)

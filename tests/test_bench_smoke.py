@@ -78,6 +78,25 @@ class TestBenchResultsSchema:
         assert "bench_caesar_construction_scalar" in recorded
         assert "bench_caesar_construction_batched" in recorded
 
+    def test_run_kernel_benches_recorded(self, results):
+        """The run-kernel/per-packet pairs back the speedup claims in
+        docs/performance.md and the CI regression guard — all six must
+        be present in the artifact."""
+        recorded = {entry["name"] for entry in results["benchmarks"]}
+        for stream in ("zipf", "bursty", "uniform"):
+            assert f"bench_run_kernel_{stream}" in recorded, stream
+            assert f"bench_packet_loop_{stream}" in recorded, stream
+
+    def test_artifact_built_from_clean_tree(self, results):
+        """A benchmark artifact recorded against uncommitted edits is
+        unreproducible — reject it so regeneration happens post-commit."""
+        commit = results["commit_info"]
+        assert commit["dirty"] is False, (
+            "BENCH_micro.json was generated from a dirty working tree "
+            f"(commit {commit.get('id', '?')}); regenerate it after "
+            "committing."
+        )
+
 
 class TestBenchSuiteRuns:
     def test_whole_suite_collects(self):
@@ -98,7 +117,8 @@ class TestBenchSuiteRuns:
             [
                 sys.executable, "-m", "pytest", str(BENCH_FILE),
                 "--benchmark-disable", "-q", "-p", "no:cacheprovider",
-                "-k", "split or banked or metrics_enabled or bitpacked",
+                "-k", "split or banked or metrics_enabled or bitpacked"
+                      " or run_kernel_zipf",
             ],
             env=_bench_env(), capture_output=True, text=True, cwd=REPO_ROOT,
         )

@@ -1,0 +1,359 @@
+"""Run-coalescing kernel: run detection, closed forms, buffer boundaries.
+
+The engine-level bit-identity contract lives in
+``tests/test_engine_equivalence.py``; this file tests the kernel's
+pieces directly — vectorized run detection against a pure-Python
+reference, the closed-form overflow expansions against brute-force
+per-packet simulation, the bulk buffer append, and the mid-expansion
+flush discipline when a single run emits more evictions than the
+remaining :class:`EvictionBuffer` space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.base import FINAL_DUMP_CODE, OVERFLOW_CODE
+from repro.cachesim.buffer import EvictionBuffer
+from repro.cachesim.cache import FlowCache
+from repro.cachesim.runs import (
+    RUN_COALESCE_THRESHOLD,
+    count_runs,
+    find_runs,
+    should_coalesce,
+    uniform_weight_runs,
+    unit_run_overflows,
+    weighted_run_overflows,
+)
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+
+
+def _runs_reference(ids: list[int]) -> list[tuple[int, int]]:
+    """Pure-Python maximal-run detection: [(start, length), ...]."""
+    out: list[tuple[int, int]] = []
+    for i, fid in enumerate(ids):
+        if i == 0 or fid != ids[i - 1]:
+            out.append((i, 1))
+        else:
+            start, length = out[-1]
+            out[-1] = (start, length + 1)
+    return out
+
+
+# -- run detection ---------------------------------------------------------
+
+
+class TestFindRuns:
+    def test_empty(self):
+        starts, lengths = find_runs(np.array([], dtype=np.uint64))
+        assert len(starts) == 0 and len(lengths) == 0
+        assert count_runs(np.array([], dtype=np.uint64)) == 0
+
+    def test_single_packet(self):
+        starts, lengths = find_runs(np.array([7], dtype=np.uint64))
+        assert starts.tolist() == [0] and lengths.tolist() == [1]
+
+    def test_all_same_flow(self):
+        starts, lengths = find_runs(np.full(100, 3, dtype=np.uint64))
+        assert starts.tolist() == [0] and lengths.tolist() == [100]
+
+    def test_alternating(self):
+        ids = np.array([1, 2, 1, 2], dtype=np.uint64)
+        starts, lengths = find_runs(ids)
+        assert starts.tolist() == [0, 1, 2, 3]
+        assert lengths.tolist() == [1, 1, 1, 1]
+        assert count_runs(ids) == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_matches_reference(self, ids):
+        arr = np.array(ids, dtype=np.uint64)
+        starts, lengths = find_runs(arr)
+        expected = _runs_reference(ids)
+        assert list(zip(starts.tolist(), lengths.tolist())) == expected
+        assert count_runs(arr) == len(expected)
+        assert int(lengths.sum()) == len(ids)
+
+    def test_should_coalesce_threshold(self):
+        # 8 packets / 2 runs = mean run length 4 >= threshold.
+        bursty = np.repeat(np.array([1, 2], dtype=np.uint64), 4)
+        assert should_coalesce(bursty)
+        # All distinct: mean run length 1 < threshold.
+        assert not should_coalesce(np.arange(8, dtype=np.uint64))
+        # Too short to be worth probing.
+        assert not should_coalesce(np.array([], dtype=np.uint64))
+        assert not should_coalesce(np.array([1], dtype=np.uint64))
+        assert RUN_COALESCE_THRESHOLD > 1.0
+
+
+class TestUniformWeightRuns:
+    def test_flags_per_run(self):
+        #          |--run 1--|  |r2|  |--run 3--|
+        ids = np.array([1, 1, 1, 2, 3, 3], dtype=np.uint64)
+        weights = np.array([4, 4, 4, 9, 2, 5], dtype=np.int64)
+        starts, _ = find_runs(ids)
+        assert uniform_weight_runs(weights, starts).tolist() == [True, True, False]
+
+    def test_boundary_weight_change_stays_uniform(self):
+        # The weight changes exactly at a run boundary: both uniform.
+        ids = np.array([1, 1, 2, 2], dtype=np.uint64)
+        weights = np.array([3, 3, 8, 8], dtype=np.int64)
+        starts, _ = find_runs(ids)
+        assert uniform_weight_runs(weights, starts).tolist() == [True, True]
+
+
+# -- closed forms vs brute force -------------------------------------------
+
+
+def _brute_force(count: int, run_length: int, weight: int, capacity: int):
+    """Per-packet replay of a hit run: (eviction values, final count)."""
+    events = []
+    for _ in range(run_length):
+        count += weight
+        if count >= capacity:
+            events.append(count)
+            count = 0
+    return events, count
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    count=st.integers(min_value=0, max_value=30),
+    run_length=st.integers(min_value=0, max_value=200),
+    capacity=st.integers(min_value=1, max_value=31),
+)
+def test_unit_closed_form_matches_brute_force(count, run_length, capacity):
+    if count >= capacity:
+        count %= capacity  # resident counts are always < capacity
+    events, final = _brute_force(count, run_length, 1, capacity)
+    n_evict, remainder = unit_run_overflows(count, run_length, capacity)
+    assert events == [capacity] * n_evict
+    assert remainder == final
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    count=st.integers(min_value=0, max_value=30),
+    run_length=st.integers(min_value=0, max_value=120),
+    weight=st.integers(min_value=1, max_value=80),
+    capacity=st.integers(min_value=1, max_value=31),
+)
+def test_weighted_closed_form_matches_brute_force(count, run_length, weight, capacity):
+    if count >= capacity:
+        count %= capacity
+    events, final = _brute_force(count, run_length, weight, capacity)
+    first, n_cycles, cycle_value, remainder = weighted_run_overflows(
+        count, run_length, weight, capacity
+    )
+    expected = [first] + [cycle_value] * n_cycles if first else []
+    assert events == expected
+    assert remainder == final
+
+
+def test_weighted_closed_form_jumbo_cycle_is_every_packet():
+    # w >= y: every hit overflows outright (cycle length 1, value w).
+    first, n_cycles, cycle_value, remainder = weighted_run_overflows(2, 3, 15, 10)
+    assert (first, n_cycles, cycle_value, remainder) == (17, 2, 15, 0)
+
+
+# -- EvictionBuffer.extend_same --------------------------------------------
+
+
+class TestExtendSame:
+    def test_fills_and_reports(self):
+        buf = EvictionBuffer(5)
+        assert buf.extend_same(9, 4, OVERFLOW_CODE, 3) == 3
+        assert buf.length == 3
+        ids, values, reasons = buf.chunk()
+        assert ids.tolist() == [9, 9, 9]
+        assert values.tolist() == [4, 4, 4]
+        assert reasons.tolist() == [OVERFLOW_CODE] * 3
+
+    def test_caps_at_remaining_space(self):
+        buf = EvictionBuffer(5)
+        buf.append(1, 1, OVERFLOW_CODE)
+        assert buf.extend_same(9, 4, OVERFLOW_CODE, 100) == 4
+        assert buf.is_full
+
+    def test_zero_is_noop(self):
+        buf = EvictionBuffer(5)
+        assert buf.extend_same(9, 4, OVERFLOW_CODE, 0) == 0
+        assert buf.length == 0
+
+
+# -- buffer-boundary expansion (mid-run flush discipline) -------------------
+
+
+def _collect(cache: FlowCache, packets, buffer, weights=None, coalesce=True):
+    chunks: list[list[tuple[int, int, int]]] = []
+
+    def drain(ids, values, reasons):
+        chunks.append(list(zip(ids.tolist(), values.tolist(), reasons.tolist())))
+
+    cache.process_into(packets, buffer, drain, weights=weights, coalesce=coalesce)
+    cache.dump_into(buffer, drain)
+    return chunks
+
+
+@pytest.mark.parametrize("buffer_capacity", [1, 2, 3, 7])
+def test_single_run_overflowing_buffer_flushes_mid_expansion(buffer_capacity):
+    """One run whose closed-form expansion emits more evictions than the
+    buffer holds: the expansion must flush mid-run, producing exactly
+    the chunk boundaries of the per-packet path."""
+    packets = np.full(101, 5, dtype=np.uint64)  # y=2 → 50 overflows + residue 1
+    baseline = _collect(
+        FlowCache(4, 2), packets, EvictionBuffer(buffer_capacity), coalesce=False
+    )
+    coalesced = _collect(
+        FlowCache(4, 2), packets, EvictionBuffer(buffer_capacity), coalesce=True
+    )
+    assert coalesced == baseline
+    assert len(coalesced) > 1  # the expansion really did flush mid-run
+    flat = [e for c in coalesced for e in c]
+    assert flat == [(5, 2, OVERFLOW_CODE)] * 50 + [(5, 1, FINAL_DUMP_CODE)]
+
+
+def test_weighted_run_cycle_expansion_straddles_buffer():
+    """Equal-weight run whose first eviction plus cycle tail straddle
+    several flushes — values must still be first, then cycles."""
+    packets = np.full(40, 8, dtype=np.uint64)
+    weights = np.full(40, 7, dtype=np.int64)  # y=10: first at 2 hits, cycle len 2
+    base = _collect(
+        FlowCache(2, 10), packets, EvictionBuffer(3), weights=weights, coalesce=False
+    )
+    runs = _collect(
+        FlowCache(2, 10), packets, EvictionBuffer(3), weights=weights, coalesce=True
+    )
+    assert runs == base
+
+
+def test_jumbo_fresh_insert_run_expansion():
+    """w >= y at the head of a fresh-insert run: the insert overflows
+    outright and every subsequent hit emits w — across buffer flushes."""
+    packets = np.full(9, 3, dtype=np.uint64)
+    weights = np.full(9, 25, dtype=np.int64)  # y=10, w=25: jumbo every packet
+    base = _collect(
+        FlowCache(2, 10), packets, EvictionBuffer(2), weights=weights, coalesce=False
+    )
+    runs = _collect(
+        FlowCache(2, 10), packets, EvictionBuffer(2), weights=weights, coalesce=True
+    )
+    assert runs == base
+    flat = [e for c in runs for e in c]
+    assert flat == [(3, 25, OVERFLOW_CODE)] * 9  # nothing resident to dump
+
+
+def test_zero_packet_stream_is_noop():
+    cache = FlowCache(4, 8)
+    chunks = _collect(cache, np.array([], dtype=np.uint64), EvictionBuffer(4))
+    assert chunks == []
+    assert cache.stats.accesses == 0
+
+
+def test_zero_length_weighted_stream_is_noop():
+    cache = FlowCache(4, 8)
+    chunks = _collect(
+        cache,
+        np.array([], dtype=np.uint64),
+        EvictionBuffer(4),
+        weights=np.array([], dtype=np.int64),
+    )
+    assert chunks == []
+
+
+def test_y_equal_one_unit_run_evicts_every_packet():
+    """y == 1 degenerates every unit insert/hit into an overflow."""
+    packets = np.full(12, 4, dtype=np.uint64)
+    base = _collect(FlowCache(4, 1), packets, EvictionBuffer(5), coalesce=False)
+    runs = _collect(FlowCache(4, 1), packets, EvictionBuffer(5), coalesce=True)
+    assert runs == base
+    flat = [e for c in runs for e in c]
+    assert flat == [(4, 1, OVERFLOW_CODE)] * 12
+
+
+def test_mismatched_weights_rejected():
+    cache = FlowCache(4, 8)
+    with pytest.raises(ConfigError):
+        cache.process_into(
+            np.array([1, 1], dtype=np.uint64),
+            EvictionBuffer(4),
+            lambda i, v, r: None,
+            weights=np.array([1], dtype=np.int64),
+            coalesce=True,
+        )
+
+
+def test_mixed_weight_run_falls_back_per_packet():
+    """A run whose weights differ has no closed form; the fallback body
+    must still match the per-packet loop exactly."""
+    packets = np.full(20, 6, dtype=np.uint64)
+    rng = np.random.default_rng(11)
+    weights = rng.integers(1, 12, size=20).astype(np.int64)
+    base = _collect(
+        FlowCache(3, 7), packets, EvictionBuffer(3), weights=weights, coalesce=False
+    )
+    runs = _collect(
+        FlowCache(3, 7), packets, EvictionBuffer(3), weights=weights, coalesce=True
+    )
+    assert runs == base
+
+
+def test_replacement_heavy_coalesced_stream_matches():
+    """More flows than entries with long runs: replacement evictions at
+    run heads interleave with coalesced overflow expansions."""
+    rng = np.random.default_rng(23)
+    ids = np.repeat(rng.integers(0, 40, size=300).astype(np.uint64), 7)
+    for policy in ("lru", "random"):
+        base = _collect(
+            FlowCache(4, 3, policy=policy, seed=2), ids, EvictionBuffer(13),
+            coalesce=False,
+        )
+        runs = _collect(
+            FlowCache(4, 3, policy=policy, seed=2), ids, EvictionBuffer(13),
+            coalesce=True,
+        )
+        assert runs == base
+        assert any(e[2] == FINAL_DUMP_CODE for c in base for e in c)
+
+
+# -- kernel metrics ---------------------------------------------------------
+
+
+def test_run_metrics_emitted():
+    registry = MetricsRegistry()
+    cache = FlowCache(8, 4, registry=registry)
+    packets = np.repeat(np.arange(5, dtype=np.uint64), 10)  # 50 packets, 5 runs
+    cache.process_into(
+        packets, EvictionBuffer(16), lambda i, v, r: None, coalesce=True
+    )
+    snap = registry.snapshot()
+    assert snap["counters"]["cache.run_chunks"] == 1
+    assert snap["counters"]["cache.run_packets"] == 50
+    assert snap["counters"]["cache.runs"] == 5
+    assert snap["gauges"]["cache.coalescing_ratio"] == pytest.approx(10.0)
+
+
+def test_run_metrics_silent_when_disabled():
+    cache = FlowCache(8, 4)  # null registry
+    packets = np.repeat(np.arange(5, dtype=np.uint64), 10)
+    cache.process_into(
+        packets, EvictionBuffer(16), lambda i, v, r: None, coalesce=True
+    )
+    assert not any(cache._metrics.snapshot().values())
+
+
+def test_auto_selection_routes_by_locality():
+    """engine='batched' default: bursty chunks coalesce, shuffled chunks
+    keep the per-packet loop — observable via the run-chunk counter."""
+    registry = MetricsRegistry()
+    cache = FlowCache(8, 4, registry=registry)
+    bursty = np.repeat(np.arange(6, dtype=np.uint64), 8)
+    shuffled = np.arange(48, dtype=np.uint64) % 7
+    cache.process_into(bursty, EvictionBuffer(16), lambda i, v, r: None)
+    assert registry.snapshot()["counters"]["cache.run_chunks"] == 1
+    cache.process_into(shuffled, EvictionBuffer(16), lambda i, v, r: None)
+    assert registry.snapshot()["counters"]["cache.run_chunks"] == 1  # unchanged

@@ -1,11 +1,12 @@
-"""Scalar vs batched engine: bit-identical by construction.
+"""Scalar vs batched vs runs engines: bit-identical by construction.
 
-The batched eviction pipeline must reproduce the scalar reference
-path *exactly* under a fixed seed — same eviction sequence, same
-counter arrays, same cache statistics, same generator state — so that
-engine choice is purely a performance knob. These tests enforce that
-contract at every layer: the cache simulator, CAESAR, CASE, and the
-chunked RCS loop, plus a hypothesis sweep over random workloads.
+The batched eviction pipeline and the run-coalescing kernel must
+reproduce the scalar reference path *exactly* under a fixed seed —
+same eviction sequence, same counter arrays, same cache statistics,
+same generator state, same checkpoint digest — so that engine choice
+is purely a performance knob. These tests enforce that contract at
+every layer: the cache simulator, CAESAR, CASE, and the chunked RCS
+loop, plus hypothesis sweeps over random workloads.
 """
 
 from __future__ import annotations
@@ -40,33 +41,44 @@ def _base_config(**overrides) -> CaesarConfig:
     return CaesarConfig(**defaults)
 
 
+ENGINES = ("scalar", "batched", "runs")
+
+
 def _run_pair(
     config: CaesarConfig,
     packets: np.ndarray,
     lengths: np.ndarray | None = None,
     buffer_capacity: int = 257,
-) -> tuple[Caesar, Caesar]:
-    """Run the same workload through both engines (small odd buffer
+) -> tuple[Caesar, Caesar, Caesar]:
+    """Run the same workload through all three engines (small odd buffer
     capacity so chunks straddle process()/finalize() boundaries)."""
-    scalar = Caesar(dataclasses.replace(config, engine="scalar"))
-    batched = Caesar(
-        dataclasses.replace(config, engine="batched"), buffer_capacity=buffer_capacity
+    instances = tuple(
+        Caesar(
+            dataclasses.replace(config, engine=engine),
+            buffer_capacity=buffer_capacity,
+        )
+        for engine in ENGINES
     )
-    for instance in (scalar, batched):
+    for instance in instances:
         half = len(packets) // 2
         instance.process(packets[:half], lengths[:half] if lengths is not None else None)
         instance.process(packets[half:], lengths[half:] if lengths is not None else None)
         instance.finalize()
-    return scalar, batched
+    return instances
 
 
-def _assert_identical(scalar: Caesar, batched: Caesar) -> None:
-    np.testing.assert_array_equal(scalar.counters.values, batched.counters.values)
-    assert scalar.cache.stats == batched.cache.stats
-    assert scalar.counters.saturated_mass == batched.counters.saturated_mass
-    assert scalar._rng.bit_generator.state == batched._rng.bit_generator.state
-    assert set(scalar.flows_seen().tolist()) == set(batched.flows_seen().tolist())
-    assert scalar.recorded_mass == batched.recorded_mass
+def _assert_identical(scalar: Caesar, *others: Caesar) -> None:
+    digest = scalar.checkpoint().digest
+    for other in others:
+        np.testing.assert_array_equal(scalar.counters.values, other.counters.values)
+        assert scalar.cache.stats == other.cache.stats
+        assert scalar.counters.saturated_mass == other.counters.saturated_mass
+        assert scalar._rng.bit_generator.state == other._rng.bit_generator.state
+        assert set(scalar.flows_seen().tolist()) == set(other.flows_seen().tolist())
+        assert scalar.recorded_mass == other.recorded_mass
+        # The digest canonicalizes engine-presentation state (the engine
+        # field, the index-memo order), so it must agree across engines.
+        assert digest == other.checkpoint().digest
 
 
 # -- golden equivalence: CAESAR -------------------------------------------------
@@ -76,13 +88,13 @@ def _assert_identical(scalar: Caesar, batched: Caesar) -> None:
 @pytest.mark.parametrize("remainder", ["random", "even"])
 def test_caesar_engines_bit_identical(tiny_trace, replacement, remainder):
     config = _base_config(replacement=replacement, remainder=remainder)
-    scalar, batched = _run_pair(config, tiny_trace.packets)
-    _assert_identical(scalar, batched)
+    scalar, batched, runs = _run_pair(config, tiny_trace.packets)
+    _assert_identical(scalar, batched, runs)
     ids = tiny_trace.flows.ids
     for method in ("csm", "mlm", "median"):
-        np.testing.assert_array_equal(
-            scalar.estimate(ids, method), batched.estimate(ids, method)
-        )
+        expected = scalar.estimate(ids, method)
+        np.testing.assert_array_equal(expected, batched.estimate(ids, method))
+        np.testing.assert_array_equal(expected, runs.estimate(ids, method))
 
 
 def test_caesar_engines_identical_on_volume_with_jumbo_weights(tiny_trace):
@@ -94,39 +106,38 @@ def test_caesar_engines_identical_on_volume_with_jumbo_weights(tiny_trace):
     jumbo = rng.random(len(packets)) < 0.02
     lengths[jumbo] = rng.integers(64, 200, size=int(jumbo.sum()))
     config = _base_config(entry_capacity=50, counter_capacity=2**16 - 1)
-    scalar, batched = _run_pair(config, packets, lengths)
-    _assert_identical(scalar, batched)
+    _assert_identical(*_run_pair(config, packets, lengths))
 
 
 def test_caesar_engines_identical_with_tiny_buffer(tiny_trace):
     """A 1-slot buffer flushes on every eviction — the worst case for
     any chunking assumption."""
-    scalar, batched = _run_pair(
-        _base_config(), tiny_trace.packets[:3000], buffer_capacity=1
+    _assert_identical(
+        *_run_pair(_base_config(), tiny_trace.packets[:3000], buffer_capacity=1)
     )
-    _assert_identical(scalar, batched)
 
 
 def test_caesar_engines_identical_at_unit_entry_capacity(tiny_trace):
     """y = 1 degenerates the cache (every insert overflows outright)."""
-    scalar, batched = _run_pair(
-        _base_config(entry_capacity=1), tiny_trace.packets[:3000]
+    _assert_identical(
+        *_run_pair(_base_config(entry_capacity=1), tiny_trace.packets[:3000])
     )
-    _assert_identical(scalar, batched)
 
 
 def test_caesar_reset_keeps_engines_aligned(tiny_trace):
     """Epoch reset (dump-and-discard) must leave both engines in the
     same state for the next epoch."""
     packets = tiny_trace.packets
-    scalar = Caesar(_base_config(engine="scalar"))
-    batched = Caesar(_base_config(engine="batched"), buffer_capacity=100)
-    for instance in (scalar, batched):
+    instances = [
+        Caesar(_base_config(engine=engine), buffer_capacity=100)
+        for engine in ENGINES
+    ]
+    for instance in instances:
         instance.process(packets[:3000])
         instance.reset()
         instance.process(packets[3000:6000])
         instance.finalize()
-    _assert_identical(scalar, batched)
+    _assert_identical(*instances)
 
 
 # -- cache-simulator layer: identical eviction sequences -------------------------
@@ -142,18 +153,19 @@ def _collect_sequences(packets, weights, policy, seed, buffer_capacity):
     scalar_cache.process(packets, sink, weights=weights)
     scalar_cache.dump(sink)
 
-    batched_cache = FlowCache(num_entries=32, entry_capacity=6, policy=policy, seed=seed)
-    buffer = EvictionBuffer(buffer_capacity)
-    batched_events: list[tuple[int, int, int]] = []
+    batched = []
+    for coalesce in (False, True):
+        cache = FlowCache(num_entries=32, entry_capacity=6, policy=policy, seed=seed)
+        buffer = EvictionBuffer(buffer_capacity)
+        events: list[tuple[int, int, int]] = []
 
-    def drain(ids, values, reasons):
-        batched_events.extend(
-            zip(ids.tolist(), values.tolist(), reasons.tolist())
-        )
+        def drain(ids, values, reasons, events=events):
+            events.extend(zip(ids.tolist(), values.tolist(), reasons.tolist()))
 
-    batched_cache.process_into(packets, buffer, drain, weights=weights)
-    batched_cache.dump_into(buffer, drain)
-    return scalar_events, batched_events, scalar_cache.stats, batched_cache.stats
+        cache.process_into(packets, buffer, drain, weights=weights, coalesce=coalesce)
+        cache.dump_into(buffer, drain)
+        batched.append((events, cache.stats))
+    return scalar_events, scalar_cache.stats, batched
 
 
 @pytest.mark.parametrize("policy", ["lru", "random"])
@@ -164,11 +176,12 @@ def test_cache_eviction_sequences_identical(policy, weighted):
     weights = (
         rng.integers(1, 9, size=len(packets)).astype(np.int64) if weighted else None
     )
-    s_events, b_events, s_stats, b_stats = _collect_sequences(
+    s_events, s_stats, batched = _collect_sequences(
         packets, weights, policy, seed=5, buffer_capacity=33
     )
-    assert s_events == b_events
-    assert s_stats == b_stats
+    for events, stats in batched:  # per-packet, then run-coalesced
+        assert s_events == events
+        assert s_stats == stats
 
 
 # -- CASE and RCS ---------------------------------------------------------------
@@ -184,18 +197,19 @@ def test_case_engines_bit_identical(tiny_trace):
         seed=0xCA5E,
     )
     instances = []
-    for engine in ("scalar", "batched"):
+    for engine in ENGINES:
         case = Case(dataclasses.replace(base, engine=engine))
         case.process(tiny_trace.packets)
         case.finalize()
         instances.append(case)
-    scalar, batched = instances
-    np.testing.assert_array_equal(scalar.array.values, batched.array.values)
-    assert scalar.power_operations == batched.power_operations
-    assert scalar.array.saturated_updates == batched.array.saturated_updates
-    assert scalar.cache.stats == batched.cache.stats
+    scalar = instances[0]
     ids = tiny_trace.flows.ids
-    np.testing.assert_array_equal(scalar.estimate(ids), batched.estimate(ids))
+    for other in instances[1:]:
+        np.testing.assert_array_equal(scalar.array.values, other.array.values)
+        assert scalar.power_operations == other.power_operations
+        assert scalar.array.saturated_updates == other.array.saturated_updates
+        assert scalar.cache.stats == other.cache.stats
+        np.testing.assert_array_equal(scalar.estimate(ids), other.estimate(ids))
 
 
 def test_rcs_chunk_size_does_not_change_results(tiny_trace):
@@ -238,10 +252,20 @@ def _workloads(draw):
     cache_entries = draw(st.integers(min_value=1, max_value=24))
     weighted = draw(st.booleans())
     buffer_capacity = draw(st.integers(min_value=1, max_value=64))
+    # burst_length > 1 repeats each draw, creating the same-flow runs
+    # the coalescing kernel exists for (run-weight runs stay uniform on
+    # a per-draw basis, so equal-weight *and* mixed runs both occur).
+    burst_length = draw(st.sampled_from([1, 1, 2, 5, 16]))
     rng = np.random.default_rng(trace_seed)
     packets = rng.integers(0, num_flows, size=num_packets).astype(np.uint64)
+    packets = np.repeat(packets, burst_length)[:num_packets]
     if weighted:
         lengths = rng.integers(1, 3 * entry_capacity, size=num_packets).astype(np.int64)
+        if draw(st.booleans()):
+            # Per-run-uniform weights: the closed-form cycle path.
+            lengths = np.repeat(lengths[:: max(burst_length, 1)], burst_length)[
+                :num_packets
+            ]
     else:
         lengths = None
     return packets, lengths, policy, remainder, k, entry_capacity, cache_entries, buffer_capacity
@@ -262,10 +286,7 @@ def test_engines_identical_on_random_workloads(workload):
         remainder=remainder,
         seed=0xF00D,
     )
-    scalar, batched = _run_pair(
-        config, packets, lengths, buffer_capacity=buffer_capacity
-    )
-    _assert_identical(scalar, batched)
+    _assert_identical(*_run_pair(config, packets, lengths, buffer_capacity=buffer_capacity))
 
 
 # -- cache statistics: scalar record paths == record_batch ------------------------
@@ -312,34 +333,36 @@ def test_cache_stats_identical_across_record_paths(workload):
     up to chunk timing (flow, value, reason; trace ``packet_index`` is
     exact for scalar and chunk-granular for batched, so it is excluded)."""
     packets, weights, policy, entry_capacity, cache_entries, buffer_capacity = workload
-    traces = [EvictionTrace(capacity=4 * len(packets) + 8) for _ in range(2)]
+    traces = [EvictionTrace(capacity=4 * len(packets) + 8) for _ in range(3)]
 
     scalar_cache = FlowCache(
         cache_entries, entry_capacity, policy=policy, seed=3, trace=traces[0]
     )
     scalar_cache.process(packets, lambda fid, v, r: None, weights=weights)
     scalar_cache.dump(lambda fid, v, r: None)
+    s_events = [(e.flow_id, e.value, e.reason) for e in traces[0].events()]
 
-    batched_cache = FlowCache(
-        cache_entries, entry_capacity, policy=policy, seed=3, trace=traces[1]
-    )
-    buffer = EvictionBuffer(buffer_capacity)
-    batched_cache.process_into(packets, buffer, lambda i, v, r: None, weights=weights)
-    batched_cache.dump_into(buffer, lambda i, v, r: None)
-
-    assert scalar_cache.stats == batched_cache.stats
+    for coalesce, trace in zip((False, True), traces[1:]):
+        cache = FlowCache(
+            cache_entries, entry_capacity, policy=policy, seed=3, trace=trace
+        )
+        buffer = EvictionBuffer(buffer_capacity)
+        cache.process_into(
+            packets, buffer, lambda i, v, r: None, weights=weights, coalesce=coalesce
+        )
+        cache.dump_into(buffer, lambda i, v, r: None)
+        assert scalar_cache.stats == cache.stats
+        events = [(e.flow_id, e.value, e.reason) for e in trace.events()]
+        assert s_events == events
     assert scalar_cache.stats.evicted_packets + scalar_cache.stats.dumped_packets == (
         int(weights.sum()) if weights is not None else len(packets)
     )
-    s_events = [(e.flow_id, e.value, e.reason) for e in traces[0].events()]
-    b_events = [(e.flow_id, e.value, e.reason) for e in traces[1].events()]
-    assert s_events == b_events
 
 
 # -- observability must not perturb results ---------------------------------------
 
 
-@pytest.mark.parametrize("engine", ["scalar", "batched"])
+@pytest.mark.parametrize("engine", list(ENGINES))
 def test_metrics_do_not_perturb_results(tiny_trace, engine):
     """Bit-identical counters/stats/RNG state with metrics on or off,
     for both engines — observability is read-only."""
@@ -364,15 +387,19 @@ def test_metrics_do_not_perturb_results(tiny_trace, engine):
 def test_metrics_enabled_engines_still_bit_identical(tiny_trace):
     """The acceptance bar: engine parity holds with metrics enabled."""
     packets = tiny_trace.packets[:5000]
-    scalar = Caesar(_base_config(engine="scalar"), registry=MetricsRegistry())
-    batched = Caesar(
-        _base_config(engine="batched"), registry=MetricsRegistry(), buffer_capacity=257
-    )
-    for instance in (scalar, batched):
+    instances = [
+        Caesar(
+            _base_config(engine=engine),
+            registry=MetricsRegistry(),
+            buffer_capacity=257,
+        )
+        for engine in ENGINES
+    ]
+    for instance in instances:
         instance.process(packets)
         instance.finalize()
-    _assert_identical(scalar, batched)
-    for caesar in (scalar, batched):
+    _assert_identical(*instances)
+    for caesar in instances:
         gauges = caesar.metrics.snapshot()["gauges"]
         assert gauges["caesar.num_packets"] == len(packets)
         assert gauges["caesar.memory_bits"] == caesar.memory_bits

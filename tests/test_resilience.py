@@ -51,7 +51,7 @@ def assert_bit_identical(a: Caesar, b: Caesar, flow_ids: np.ndarray) -> None:
         )
 
 
-@pytest.mark.parametrize("engine", ["batched", "scalar"])
+@pytest.mark.parametrize("engine", ["batched", "runs", "scalar"])
 @pytest.mark.parametrize("replacement", ["lru", "random"])
 class TestKillResume:
     def test_resume_matches_uninterrupted(self, tiny_trace, engine, replacement):
@@ -438,7 +438,7 @@ class TestResumeErrors:
 @given(
     seed=st.integers(min_value=0, max_value=2**16),
     cut_frac=st.floats(min_value=0.05, max_value=0.95),
-    engine=st.sampled_from(["batched", "scalar"]),
+    engine=st.sampled_from(["batched", "runs", "scalar"]),
 )
 @settings(max_examples=12, deadline=None)
 def test_property_kill_resume_bit_identity(tiny_trace_packets, seed, cut_frac, engine):
@@ -465,7 +465,7 @@ def test_property_kill_resume_bit_identity(tiny_trace_packets, seed, cut_frac, e
 @given(
     seed=st.integers(min_value=0, max_value=2**32),
     cut_frac=st.floats(min_value=0.01, max_value=0.99),
-    engine=st.sampled_from(["batched", "scalar"]),
+    engine=st.sampled_from(["batched", "runs", "scalar"]),
     replacement=st.sampled_from(["lru", "random"]),
 )
 @settings(max_examples=150, deadline=None)
