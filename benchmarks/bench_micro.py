@@ -217,6 +217,56 @@ def bench_caesar_construction_metrics_enabled(benchmark, packet_batch):
     )
 
 
+# -- streaming runtime ingest throughput -------------------------------------
+#
+# End-to-end cost of the deployment-shaped path (docs/runtime.md):
+# partition -> bounded queues -> W worker processes -> drain. Measured
+# at 1/2/4 workers over the same packet batch so the scaling (and the
+# IPC overhead floor at W=1 vs plain construction) is readable straight
+# from the artifact. Checkpointing is off so the number prices the
+# steady-state pipe, not the durability cadence; each round gets a
+# fresh state dir so no run recovers its predecessor's state.
+
+
+def _runtime_ingest(packets, workers, state_dir):
+    from repro.runtime.client import StreamingRuntime
+
+    config = CaesarConfig(
+        cache_entries=8192, entry_capacity=54, k=3, bank_size=4096
+    )
+    with StreamingRuntime(
+        config, workers, state_dir=state_dir, checkpoint_every=0
+    ) as rt:
+        rt.ingest_stream(packets, chunk_packets=32_768)
+        rt.drain()
+
+
+def _bench_runtime(benchmark, packet_batch, tmp_path_factory, workers):
+    benchmark.pedantic(
+        lambda: _runtime_ingest(
+            packet_batch, workers, tmp_path_factory.mktemp(f"rt{workers}w")
+        ),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def bench_runtime_ingest_1w(benchmark, packet_batch, tmp_path_factory):
+    """Streaming runtime, one shard worker (the IPC overhead floor)."""
+    _bench_runtime(benchmark, packet_batch, tmp_path_factory, 1)
+
+
+def bench_runtime_ingest_2w(benchmark, packet_batch, tmp_path_factory):
+    """Streaming runtime, two shard workers."""
+    _bench_runtime(benchmark, packet_batch, tmp_path_factory, 2)
+
+
+def bench_runtime_ingest_4w(benchmark, packet_batch, tmp_path_factory):
+    """Streaming runtime, four shard workers."""
+    _bench_runtime(benchmark, packet_batch, tmp_path_factory, 4)
+
+
 def bench_rcs_vectorized_construction(benchmark, packet_batch):
     def run():
         rcs = RCS(RCSConfig(k=3, bank_size=4096))

@@ -34,12 +34,16 @@ Package map
 - :mod:`repro.resilience` — crash-consistent checkpoint/restore,
   eviction write-ahead log, deterministic fault injection, health
   signals;
+- :mod:`repro.runtime` — streaming ingest runtime: long-lived shard
+  worker processes with bounded queues, backpressure, live queries,
+  and checkpointed crash recovery;
 - :mod:`repro.analysis` — error metrics and report tables;
 - :mod:`repro.experiments` — one module per paper figure (3-8).
 """
 
 from repro.analysis.metrics import evaluate
-from repro.api import MeasurementResult, measure
+from repro.api import MeasurementResult, StreamMeasurementResult, measure
+from repro.runtime.client import RuntimeResult, StreamingRuntime
 from repro.baselines.case import Case, CaseConfig
 from repro.baselines.rcs import RCS, RCSConfig
 from repro.core.caesar import Caesar
@@ -79,6 +83,9 @@ __all__ = [
     "evaluate",
     "measure",
     "MeasurementResult",
+    "StreamMeasurementResult",
+    "StreamingRuntime",
+    "RuntimeResult",
     "MeasurementScheme",
     "MetricsRegistry",
     "EvictionTrace",

@@ -2,15 +2,21 @@
 
 For users who want per-flow estimates from a packet stream without
 assembling the components: :func:`measure` runs the whole CAESAR
-pipeline and returns a queryable result. The class-based API
-(:class:`repro.Caesar`) remains the right tool for streaming, epochs,
-volume, or sharded use.
+pipeline and returns a queryable result. Passing ``stream=`` instead of
+a packet array measures incrementally (chunk by chunk, never holding
+the whole trace); adding ``workers=W`` runs the streaming runtime —
+``W`` supervised shard worker processes (:mod:`repro.runtime`) — and
+returns a :class:`StreamMeasurementResult`. The class-based API
+(:class:`repro.Caesar`) remains the right tool for epochs, volume, or
+bespoke sharded use.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 import numpy as np
 import numpy.typing as npt
@@ -68,9 +74,87 @@ class MeasurementResult:
         )
 
 
-def measure(
-    packets: FlowIdArray,
+@dataclass(frozen=True)
+class StreamMeasurementResult:
+    """A finished *streaming* measurement (``measure(stream=, workers=)``).
+
+    ``scheme`` is the offline twin rebuilt from the workers' final
+    checkpoints — bit-identical to a single-process
+    ``ShardedCaesar.process`` of the same stream (docs/runtime.md) —
+    and ``runtime`` carries the run's provenance: per-shard checkpoint
+    digests, worker restart count, packets ingested.
+    """
+
+    scheme: object  # ShardedCaesar (typed loosely: repro.api stays import-light)
+    runtime: object  # repro.runtime.RuntimeResult
+    num_packets: int
+    num_flows_seen: int
+
+    def estimate(
+        self, flow_ids: FlowIdArray, method: str = "csm"
+    ) -> npt.NDArray[np.float64]:
+        """Per-flow size estimates (clipped at zero), routed per shard."""
+        return self.scheme.estimate(
+            np.asarray(flow_ids, dtype=np.uint64), method, clip_negative=True
+        )
+
+    def top_flows(self, k: int = 10) -> list[tuple[int, float]]:
+        """The k largest flows any shard observed, by estimate."""
+        seen = np.unique(self.scheme.flows_seen())
+        if len(seen) == 0:
+            return []
+        est = self.estimate(seen)
+        order = np.argsort(est)[::-1][:k]
+        return [(int(seen[i]), float(est[i])) for i in order]
+
+
+def _measure_stream(
+    stream: object,
+    lengths: npt.NDArray[np.int64] | None,
+    config: CaesarConfig,
     *,
+    workers: int,
+    chunk_packets: int,
+    state_dir: str | None,
+    registry: MetricsRegistry | None,
+    num_flows: int | None,
+) -> StreamMeasurementResult:
+    """The ``workers=W`` arm of :func:`measure`: run the streaming
+    runtime over the stream, then rebuild the offline twin."""
+    from repro.runtime.client import StreamingRuntime
+
+    tmp: tempfile.TemporaryDirectory | None = None
+    if state_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-runtime-")
+        state_dir = tmp.name
+    try:
+        with StreamingRuntime(
+            config, workers, state_dir=state_dir, registry=registry
+        ) as rt:
+            rt.ingest_stream(stream, lengths=lengths, chunk_packets=chunk_packets)
+            result = rt.drain()
+        scheme = result.load_scheme(registry=registry)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    seen = num_flows if num_flows is not None else len(np.unique(scheme.flows_seen()))
+    return StreamMeasurementResult(
+        scheme=scheme,
+        runtime=result,
+        num_packets=result.num_packets,
+        num_flows_seen=seen,
+    )
+
+
+def measure(
+    packets: FlowIdArray | None = None,
+    *,
+    stream: FlowIdArray | Iterable | None = None,
+    workers: int | None = None,
+    expected_packets: int | None = None,
+    expected_flows: int | None = None,
+    chunk_packets: int | None = None,
+    state_dir: str | None = None,
     sram_kb: float | None = None,
     cache_kb: float | None = None,
     target_rel_error: float | None = None,
@@ -85,7 +169,7 @@ def measure(
     checkpoint_every: int | None = None,
     checkpoint_path: str | None = None,
     resume_from: str | None = None,
-) -> MeasurementResult:
+) -> MeasurementResult | StreamMeasurementResult:
     """Measure a packet stream end to end.
 
     Either give explicit memory budgets (``sram_kb`` + ``cache_kb``,
@@ -112,17 +196,74 @@ def measure(
     ``packets`` (the first ``num_packets`` of the stream are skipped —
     pass the same stream the original run saw), finishing
     bit-identically to an uninterrupted run.
+
+    Streaming (docs/runtime.md): pass ``stream=`` instead of a packet
+    array — a flat array, or any iterable of packet arrays /
+    ``(packets, lengths)`` pairs — and the trace is measured chunk by
+    chunk (``chunk_packets`` each) without ever being materialized.
+    With an iterable, give ``expected_packets`` + ``expected_flows`` so
+    the sizing rules can run before the stream is consumed. Adding
+    ``workers=W`` fans ingest out over ``W`` supervised shard worker
+    processes (the :mod:`repro.runtime` runtime — bounded queues,
+    live queries, crash recovery) and returns a
+    :class:`StreamMeasurementResult` whose estimates are bit-identical
+    to the single-process sharded run; ``state_dir`` keeps the workers'
+    checkpoints/WALs (default: a temporary directory, removed after
+    the run).
     """
-    packets = np.asarray(packets, dtype=np.uint64)
-    if len(packets) == 0:
-        raise ConfigError("cannot measure an empty stream")
-    if checkpoint_every is not None:
-        if checkpoint_every < 1:
-            raise ConfigError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
-        if checkpoint_path is None:
-            raise ConfigError("checkpoint_path is required with checkpoint_every")
-    num_flows = len(np.unique(packets))
-    num_units = int(lengths.sum()) if lengths is not None else len(packets)
+    if (packets is None) == (stream is None):
+        raise ConfigError("give exactly one of packets= or stream=")
+    if stream is None and not (
+        workers is None and chunk_packets is None and state_dir is None
+    ):
+        raise ConfigError("workers/chunk_packets/state_dir apply only with stream=")
+    if stream is not None:
+        if checkpoint_every is not None or resume_from is not None:
+            raise ConfigError(
+                "checkpointing flags apply to the array path; the streaming "
+                "runtime checkpoints per shard on its own"
+            )
+        if workers is not None and (
+            fault_plan is not None or eviction_trace is not None
+        ):
+            raise ConfigError(
+                "fault_plan/eviction_trace are single-process features; "
+                "not available with workers="
+            )
+        if isinstance(stream, np.ndarray):
+            stream = np.asarray(stream, dtype=np.uint64)
+            if len(stream) == 0:
+                raise ConfigError("cannot measure an empty stream")
+            num_flows = (
+                expected_flows
+                if expected_flows is not None
+                else len(np.unique(stream))
+            )
+            num_units = (
+                expected_packets
+                if expected_packets is not None
+                else int(lengths.sum()) if lengths is not None else len(stream)
+            )
+        else:
+            if expected_packets is None or expected_flows is None:
+                raise ConfigError(
+                    "expected_packets and expected_flows are required when "
+                    "stream= is an iterable (sizing runs before ingest)"
+                )
+            num_flows, num_units = expected_flows, expected_packets
+    else:
+        packets = np.asarray(packets, dtype=np.uint64)
+        if len(packets) == 0:
+            raise ConfigError("cannot measure an empty stream")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ConfigError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ConfigError("checkpoint_path is required with checkpoint_every")
+        num_flows = len(np.unique(packets))
+        num_units = int(lengths.sum()) if lengths is not None else len(packets)
 
     if resume_from is not None:
         # Sizing comes from the checkpoint's own config; skip planning.
@@ -162,6 +303,39 @@ def measure(
         raise ConfigError(
             "give either sram_kb+cache_kb, target_rel_error+size_of_interest, "
             "or resume_from"
+        )
+
+    if stream is not None:
+        from repro.runtime.partitioner import DEFAULT_CHUNK_PACKETS, chunk_stream
+
+        cp = chunk_packets if chunk_packets is not None else DEFAULT_CHUNK_PACKETS
+        if workers is not None:
+            return _measure_stream(
+                stream,
+                lengths,
+                config,
+                workers=workers,
+                chunk_packets=cp,
+                state_dir=state_dir,
+                registry=registry,
+                num_flows=num_flows,
+            )
+        caesar = Caesar(
+            config,
+            registry=registry,
+            eviction_trace=eviction_trace,
+            fault_plan=fault_plan,
+        )
+        t0 = time.perf_counter()
+        for pkts, lens in chunk_stream(stream, lengths=lengths, chunk_packets=cp):
+            caesar.process(pkts, lens)
+        caesar.finalize()
+        if registry is not None:
+            observe_scheme(
+                registry, caesar, "measure", elapsed_seconds=time.perf_counter() - t0
+            )
+        return MeasurementResult(
+            caesar=caesar, num_packets=caesar.num_packets, num_flows_seen=num_flows
         )
 
     if resume_from is None:

@@ -7,7 +7,18 @@ Subcommands::
     caesar-repro list                      # available experiments
     caesar-repro trace --out t.npz         # generate/save a workload
     caesar-repro measure --trace t.npz --sram-kb 4 --cache-kb 4 --top 10
+    caesar-repro serve --trace t.npz --workers 4 --sram-kb 4 --cache-kb 4
     caesar-repro stats m.json              # pretty-print a metrics snapshot
+
+(``repro`` is an alias of ``caesar-repro`` — same entry point.)
+
+``serve`` streams a saved trace through the supervised shard-worker
+runtime (:mod:`repro.runtime`): bounded queues with a backpressure
+policy, optional live queries mid-ingest (``--query-every``),
+deterministic fault injection by SIGKILLing a worker mid-stream
+(``--chaos-kill SHARD:CHUNK``), and ``--verify-offline`` proving the
+result bit-identical to a single-process sharded run — the CI
+runtime-smoke job runs exactly this (see docs/runtime.md).
 
 ``run``, ``report``, and ``measure`` accept ``--metrics-out PATH``:
 observability is switched on (a :class:`~repro.obs.MetricsRegistry`
@@ -180,6 +191,67 @@ def build_parser() -> argparse.ArgumentParser:
         "trace (bit-identical to an uninterrupted run)",
     )
 
+    serve_p = sub.add_parser(
+        "serve", help="stream a saved trace through the shard-worker runtime"
+    )
+    serve_p.add_argument("--trace", required=True, help="input .npz trace")
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="number of shard worker processes"
+    )
+    serve_p.add_argument("--sram-kb", type=float, required=True, help="SRAM budget")
+    serve_p.add_argument("--cache-kb", type=float, required=True, help="cache budget")
+    serve_p.add_argument("--k", type=int, default=3)
+    _add_engine_arg(serve_p)
+    serve_p.add_argument(
+        "--chunk-packets",
+        type=int,
+        default=8192,
+        help="packets per ingest chunk (the unit of queuing and recovery)",
+    )
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=8, help="bound of each shard's inbox (chunks)"
+    )
+    serve_p.add_argument(
+        "--backpressure",
+        choices=["block", "shed", "error"],
+        default="block",
+        help="full-queue policy: block the producer, shed the chunk, or error",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-shard checkpoint cadence in chunks (0 disables)",
+    )
+    serve_p.add_argument(
+        "--query-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="issue a live query to every shard every N chunks (0 = never)",
+    )
+    serve_p.add_argument(
+        "--chaos-kill",
+        default=None,
+        metavar="SHARD:CHUNK",
+        help="SIGKILL shard worker SHARD just before ingesting chunk CHUNK "
+        "(crash-recovery demo; the run must still finish bit-identically)",
+    )
+    serve_p.add_argument(
+        "--verify-offline",
+        action="store_true",
+        help="after the drain, rerun single-process ShardedCaesar and assert "
+        "estimates and per-shard checkpoint digests are bit-identical",
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for worker checkpoints/WALs (default: a temp dir)",
+    )
+    serve_p.add_argument("--top", type=int, default=5, help="print the top-N flows")
+    _add_metrics_arg(serve_p)
+
     stats_p = sub.add_parser(
         "stats", help="pretty-print a metrics snapshot written by --metrics-out"
     )
@@ -311,6 +383,108 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.analysis.metrics import evaluate
+    from repro.core.config import CaesarConfig
+    from repro.core.sharded import ShardedCaesar
+    from repro.runtime.client import StreamingRuntime
+    from repro.runtime.partitioner import chunk_stream
+
+    trace = Trace.load(args.trace)
+    registry = _registry_from(args)
+    config = CaesarConfig.for_budgets(
+        sram_kb=args.sram_kb,
+        cache_kb=args.cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=args.k,
+        engine=args.engine,
+    )
+    chaos: tuple[int, int] | None = None
+    if args.chaos_kill:
+        try:
+            shard_s, chunk_s = args.chaos_kill.split(":")
+            chaos = (int(shard_s), int(chunk_s))
+        except ValueError:
+            raise ConfigError(
+                f"--chaos-kill wants SHARD:CHUNK, got {args.chaos_kill!r}"
+            ) from None
+        if not 0 <= chaos[0] < args.workers:
+            raise ConfigError(f"--chaos-kill shard {chaos[0]} out of range")
+    print(
+        f"serving {args.trace} over {args.workers} shard workers "
+        f"({config.describe()}, chunk={args.chunk_packets}, "
+        f"backpressure={args.backpressure})"
+    )
+    tmp = None
+    state_dir = args.state_dir
+    if state_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        state_dir = tmp.name
+    watch = trace.flows.ids[: min(8, len(trace.flows.ids))]
+    try:
+        with StreamingRuntime(
+            config,
+            args.workers,
+            state_dir=state_dir,
+            queue_depth=args.queue_depth,
+            backpressure=args.backpressure,
+            checkpoint_every=args.checkpoint_every,
+            registry=registry,
+        ) as rt:
+            for i, (pkts, lens) in enumerate(
+                chunk_stream(trace.packets, chunk_packets=args.chunk_packets)
+            ):
+                if chaos is not None and i == chaos[1]:
+                    print(f"[chaos: SIGKILL shard {chaos[0]} worker at chunk {i}]")
+                    rt.kill_worker(chaos[0])
+                rt.ingest(pkts, lens)
+                if args.query_every and i % args.query_every == 0:
+                    est = rt.query(watch)
+                    print(f"[chunk {i}: live estimates {np.round(est, 1).tolist()}]")
+            result = rt.drain()
+            print(
+                f"ingested {result.num_packets} packets; "
+                f"worker restarts: {result.restarts}"
+            )
+            for s, digest in enumerate(result.shard_digests):
+                print(f"  shard {s}: final digest {digest[:16]}…")
+            estimates = rt.query(trace.flows.ids)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    quality = evaluate(estimates, trace.flows.sizes)
+    print(quality.summary())
+    order = np.argsort(estimates)[::-1][: args.top]
+    print(f"\ntop {args.top} flows by estimate (estimate / actual):")
+    for i in order:
+        print(
+            f"  {int(trace.flows.ids[i]):>20d}  "
+            f"{estimates[i]:>12.1f}  {int(trace.flows.sizes[i]):>10d}"
+        )
+    if args.verify_offline:
+        offline = ShardedCaesar(config, args.workers)
+        offline.process(trace.packets)
+        offline.finalize()
+        base = offline.estimate(trace.flows.ids, "csm", clip_negative=True)
+        digests = tuple(s.checkpoint().digest for s in offline.shards)
+        if not np.array_equal(estimates, base) or digests != result.shard_digests:
+            print(
+                "offline verification FAILED: runtime result diverges from the "
+                "single-process sharded run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "offline verification: bit-identical to single-process ShardedCaesar "
+            "(estimates and per-shard digests)"
+        )
+    _maybe_write_metrics(args, registry)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -335,6 +509,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "measure":
         return _cmd_measure(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
     build_parser().print_help()

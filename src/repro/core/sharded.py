@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -28,10 +28,41 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.scheme import MeasurementScheme
 from repro.errors import ConfigError, QueryError
-from repro.hashing.family import HashFamily
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.schemes import observe_scheme
+from repro.runtime.partitioner import (
+    DEFAULT_CHUNK_PACKETS,
+    DEFAULT_SHARD_SEED,
+    StreamPartitioner,
+    chunk_stream,
+)
 from repro.types import FlowIdArray
+
+#: Per-shard seed stride (distinct seeds keep shards hash-independent).
+SHARD_SEED_STRIDE = 0x9E37
+
+
+def shard_caesar_config(
+    config: CaesarConfig,
+    shard_index: int,
+    num_shards: int,
+    *,
+    divide_budget: bool = True,
+) -> CaesarConfig:
+    """Shard ``shard_index``'s config under the paper's budget split.
+
+    The one derivation rule shared by :class:`ShardedCaesar` and the
+    streaming runtime (:mod:`repro.runtime`) — both must build
+    byte-identical shard instances or the bit-identity contract between
+    the one-shot and streaming paths breaks.
+    """
+    if divide_budget:
+        config = replace(
+            config,
+            cache_entries=max(1, config.cache_entries // num_shards),
+            bank_size=max(1, config.bank_size // num_shards),
+        )
+    return replace(config, seed=config.seed + SHARD_SEED_STRIDE * shard_index)
 
 
 def _run_shard(
@@ -60,7 +91,7 @@ class ShardedScheme:
         make_shard: Callable[[int], MeasurementScheme],
         num_shards: int,
         *,
-        shard_seed: int = 0x5AA2D,
+        shard_seed: int = DEFAULT_SHARD_SEED,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
@@ -72,27 +103,23 @@ class ShardedScheme:
         self.shards: Sequence[MeasurementScheme] = [
             make_shard(i) for i in range(num_shards)
         ]
-        self._shard_hash = HashFamily(1, seed=shard_seed)
+        # The flow → shard map is shared with the streaming runtime so
+        # both ingest paths agree bit for bit (docs/runtime.md).
+        self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
         self._finalized = False
 
     # -- partitioning --------------------------------------------------------
 
     def shard_of(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
         """Which shard owns each flow (RSS-style hash partition)."""
-        h = self._shard_hash.hash_array(0, np.asarray(flow_ids, np.uint64))
-        return (h % np.uint64(self.num_shards)).astype(np.int64)
+        return self.partitioner.shard_of(flow_ids)
 
     def _partition(
         self,
         packets: FlowIdArray,
         lengths: npt.NDArray[np.int64] | None,
     ) -> list[tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]]:
-        owners = self.shard_of(packets)
-        out = []
-        for s in range(self.num_shards):
-            mask = owners == s
-            out.append((packets[mask], lengths[mask] if lengths is not None else None))
-        return out
+        return self.partitioner.partition(packets, lengths)
 
     # -- construction phase ------------------------------------------------------
 
@@ -117,8 +144,7 @@ class ShardedScheme:
         with self.metrics.timer("sharded.process"):
             parts = self._partition(packets, lengths)
             if max_workers is None or max_workers <= 1 or self.num_shards == 1:
-                for shard, (pkts, lens) in zip(self.shards, parts):
-                    _run_shard(shard, pkts, lens)
+                self._feed(parts)
                 return
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 self.shards = list(
@@ -129,6 +155,44 @@ class ShardedScheme:
                         [lens for _, lens in parts],
                     )
                 )
+
+    def _feed(
+        self,
+        parts: list[tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]],
+    ) -> None:
+        """Feed one partitioned chunk to the shards, in shard order."""
+        for shard, (pkts, lens) in zip(self.shards, parts):
+            if len(pkts):
+                _run_shard(shard, pkts, lens)
+
+    def process_stream(
+        self,
+        stream: FlowIdArray | Iterable,
+        *,
+        lengths: npt.NDArray[np.int64] | None = None,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    ) -> None:
+        """Chunked construction: partition and feed as the stream arrives.
+
+        Accepts the same stream shapes as
+        :func:`repro.runtime.partitioner.chunk_stream` — a flat array
+        (sliced into ``chunk_packets`` chunks) or an iterable of packet
+        arrays / ``(packets, lengths)`` pairs — and never materializes
+        the whole stream, removing :meth:`process`'s full-array-up-front
+        memory requirement. Because partitioning is per-packet and
+        stateless and each shard sees its substream in order, the final
+        state is bit-identical to a one-shot :meth:`process` of the
+        concatenated stream; the streaming runtime
+        (:class:`repro.runtime.StreamingRuntime`) rides this same
+        partition-and-feed path.
+        """
+        if self._finalized:
+            raise QueryError("cannot process packets after finalize()")
+        with self.metrics.timer("sharded.process"):
+            for pkts, lens in chunk_stream(
+                stream, lengths=lengths, chunk_packets=chunk_packets
+            ):
+                self._feed(self._partition(pkts, lens))
 
     def finalize(self) -> None:
         """Finalize every shard (idempotent); records the aggregate and
@@ -190,7 +254,7 @@ class ShardedCaesar(ShardedScheme):
         num_shards: int,
         *,
         divide_budget: bool = True,
-        shard_seed: int = 0x5AA2D,
+        shard_seed: int = DEFAULT_SHARD_SEED,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
@@ -208,14 +272,22 @@ class ShardedCaesar(ShardedScheme):
         self.shard_config = shard_config
         # Distinct per-shard seeds so shards are hash-independent; all
         # shards report into the same registry (aggregated stage totals).
+        # The derivation is shard_caesar_config's — shared with the
+        # streaming runtime's workers.
         super().__init__(
             lambda i: Caesar(
-                replace(shard_config, seed=shard_config.seed + 0x9E37 * i),
+                shard_caesar_config(config, i, num_shards, divide_budget=divide_budget),
                 registry=registry,
             ),
             num_shards,
             shard_seed=shard_seed,
             registry=registry,
+        )
+
+    def flows_seen(self) -> npt.NDArray[np.uint64]:
+        """Every flow any shard ever saw (union of shard memos)."""
+        return np.concatenate(
+            [s.flows_seen() for s in self.shards]  # type: ignore[attr-defined]
         )
 
     @property

@@ -31,3 +31,12 @@ class QueryError(ReproError):
 
 class TraceFormatError(ReproError):
     """A serialized trace or header file could not be parsed."""
+
+
+class IngestError(ReproError):
+    """The streaming ingest runtime could not make progress.
+
+    Raised when a shard queue rejects work under the ``"error"``
+    backpressure policy, when a worker exceeds its restart budget, or
+    when the runtime is driven outside its lifecycle (ingesting after
+    drain, querying before start)."""

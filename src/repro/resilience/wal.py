@@ -153,6 +153,44 @@ class WriteAheadLog:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- repair ------------------------------------------------------------
+
+    @staticmethod
+    def truncate_torn_tail(path: str | Path) -> int:
+        """Cut a torn final record off the log; returns bytes removed.
+
+        A crash mid-append leaves a partial record at the tail. Readers
+        already ignore it, but *re-opening the log for append* would
+        write the next record after the torn bytes, desynchronizing
+        every later read. Long-lived writers (the streaming runtime's
+        shard workers) therefore truncate before appending again. A
+        complete-but-corrupt record still raises
+        :class:`TraceFormatError` — that is damage, not a torn write.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        if len(data) < len(WAL_MAGIC) or data[: len(WAL_MAGIC)] != WAL_MAGIC:
+            raise TraceFormatError(f"{path} is not a repro write-ahead log")
+        pos = len(WAL_MAGIC)
+        valid_end = pos
+        while pos + _HEADER.size <= len(data):
+            kind, seq, rows, crc = _HEADER.unpack_from(data, pos)
+            payload_len = rows * (8 + 8 + 1)
+            if pos + _HEADER.size + payload_len > len(data):
+                break  # torn payload
+            payload = data[pos + _HEADER.size : pos + _HEADER.size + payload_len]
+            if zlib.crc32(payload) != crc:
+                raise TraceFormatError(
+                    f"WAL record seq={seq} failed its CRC check ({path})"
+                )
+            pos += _HEADER.size + payload_len
+            valid_end = pos
+        removed = len(data) - valid_end
+        if removed:
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_end)
+        return removed
+
     # -- reading -----------------------------------------------------------
 
     @staticmethod

@@ -1,0 +1,63 @@
+"""Streaming ingest runtime: long-lived shard workers behind one facade.
+
+The one-shot paths (``Caesar.process``, ``ShardedCaesar.process``)
+assume the whole trace is an array in hand. This package is the
+deployment shape instead: ``W`` long-lived worker processes, one CAESAR
+shard each, fed packet chunks through bounded queues with a
+backpressure policy, answering live queries mid-ingest, and supervised
+— a worker killed at any instant is restarted from its newest
+checkpoint plus ingest-WAL replay and re-fed what it lost, finishing
+bit-identically to a run that never crashed. See ``docs/runtime.md``
+for the architecture and the determinism argument.
+
+Module map:
+
+- :mod:`~repro.runtime.partitioner` — RSS-style flow → shard hash
+  partitioning and stream chunking (shared with
+  :class:`~repro.core.sharded.ShardedScheme` so both ingest paths agree
+  bit for bit);
+- :mod:`~repro.runtime.queues` — bounded shard inboxes and the
+  block/shed/error backpressure policies;
+- :mod:`~repro.runtime.worker` — the shard worker process: ingest WAL,
+  periodic atomic checkpoints, boot-time recovery;
+- :mod:`~repro.runtime.supervisor` — process babysitting: crash
+  detection, restart, retained-chunk re-feed;
+- :mod:`~repro.runtime.client` — :class:`StreamingRuntime`, the
+  user-facing facade.
+"""
+
+from repro.runtime.partitioner import (
+    DEFAULT_CHUNK_PACKETS,
+    DEFAULT_SHARD_SEED,
+    StreamPartitioner,
+    chunk_stream,
+)
+from repro.runtime.queues import BACKPRESSURE_POLICIES, ShardQueueSender
+from repro.runtime.supervisor import DEFAULT_QUEUE_DEPTH, ShardSupervisor
+from repro.runtime.worker import WorkerSpec, boot_shard
+
+
+def __getattr__(name: str) -> object:
+    """Lazy-load the facade: :mod:`~repro.runtime.client` pulls in
+    :mod:`repro.core.sharded`, which itself imports this package's
+    partitioner — importing it eagerly here would close that cycle."""
+    if name in ("StreamingRuntime", "RuntimeResult"):
+        from repro.runtime import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "DEFAULT_CHUNK_PACKETS",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_SHARD_SEED",
+    "RuntimeResult",
+    "ShardQueueSender",
+    "ShardSupervisor",
+    "StreamPartitioner",
+    "StreamingRuntime",
+    "WorkerSpec",
+    "boot_shard",
+    "chunk_stream",
+]

@@ -1,0 +1,293 @@
+"""The streaming runtime facade: ingest, query, drain, recover.
+
+:class:`StreamingRuntime` is the deployment-shaped entry point the
+one-shot paths lack: ``W`` long-lived worker processes (one CAESAR
+shard each, configs derived exactly as :class:`~repro.core.sharded.
+ShardedCaesar` derives them), fed through bounded queues with a
+backpressure policy, answering live queries mid-ingest, and supervised
+— a SIGKILLed worker is restarted from its newest checkpoint plus
+ingest-WAL replay, then re-fed whatever it lost, finishing
+bit-identically to a run that never crashed.
+
+Usage::
+
+    config = CaesarConfig.for_budgets(...)
+    with StreamingRuntime(config, num_shards=4, state_dir=d) as rt:
+        for chunk in packet_source:
+            rt.ingest(chunk)
+            live = rt.query(watchlist)        # mid-ingest estimates
+        result = rt.drain()                   # finalize all shards
+        final = rt.query(all_flows)           # offline estimates
+    offline = result.load_scheme()            # local ShardedCaesar twin
+
+Determinism contract (docs/runtime.md): with the default ``"block"``
+backpressure policy, ``rt.drain()``'s per-shard states — estimates *and*
+checkpoint digests — equal a single-process
+``ShardedCaesar(config, W).process(stream)`` run bit for bit, for every
+engine, regardless of chunk sizes, queue depths, scheduling interleave,
+or how many workers were killed along the way.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.core.sharded import ShardedCaesar, shard_caesar_config
+from repro.errors import IngestError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.runtime.partitioner import (
+    DEFAULT_CHUNK_PACKETS,
+    DEFAULT_SHARD_SEED,
+    StreamPartitioner,
+    chunk_stream,
+)
+from repro.runtime.supervisor import DEFAULT_QUEUE_DEPTH, ShardSupervisor
+from repro.runtime.worker import WorkerSpec
+from repro.types import FlowIdArray
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """What :meth:`StreamingRuntime.drain` returns.
+
+    Carries the per-shard final checkpoint digests (the bit-identity
+    witnesses) and enough provenance to rebuild an offline twin of the
+    deployment with :meth:`load_scheme`.
+    """
+
+    config: CaesarConfig
+    num_shards: int
+    divide_budget: bool
+    shard_seed: int
+    shard_digests: tuple[str, ...]
+    checkpoint_paths: tuple[str, ...]
+    num_packets: int
+    restarts: int
+
+    def load_scheme(self, *, registry: MetricsRegistry | None = None) -> ShardedCaesar:
+        """Rebuild the deployment locally from the final checkpoints.
+
+        The returned :class:`ShardedCaesar` is finalized and queryable
+        offline, and is bit-identical to the workers' final states —
+        the runtime's answer to "hand me the finished measurement".
+        """
+        scheme = ShardedCaesar(
+            self.config,
+            self.num_shards,
+            divide_budget=self.divide_budget,
+            shard_seed=self.shard_seed,
+            registry=registry,
+        )
+        scheme.shards = [Caesar.resume(path) for path in self.checkpoint_paths]
+        scheme._finalized = True
+        return scheme
+
+
+class StreamingRuntime:
+    """``W`` supervised shard workers behind one ingest/query facade."""
+
+    def __init__(
+        self,
+        config: CaesarConfig,
+        num_shards: int,
+        *,
+        state_dir: str | Path,
+        divide_budget: bool = True,
+        shard_seed: int = DEFAULT_SHARD_SEED,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        backpressure: str = "block",
+        checkpoint_every: int = 4,
+        registry: MetricsRegistry | None = None,
+        start_method: str | None = None,
+        max_restarts: int = 3,
+    ) -> None:
+        self.config = config
+        self.num_shards = int(num_shards)
+        self.divide_budget = divide_budget
+        self.shard_seed = shard_seed
+        self.state_dir = Path(state_dir)
+        self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
+        self.metrics = resolve_registry(registry)
+        specs = [
+            WorkerSpec(
+                shard_id=i,
+                config=shard_caesar_config(
+                    config, i, num_shards, divide_budget=divide_budget
+                ),
+                state_dir=str(self.state_dir / f"shard{i}"),
+                checkpoint_every=checkpoint_every,
+            )
+            for i in range(self.num_shards)
+        ]
+        self.supervisor = ShardSupervisor(
+            specs,
+            queue_depth=queue_depth,
+            backpressure=backpressure,
+            registry=registry,
+            max_restarts=max_restarts,
+            start_method=start_method,
+        )
+        self._started = False
+        self._drained = False
+        self._result: RuntimeResult | None = None
+        self._next_qid = 0
+        self._t0 = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "StreamingRuntime":
+        """Spawn (or recover) every shard worker; idempotent."""
+        if not self._started:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self.supervisor.start()
+            self._started = True
+            self._t0 = time.perf_counter()
+        return self
+
+    def __enter__(self) -> "StreamingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop all workers (graceful, then hard). State files remain —
+        a new runtime over the same ``state_dir`` recovers them."""
+        if self._started:
+            self.supervisor.stop()
+            self._started = False
+
+    def _require(self, started: bool = True, not_drained: bool = False) -> None:
+        if started and not self._started:
+            raise IngestError("runtime is not started (call start() or use `with`)")
+        if not_drained and self._drained:
+            raise IngestError("runtime is drained; no further ingest is possible")
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None = None,
+    ) -> int:
+        """Partition one chunk across the shard queues.
+
+        Returns the number of packets accepted (less than ``len(packets)``
+        only under the ``"shed"`` backpressure policy).
+        """
+        self._require(not_drained=True)
+        packets = np.asarray(packets, dtype=np.uint64)
+        accepted = 0
+        for shard, (pkts, lens) in enumerate(
+            self.partitioner.partition(packets, lengths)
+        ):
+            if len(pkts) and self.supervisor.send_chunk(shard, pkts, lens):
+                accepted += len(pkts)
+        return accepted
+
+    def ingest_stream(
+        self,
+        stream: FlowIdArray | Iterable,
+        *,
+        lengths: npt.NDArray[np.int64] | None = None,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    ) -> int:
+        """Feed a whole stream (any :func:`chunk_stream` shape) chunk by
+        chunk; returns total packets accepted."""
+        accepted = 0
+        for pkts, lens in chunk_stream(
+            stream, lengths=lengths, chunk_packets=chunk_packets
+        ):
+            accepted += self.ingest(pkts, lens)
+        return accepted
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self, flow_ids: FlowIdArray, method: str = "csm"
+    ) -> npt.NDArray[np.float64]:
+        """Per-flow estimates from the live workers, in input order.
+
+        Mid-ingest this is the approximate online estimate (flushed SRAM
+        state plus cached residue — see ``Caesar.estimate_online``);
+        after :meth:`drain` it is the exact offline estimate.
+        """
+        self._require()
+        flow_ids = np.asarray(flow_ids, dtype=np.uint64)
+        owners = self.partitioner.shard_of(flow_ids)
+        out = np.empty(len(flow_ids), dtype=np.float64)
+        asked = []
+        for shard in range(self.num_shards):
+            mask = owners == shard
+            if mask.any():
+                qid = self._next_qid
+                self._next_qid += 1
+                self.supervisor.ask(shard, qid, flow_ids[mask], method)
+                asked.append((shard, qid, mask))
+        for shard, qid, mask in asked:
+            out[mask] = self.supervisor.collect_reply(shard, qid)
+        return out
+
+    # -- drain --------------------------------------------------------------
+
+    def drain(self, timeout: float = 300.0) -> RuntimeResult:
+        """Flush every shard to its final state and finalize (idempotent).
+
+        Workers stay alive afterwards to answer offline queries until
+        :meth:`shutdown`.
+        """
+        self._require()
+        if self._result is not None:
+            return self._result
+        self.supervisor.send_drain()
+        self.supervisor.wait_finalized(timeout=timeout)
+        elapsed = max(time.perf_counter() - self._t0, 1e-9)
+        packets_sent = self.metrics.counter("runtime.packets_sent").value
+        self.metrics.gauge("runtime.ingest.packets_per_second").set(
+            packets_sent / elapsed
+        )
+        handles = self.supervisor.handles
+        self._result = RuntimeResult(
+            config=self.config,
+            num_shards=self.num_shards,
+            divide_budget=self.divide_budget,
+            shard_seed=self.shard_seed,
+            shard_digests=tuple(h.finalized[0] for h in handles),
+            checkpoint_paths=tuple(h.finalized[1] for h in handles),
+            num_packets=sum(h.finalized[2] for h in handles),
+            restarts=sum(h.restarts for h in handles),
+        )
+        self._drained = True
+        return self._result
+
+    # -- chaos / introspection ----------------------------------------------
+
+    def worker_pid(self, shard: int) -> int:
+        """The live process ID of one shard worker (chaos testing)."""
+        self._require()
+        return int(self.supervisor.handles[shard].process.pid)
+
+    def kill_worker(self, shard: int, sig: int = signal.SIGKILL) -> None:
+        """Send a signal to one worker — the fault-injection entry point
+        for crash-recovery tests and the CI runtime-smoke job. The
+        supervisor detects the death and recovers on its next pump."""
+        os.kill(self.worker_pid(shard), sig)
+
+    @property
+    def restarts(self) -> int:
+        """Worker restarts so far across all shards."""
+        return sum(h.restarts for h in self.supervisor.handles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "drained" if self._drained else ("live" if self._started else "new")
+        return f"StreamingRuntime(W={self.num_shards}, {state})"

@@ -1,0 +1,112 @@
+"""RSS-style flow-hash partitioning and stream chunking.
+
+The streaming runtime and the one-shot :class:`~repro.core.sharded.
+ShardedScheme` must agree *exactly* on which shard owns which flow —
+that agreement is the whole determinism argument (docs/runtime.md): a
+flow's packets always land on the same shard, in stream order, so each
+shard's substream is independent of chunking, queue depths, and
+scheduling interleave. Both layers therefore share this one
+:class:`StreamPartitioner`; it reproduces the historical
+``ShardedScheme.shard_of`` bit for bit (same hash family, same seed
+convention).
+
+:func:`chunk_stream` normalizes every stream shape the ingest paths
+accept — one big array, an iterable of packet arrays, or an iterable of
+``(packets, lengths)`` pairs — into a uniform sequence of
+``(packets, lengths)`` chunks, so the full-array-up-front memory
+requirement disappears from every consumer at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError
+from repro.hashing.family import HashFamily
+from repro.types import FlowIdArray
+
+#: Historical default shard seed (kept equal to ``ShardedScheme``'s).
+DEFAULT_SHARD_SEED = 0x5AA2D
+
+#: Default packets per chunk when slicing a flat array into a stream.
+DEFAULT_CHUNK_PACKETS = 65_536
+
+
+class StreamPartitioner:
+    """Stateless flow → shard map shared by every sharded ingest path."""
+
+    def __init__(self, num_shards: int, *, shard_seed: int = DEFAULT_SHARD_SEED) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.shard_seed = int(shard_seed)
+        self._hash = HashFamily(1, seed=shard_seed)
+
+    def shard_of(self, flow_ids: FlowIdArray) -> npt.NDArray[np.int64]:
+        """Which shard owns each flow (RSS-style hash partition)."""
+        h = self._hash.hash_array(0, np.asarray(flow_ids, np.uint64))
+        return (h % np.uint64(self.num_shards)).astype(np.int64)
+
+    def partition(
+        self,
+        packets: FlowIdArray,
+        lengths: npt.NDArray[np.int64] | None = None,
+    ) -> list[tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]]:
+        """Split one chunk into per-shard subchunks, stream order kept.
+
+        Boolean-mask selection preserves the relative order of each
+        shard's packets, so concatenating a shard's subchunks over any
+        chunking of the stream yields the same substream — the
+        chunking-invariance half of the determinism argument.
+        """
+        packets = np.asarray(packets, dtype=np.uint64)
+        owners = self.shard_of(packets)
+        out = []
+        for s in range(self.num_shards):
+            mask = owners == s
+            out.append(
+                (packets[mask], lengths[mask] if lengths is not None else None)
+            )
+        return out
+
+
+def chunk_stream(
+    stream: FlowIdArray | Iterable,
+    *,
+    lengths: npt.NDArray[np.int64] | None = None,
+    chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+) -> Iterator[tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]]:
+    """Yield ``(packets, lengths)`` chunks from any accepted stream shape.
+
+    ``stream`` may be a flat flow-ID array (sliced into
+    ``chunk_packets``-sized chunks, with ``lengths`` sliced alongside),
+    or an iterable yielding packet arrays / ``(packets, lengths)``
+    pairs (passed through as-is; ``lengths`` must then be ``None``).
+    Empty chunks are skipped.
+    """
+    if chunk_packets < 1:
+        raise ConfigError(f"chunk_packets must be >= 1, got {chunk_packets}")
+    if isinstance(stream, np.ndarray):
+        packets = np.asarray(stream, dtype=np.uint64)
+        for start in range(0, len(packets), chunk_packets):
+            stop = start + chunk_packets
+            chunk = packets[start:stop]
+            if len(chunk):
+                yield chunk, (lengths[start:stop] if lengths is not None else None)
+        return
+    if lengths is not None:
+        raise ConfigError(
+            "lengths= is only valid with a flat packet array; "
+            "yield (packets, lengths) pairs from the iterable instead"
+        )
+    for item in stream:
+        if isinstance(item, tuple):
+            pkts, lens = item
+        else:
+            pkts, lens = item, None
+        pkts = np.asarray(pkts, dtype=np.uint64)
+        if len(pkts):
+            yield pkts, (None if lens is None else np.asarray(lens, dtype=np.int64))

@@ -1,0 +1,126 @@
+"""Bounded shard queues and backpressure policies.
+
+Each shard worker is fed through one bounded multiprocessing queue;
+*bounded* is the point — an unbounded queue turns a slow shard into
+unbounded producer-side memory growth, which is exactly the failure a
+streaming runtime exists to prevent. When a queue is full the producer
+applies a :data:`BACKPRESSURE_POLICIES` policy:
+
+- ``"block"`` (default) — wait for space in short slices, invoking a
+  caller-supplied stall hook between slices (the supervisor uses the
+  hook to keep detecting/restarting dead workers while blocked, so a
+  crashed consumer can never wedge the producer). Lossless: the only
+  policy under which the bit-identity contract holds.
+- ``"shed"`` — drop the chunk and count it (load-shedding edge
+  deployments prefer bounded staleness over backpressure).
+- ``"error"`` — raise :class:`~repro.errors.IngestError` immediately
+  (callers that own their own retry/shed logic).
+
+Stall counts, stall seconds, shed chunks/packets, and a per-shard
+queue-depth gauge are recorded in the runtime's
+:class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from typing import Callable
+
+from repro.errors import ConfigError, IngestError
+from repro.obs.registry import MetricsRegistry
+
+#: Accepted values for the runtime's ``backpressure=`` option.
+BACKPRESSURE_POLICIES = ("block", "shed", "error")
+
+#: Seconds per blocked-put slice; between slices the stall hook runs.
+STALL_SLICE_SECONDS = 0.05
+
+
+class ShardQueueSender:
+    """Producer-side wrapper applying one backpressure policy.
+
+    The underlying queue is *replaceable*: after a worker restart the
+    supervisor swaps in the fresh process's queue via
+    :meth:`rebind`, and an in-progress blocked put retries against the
+    replacement on its next slice.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        q: "queue_mod.Queue",
+        *,
+        policy: str = "block",
+        registry: MetricsRegistry,
+        stall_hook: Callable[[], None] | None = None,
+    ) -> None:
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
+            )
+        self.shard_id = shard_id
+        self.queue = q
+        self.policy = policy
+        self.metrics = registry
+        self._stall_hook = stall_hook
+
+    def rebind(self, q: "queue_mod.Queue") -> None:
+        """Point this sender at a fresh queue (worker restart)."""
+        self.queue = q
+
+    def _observe_depth(self) -> None:
+        try:
+            depth = self.queue.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS qsize
+            return
+        self.metrics.gauge(f"runtime.shard{self.shard_id}.queue_depth").set(depth)
+
+    def send(self, message: tuple, *, num_packets: int = 0) -> bool:
+        """Enqueue one message under the configured policy.
+
+        Returns ``True`` if the message was enqueued, ``False`` if the
+        shed policy dropped it. ``num_packets`` sizes the shed
+        accounting for chunk messages.
+        """
+        if self.policy == "block":
+            while True:
+                try:
+                    self.queue.put(message, timeout=STALL_SLICE_SECONDS)
+                    self._observe_depth()
+                    return True
+                except queue_mod.Full:
+                    self.metrics.counter("runtime.backpressure.stalls").inc()
+                    stalled = self.metrics.gauge("runtime.backpressure.stall_seconds")
+                    stalled.set(stalled.value + STALL_SLICE_SECONDS)
+                    if self._stall_hook is not None:
+                        self._stall_hook()
+        try:
+            self.queue.put_nowait(message)
+            self._observe_depth()
+            return True
+        except queue_mod.Full:
+            if self.policy == "error":
+                raise IngestError(
+                    f"shard {self.shard_id} ingest queue is full "
+                    "(backpressure policy 'error')"
+                ) from None
+            self.metrics.counter("runtime.backpressure.shed_chunks").inc()
+            self.metrics.counter("runtime.backpressure.shed_packets").inc(num_packets)
+            return False
+
+    def send_blocking(self, message: tuple, timeout: float = 60.0) -> None:
+        """Enqueue a control-flow message (drain sentinel) regardless of
+        the data backpressure policy — these must never be shed."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.queue.put(message, timeout=STALL_SLICE_SECONDS)
+                return
+            except queue_mod.Full:
+                if self._stall_hook is not None:
+                    self._stall_hook()
+                if time.monotonic() > deadline:
+                    raise IngestError(
+                        f"shard {self.shard_id} queue stayed full for {timeout:.0f}s"
+                    ) from None

@@ -1,0 +1,335 @@
+"""Shard-worker supervision: spawn, feed, monitor, restart, re-feed.
+
+The supervisor owns the runtime's process tree. Per shard it keeps a
+:class:`WorkerHandle` — the live process, its bounded inbox, its control
+and outbox channels, and a *retention buffer* of every chunk sent but
+not yet acknowledged. The durability split is exact:
+
+- chunks the worker **acked** are in the worker's ingest WAL on disk —
+  the supervisor drops its copy, and crash recovery replays them from
+  the WAL (after restoring the newest checkpoint);
+- chunks **not yet acked** (queued, in flight, or lost with a dying
+  process) stay retained here and are re-fed, in sequence order, to the
+  restarted worker — which skips any it already made durable.
+
+Either way each chunk reaches the shard's scheme exactly once, in
+order, so the recovered shard is bit-identical to one that never
+crashed (tests/test_runtime.py kills workers with SIGKILL to prove it).
+
+Worker death is detected by liveness polls woven into every wait loop —
+including blocked backpressure puts, so a crashed consumer can never
+wedge the producer. Each worker gets fresh queues on restart (a process
+killed mid-``put`` can leave a queue's pipe unusable; abandoning the
+old queues sidesteps that entirely).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigError, IngestError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.runtime.queues import BACKPRESSURE_POLICIES, ShardQueueSender
+from repro.runtime.worker import WorkerSpec, worker_main
+
+#: Default bound of each shard's inbox (chunks).
+DEFAULT_QUEUE_DEPTH = 8
+
+#: Seconds a worker gets to boot/recover before the supervisor gives up.
+READY_TIMEOUT = 60.0
+
+
+@dataclass
+class WorkerHandle:
+    """Supervisor-side state of one shard worker."""
+
+    spec: WorkerSpec
+    process: "mp.process.BaseProcess | None" = None
+    inbox: "mp.queues.Queue | None" = None
+    control: "mp.queues.Queue | None" = None
+    outbox: "mp.queues.Queue | None" = None
+    sender: ShardQueueSender | None = None
+    next_seq: int = 0  # next chunk sequence number to assign
+    retained: dict[int, tuple] = field(default_factory=dict)  # seq -> (pkts, lens)
+    restarts: int = 0
+    last_checkpoint_seq: int = -1
+    last_checkpoint_digest: str | None = None
+    finalized: tuple | None = None  # (digest, ck_path, num_packets)
+    last_error: str | None = None
+    pending_queries: dict[int, tuple] = field(default_factory=dict)
+    replies: dict[int, tuple] = field(default_factory=dict)
+    drain_sent: bool = False
+
+
+class ShardSupervisor:
+    """Spawns and babysits one worker process per shard."""
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        backpressure: str = "block",
+        registry: MetricsRegistry | None = None,
+        max_restarts: int = 3,
+        start_method: str | None = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise IngestError(f"queue_depth must be >= 1, got {queue_depth}")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
+        self.metrics = resolve_registry(registry)
+        self.backpressure = backpressure
+        self.queue_depth = queue_depth
+        self.max_restarts = max_restarts
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self.handles = [WorkerHandle(spec=spec) for spec in specs]
+        self._pumping = False
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        for handle in self.handles:
+            self._spawn(handle)
+            self._wait_ready(handle)
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        handle.inbox = self._ctx.Queue(maxsize=self.queue_depth)
+        handle.control = self._ctx.Queue()
+        handle.outbox = self._ctx.Queue()
+        if handle.sender is None:
+            handle.sender = ShardQueueSender(
+                handle.spec.shard_id,
+                handle.inbox,
+                policy=self.backpressure,
+                registry=self.metrics,
+                stall_hook=self.pump,
+            )
+        else:
+            handle.sender.rebind(handle.inbox)
+        handle.process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.spec, handle.inbox, handle.control, handle.outbox),
+            daemon=True,
+            name=f"repro-shard-{handle.spec.shard_id}",
+        )
+        handle.process.start()
+
+    def _wait_ready(self, handle: WorkerHandle) -> int:
+        """Block until the (re)started worker reports its recovery point."""
+        deadline = time.monotonic() + READY_TIMEOUT
+        while True:
+            try:
+                msg = handle.outbox.get(timeout=0.05)
+            except queue_mod.Empty:
+                if not handle.process.is_alive():
+                    raise IngestError(
+                        f"shard {handle.spec.shard_id} died during boot"
+                        + (f":\n{handle.last_error}" if handle.last_error else "")
+                    )
+                if time.monotonic() > deadline:
+                    raise IngestError(
+                        f"shard {handle.spec.shard_id} did not become ready "
+                        f"within {READY_TIMEOUT:.0f}s"
+                    )
+                continue
+            if msg[0] == "ready":
+                return int(msg[2])  # last durable chunk seq
+            if msg[0] == "error":
+                handle.last_error = msg[2]
+            # anything else (stale ack/reply) is absorbed by _handle_msg
+            else:
+                self._handle_msg(handle, msg)
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop every worker, join, hard-kill stragglers."""
+        self._stopped = True
+        for handle in self.handles:
+            if handle.process is None:
+                continue
+            if handle.process.is_alive() and handle.control is not None:
+                try:
+                    handle.control.put_nowait(("stop",))
+                except (queue_mod.Full, ValueError):  # pragma: no cover
+                    pass
+        for handle in self.handles:
+            if handle.process is None:
+                continue
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - hard fallback
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            for q in (handle.inbox, handle.control, handle.outbox):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+
+    # -- message pump and crash recovery ------------------------------------
+
+    def _handle_msg(self, handle: WorkerHandle, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ack":
+            handle.retained.pop(int(msg[2]), None)
+        elif kind == "checkpoint":
+            handle.last_checkpoint_seq = int(msg[2])
+            handle.last_checkpoint_digest = msg[3]
+        elif kind == "finalized":
+            handle.finalized = (msg[2], msg[3], int(msg[4]))
+        elif kind == "reply":
+            _kind, _shard, qid, est, err = msg
+            if qid in handle.pending_queries:
+                handle.pending_queries.pop(qid)
+                handle.replies[qid] = (est, err)
+        elif kind == "error":
+            handle.last_error = msg[2]
+
+    def pump(self) -> None:
+        """Drain worker outboxes; detect and recover dead workers.
+
+        Called from every wait loop (including blocked backpressure
+        puts). Re-entrant calls — a restart's re-feed blocking on a
+        *different* shard's full queue — collapse to a no-op.
+        """
+        if self._pumping or self._stopped:
+            return
+        self._pumping = True
+        try:
+            for handle in self.handles:
+                if handle.outbox is not None:
+                    while True:
+                        try:
+                            msg = handle.outbox.get_nowait()
+                        except (queue_mod.Empty, OSError, ValueError):
+                            break
+                        self._handle_msg(handle, msg)
+                if handle.process is not None and not handle.process.is_alive():
+                    self._restart(handle)
+        finally:
+            self._pumping = False
+
+    def _restart(self, handle: WorkerHandle) -> None:
+        """Restart a dead worker and re-feed everything it lost."""
+        shard = handle.spec.shard_id
+        if handle.restarts >= self.max_restarts:
+            raise IngestError(
+                f"shard {shard} exceeded max_restarts={self.max_restarts}"
+                + (f"; last error:\n{handle.last_error}" if handle.last_error else "")
+            )
+        handle.process.join(timeout=1.0)
+        for q in (handle.inbox, handle.control, handle.outbox):
+            # A process killed mid-put can leave a queue unusable —
+            # abandon all three and start fresh.
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        handle.restarts += 1
+        self.metrics.counter("runtime.restarts").inc()
+        self.metrics.counter(f"runtime.shard{shard}.restarts").inc()
+        self._spawn(handle)
+        recovered_through = self._wait_ready(handle)
+        refed = 0
+        for seq in sorted(handle.retained):
+            if seq <= recovered_through:
+                # Durable in the worker's WAL before the crash: the boot
+                # replay already applied it.
+                handle.retained.pop(seq)
+                continue
+            pkts, lens = handle.retained[seq]
+            handle.sender.send_blocking(("chunk", seq, pkts, lens))
+            refed += 1
+        self.metrics.counter("runtime.refed_chunks").inc(refed)
+        for query_msg in list(handle.pending_queries.values()):
+            handle.control.put(query_msg)
+        if handle.drain_sent:
+            handle.sender.send_blocking(("drain",))
+
+    # -- feeding ------------------------------------------------------------
+
+    def send_chunk(
+        self,
+        shard: int,
+        packets: npt.NDArray[np.uint64],
+        lengths: npt.NDArray[np.int64] | None,
+    ) -> bool:
+        """Enqueue one subchunk on its shard (backpressure applies).
+
+        Returns ``False`` when the shed policy dropped it.
+        """
+        handle = self.handles[shard]
+        seq = handle.next_seq
+        message = ("chunk", seq, packets, lengths)
+        # Retain *before* sending: a blocked put pumps the message loop,
+        # which may deliver this very chunk's ack mid-send — the ack must
+        # find the retention entry to drop it.
+        handle.retained[seq] = (packets, lengths)
+        accepted = handle.sender.send(message, num_packets=len(packets))
+        if accepted:
+            handle.next_seq = seq + 1
+            self.metrics.counter("runtime.chunks_sent").inc()
+            self.metrics.counter("runtime.packets_sent").inc(len(packets))
+        else:
+            handle.retained.pop(seq, None)
+        self.pump()
+        return accepted
+
+    def send_drain(self) -> None:
+        for handle in self.handles:
+            handle.drain_sent = True
+            handle.sender.send_blocking(("drain",))
+
+    def wait_finalized(self, timeout: float = 300.0) -> None:
+        deadline = time.monotonic() + timeout
+        while any(h.finalized is None for h in self.handles):
+            self.pump()
+            if time.monotonic() > deadline:
+                missing = [
+                    h.spec.shard_id for h in self.handles if h.finalized is None
+                ]
+                raise IngestError(f"shards {missing} did not finalize in {timeout:.0f}s")
+            time.sleep(0.01)
+
+    # -- queries ------------------------------------------------------------
+
+    def ask(
+        self,
+        shard: int,
+        qid: int,
+        flow_ids: npt.NDArray[np.uint64],
+        method: str,
+    ) -> None:
+        handle = self.handles[shard]
+        message = ("query", qid, flow_ids, method)
+        handle.pending_queries[qid] = message
+        handle.control.put(message)
+        self.metrics.counter("runtime.queries").inc()
+
+    def collect_reply(
+        self, shard: int, qid: int, timeout: float = 60.0
+    ) -> npt.NDArray[np.float64]:
+        handle = self.handles[shard]
+        deadline = time.monotonic() + timeout
+        while qid not in handle.replies:
+            self.pump()
+            if time.monotonic() > deadline:
+                raise IngestError(
+                    f"shard {shard} did not answer query {qid} in {timeout:.0f}s"
+                )
+            time.sleep(0.005)
+        est, err = handle.replies.pop(qid)
+        if err is not None:
+            raise IngestError(f"shard {shard} query failed: {err}")
+        return est

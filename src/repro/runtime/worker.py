@@ -1,0 +1,271 @@
+"""The long-lived shard worker process.
+
+One worker owns one :class:`~repro.core.caesar.Caesar` instance and
+lives for the whole deployment: it consumes packet chunks from its
+bounded inbox, answers live queries from a control channel mid-ingest,
+and keeps enough durable state on disk — an *ingest* write-ahead log
+plus periodic checkpoints — that the supervisor can SIGKILL it at any
+instant and restart it bit-identically.
+
+Durability protocol (per chunk, in order):
+
+1. append the chunk (packets + optional lengths, tagged with its shard
+   chunk sequence number) to the ingest WAL and flush;
+2. feed it to the scheme;
+3. ack the sequence number to the supervisor (the supervisor may now
+   drop its retained copy — the chunk is durable here);
+4. every ``checkpoint_every`` chunks, atomically write a
+   :class:`~repro.resilience.checkpoint.Checkpoint` named by the
+   sequence number and prune the ingest WAL's role back to "since the
+   last checkpoint".
+
+Recovery on boot inverts the protocol: restore the newest readable
+checkpoint, replay ingest-WAL chunks past its sequence number (the
+checkpoint restores the split RNG exactly, so replay is bit-identical),
+then report the last recovered sequence number — the supervisor re-feeds
+anything newer from its retention buffer. A chunk therefore reaches the
+scheme exactly once, in order, across any number of crashes.
+
+The ingest WAL reuses :class:`~repro.resilience.wal.WriteAheadLog`
+unchanged: each record's first row is a header (chunk seq in the ids
+column, weighted flag in values, reason code 255) and the remaining
+rows carry the packets (and byte lengths when measuring volume).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from queue import Empty
+from typing import TYPE_CHECKING
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.caesar import Caesar
+from repro.core.config import CaesarConfig
+from repro.errors import TraceFormatError
+from repro.resilience.wal import WalRecord, WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.queues import Queue
+
+#: Reason code marking an ingest-WAL header row (never a real eviction).
+CHUNK_HEADER_REASON = 255
+
+#: How long a blocked inbox read waits before re-polling the control channel.
+POLL_SECONDS = 0.05
+
+_CKPT_RE = re.compile(r"ck_(\d{10})(_final)?\.npz$")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a shard worker needs to boot (picklable, spawn-safe)."""
+
+    shard_id: int
+    config: CaesarConfig
+    state_dir: str
+    checkpoint_every: int = 4  # chunks between checkpoints; 0 disables
+
+    @property
+    def wal_path(self) -> Path:
+        return Path(self.state_dir) / "ingest.wal"
+
+    def checkpoint_path(self, seq: int, *, final: bool = False) -> Path:
+        suffix = "_final" if final else ""
+        return Path(self.state_dir) / f"ck_{seq:010d}{suffix}.npz"
+
+
+# -- ingest-WAL chunk framing -------------------------------------------------
+
+
+def append_ingest_chunk(
+    wal: WriteAheadLog,
+    seq: int,
+    packets: npt.NDArray[np.uint64],
+    lengths: npt.NDArray[np.int64] | None,
+) -> None:
+    """Append one input chunk, framed with a header row carrying ``seq``."""
+    n = len(packets)
+    ids = np.empty(n + 1, dtype=np.uint64)
+    values = np.zeros(n + 1, dtype=np.int64)
+    reasons = np.zeros(n + 1, dtype=np.uint8)
+    ids[0] = seq
+    reasons[0] = CHUNK_HEADER_REASON
+    ids[1:] = packets
+    if lengths is not None:
+        values[0] = 1
+        values[1:] = lengths
+    wal.append_chunk(ids, values, reasons)
+    wal.flush()
+
+
+def decode_ingest_record(
+    record: WalRecord,
+) -> tuple[int, npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]:
+    """Invert :func:`append_ingest_chunk` → ``(seq, packets, lengths)``."""
+    if len(record.ids) < 1 or record.reasons[0] != CHUNK_HEADER_REASON:
+        raise TraceFormatError(
+            f"ingest WAL record seq={record.seq} lacks a chunk header row"
+        )
+    seq = int(record.ids[0])
+    packets = record.ids[1:]
+    lengths = record.values[1:] if int(record.values[0]) == 1 else None
+    return seq, packets, lengths
+
+
+# -- boot / recovery ----------------------------------------------------------
+
+
+def _saved_checkpoints(state_dir: Path) -> list[tuple[int, bool, Path]]:
+    """All checkpoint files, newest last: ``(seq, is_final, path)``."""
+    found = []
+    for path in state_dir.glob("ck_*.npz"):
+        m = _CKPT_RE.search(path.name)
+        if m:
+            found.append((int(m.group(1)), m.group(2) is not None, path))
+    return sorted(found)
+
+
+def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
+    """Build or recover this shard's scheme.
+
+    Returns ``(scheme, last_seq, replayed)``: the live instance, the
+    last chunk sequence number durably applied (``-1`` for a fresh
+    boot), and how many WAL chunks were replayed. Unreadable (torn)
+    checkpoints fall back to the previous one — the WAL bridges the
+    extra gap automatically.
+    """
+    state_dir = Path(spec.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    scheme: Caesar | None = None
+    last_seq = -1
+    for seq, _final, path in reversed(_saved_checkpoints(state_dir)):
+        try:
+            scheme = Caesar.resume(path)
+            last_seq = seq
+            break
+        except TraceFormatError:
+            continue
+    if scheme is None:
+        scheme = Caesar(spec.config)
+    replayed = 0
+    wal_path = spec.wal_path
+    if wal_path.exists() and wal_path.stat().st_size > 0:
+        WriteAheadLog.truncate_torn_tail(wal_path)
+        for record in WriteAheadLog.iter_records(wal_path):
+            seq, packets, lengths = decode_ingest_record(record)
+            if seq <= last_seq:
+                continue
+            scheme.process(packets, lengths)
+            last_seq = seq
+            replayed += 1
+    return scheme, last_seq, replayed
+
+
+def _save_checkpoint_atomic(scheme: Caesar, target: Path) -> str:
+    """Checkpoint → tmp file → atomic rename; returns the digest.
+
+    The rename guarantees a reader (the recovering successor process)
+    only ever sees complete checkpoint files; a crash mid-write leaves
+    the previous checkpoint intact.
+    """
+    ckpt = scheme.checkpoint()
+    tmp = target.parent / f".tmp_{target.name}"
+    written = ckpt.save(tmp)
+    os.replace(written, target)
+    return ckpt.digest
+
+
+def _prune_checkpoints(state_dir: Path, keep: int = 2) -> None:
+    """Drop all but the newest ``keep`` checkpoints (bounded disk)."""
+    saved = _saved_checkpoints(state_dir)
+    for _seq, _final, path in saved[:-keep] if len(saved) > keep else []:
+        path.unlink(missing_ok=True)
+
+
+# -- the worker loop ----------------------------------------------------------
+
+
+def _answer_query(
+    scheme: Caesar, flow_ids: npt.NDArray[np.uint64], method: str
+) -> npt.NDArray[np.float64]:
+    """Live query mid-ingest, offline query after finalize."""
+    if scheme._finalized:
+        return scheme.estimate(flow_ids, method, clip_negative=True)
+    return scheme.estimate_online(flow_ids)
+
+
+def worker_main(
+    spec: WorkerSpec,
+    inbox: "Queue",
+    control: "Queue",
+    outbox: "Queue",
+) -> None:
+    """Entry point of one shard worker process (module-level: picklable
+    under any multiprocessing start method)."""
+    shard = spec.shard_id
+    try:
+        scheme, last_seq, replayed = boot_shard(spec)
+        wal = WriteAheadLog(spec.wal_path)
+        outbox.put(("ready", shard, last_seq, replayed))
+        while True:
+            # Control first: queries stay responsive however deep the
+            # data queue is, and stop wins over queued work.
+            try:
+                while True:
+                    msg = control.get_nowait()
+                    if msg[0] == "stop":
+                        wal.close()
+                        return
+                    if msg[0] == "query":
+                        _kind, qid, flow_ids, method = msg
+                        try:
+                            est = _answer_query(scheme, flow_ids, method)
+                            outbox.put(("reply", shard, qid, est, None))
+                        except Exception as exc:  # noqa: BLE001 - reported to caller
+                            outbox.put(("reply", shard, qid, None, repr(exc)))
+            except Empty:
+                pass
+            try:
+                item = inbox.get(timeout=POLL_SECONDS)
+            except Empty:
+                continue
+            if item[0] == "chunk":
+                _kind, seq, packets, lengths = item
+                if seq <= last_seq:
+                    # Duplicate re-feed of an already-durable chunk: ack
+                    # (again) so the supervisor drops its retained copy.
+                    outbox.put(("ack", shard, seq))
+                    continue
+                append_ingest_chunk(wal, seq, packets, lengths)
+                scheme.process(packets, lengths)
+                last_seq = seq
+                outbox.put(("ack", shard, seq))
+                if spec.checkpoint_every and (seq + 1) % spec.checkpoint_every == 0:
+                    digest = _save_checkpoint_atomic(
+                        scheme, spec.checkpoint_path(seq)
+                    )
+                    _prune_checkpoints(Path(spec.state_dir))
+                    outbox.put(("checkpoint", shard, seq, digest))
+            elif item[0] == "drain":
+                scheme.finalize()  # idempotent across drain re-sends
+                digest = _save_checkpoint_atomic(
+                    scheme, spec.checkpoint_path(max(last_seq, 0), final=True)
+                )
+                outbox.put(
+                    (
+                        "finalized",
+                        shard,
+                        digest,
+                        str(spec.checkpoint_path(max(last_seq, 0), final=True)),
+                        scheme.num_packets,
+                    )
+                )
+    except Exception:  # noqa: BLE001 - crash surface: report, then die
+        outbox.put(("error", shard, traceback.format_exc()))
+        raise

@@ -1,0 +1,367 @@
+"""Streaming runtime tests: bit-identity, crash recovery, backpressure.
+
+The contract under test (docs/runtime.md): a ``StreamingRuntime`` run —
+chunked ingest through bounded queues into ``W`` worker processes, with
+any number of workers SIGKILLed along the way — finishes with per-shard
+states (estimates *and* checkpoint digests) bit-identical to a
+single-process ``ShardedCaesar.process`` of the same stream, on every
+construction engine.
+"""
+
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import CaesarConfig
+from repro.core.sharded import ShardedCaesar
+from repro.errors import ConfigError, IngestError, TraceFormatError
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.wal import WriteAheadLog
+from repro.runtime import StreamPartitioner, chunk_stream
+from repro.runtime.client import StreamingRuntime
+from repro.runtime.worker import (
+    WorkerSpec,
+    append_ingest_chunk,
+    boot_shard,
+    decode_ingest_record,
+)
+
+
+def make_config(engine="batched", seed=5):
+    return CaesarConfig(
+        cache_entries=64,
+        entry_capacity=16,
+        k=3,
+        bank_size=512,
+        seed=seed,
+        engine=engine,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(11)
+    return rng.zipf(1.25, 12_000).astype(np.uint64) % 2048
+
+
+@pytest.fixture(scope="module")
+def flows(stream):
+    return np.unique(stream)
+
+
+def offline_baseline(config, num_shards, packets):
+    base = ShardedCaesar(config, num_shards)
+    base.process(packets)
+    base.finalize()
+    return base
+
+
+def assert_matches_offline(rt_result, runtime, base, flows):
+    """Full bit-identity between a drained runtime and the offline run."""
+    base_digests = tuple(s.checkpoint().digest for s in base.shards)
+    assert rt_result.shard_digests == base_digests
+    np.testing.assert_array_equal(
+        runtime.query(flows), base.estimate(flows, "csm", clip_negative=True)
+    )
+    twin = rt_result.load_scheme()
+    np.testing.assert_array_equal(
+        twin.estimate(flows, "csm", clip_negative=True),
+        base.estimate(flows, "csm", clip_negative=True),
+    )
+
+
+class TestPartitioner:
+    def test_matches_sharded_scheme_assignment(self, stream):
+        sc = ShardedCaesar(make_config(), num_shards=4)
+        part = StreamPartitioner(4)
+        np.testing.assert_array_equal(part.shard_of(stream), sc.shard_of(stream))
+
+    def test_partition_covers_every_packet_once(self, stream):
+        part = StreamPartitioner(3)
+        pieces = part.partition(stream, None)
+        assert sum(len(p) for p, _ in pieces) == len(stream)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate([p for p, _ in pieces])), np.sort(stream)
+        )
+
+    def test_partition_keeps_lengths_aligned(self, stream):
+        lengths = np.arange(len(stream), dtype=np.int64)
+        part = StreamPartitioner(2)
+        owners = part.shard_of(stream)
+        for s, (pkts, lens) in enumerate(part.partition(stream, lengths)):
+            np.testing.assert_array_equal(pkts, stream[owners == s])
+            np.testing.assert_array_equal(lens, lengths[owners == s])
+
+    def test_chunk_stream_flat_array(self, stream):
+        chunks = list(chunk_stream(stream, chunk_packets=5000))
+        assert [len(p) for p, _ in chunks] == [5000, 5000, 2000]
+        np.testing.assert_array_equal(np.concatenate([p for p, _ in chunks]), stream)
+
+    def test_chunk_stream_iterable_forms(self, stream):
+        arrays = [stream[:100], stream[100:250]]
+        out = list(chunk_stream(iter(arrays)))
+        assert len(out) == 2 and out[1][1] is None
+        pairs = [(stream[:100], np.ones(100, dtype=np.int64))]
+        (pkts, lens), = list(chunk_stream(iter(pairs)))
+        assert lens is not None and len(lens) == 100
+
+    def test_chunk_stream_rejects_lengths_with_iterable(self, stream):
+        with pytest.raises(ConfigError):
+            list(chunk_stream(iter([stream]), lengths=np.ones(len(stream), np.int64)))
+
+
+class TestIngestWal:
+    def test_roundtrip(self, tmp_path, stream):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            append_ingest_chunk(wal, 0, stream[:50], None)
+            append_ingest_chunk(wal, 1, stream[50:80], np.ones(30, np.int64))
+        records = list(WriteAheadLog.iter_records(path))
+        seq0, pkts0, lens0 = decode_ingest_record(records[0])
+        assert seq0 == 0 and lens0 is None
+        np.testing.assert_array_equal(pkts0, stream[:50])
+        seq1, pkts1, lens1 = decode_ingest_record(records[1])
+        assert seq1 == 1
+        np.testing.assert_array_equal(lens1, np.ones(30, np.int64))
+
+    def test_torn_tail_is_truncated_before_reuse(self, tmp_path, stream):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            append_ingest_chunk(wal, 0, stream[:40], None)
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02\x03torn")  # crash mid-append
+        removed = WriteAheadLog.truncate_torn_tail(path)
+        assert removed == 7
+        assert len(list(WriteAheadLog.iter_records(path))) == 1
+
+    def test_boot_recovers_from_wal_only(self, tmp_path, stream):
+        """No checkpoint on disk: boot replays the whole ingest WAL."""
+        spec = WorkerSpec(shard_id=0, config=make_config(), state_dir=str(tmp_path))
+        with WriteAheadLog(spec.wal_path) as wal:
+            append_ingest_chunk(wal, 0, stream[:500], None)
+            append_ingest_chunk(wal, 1, stream[500:900], None)
+        scheme, last_seq, replayed = boot_shard(spec)
+        assert (last_seq, replayed) == (1, 2)
+        assert scheme.num_packets == 900
+
+    def test_decode_rejects_headerless_record(self, tmp_path, stream):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_chunk(
+                stream[:4],
+                np.zeros(4, np.int64),
+                np.zeros(4, np.uint8),  # reason 0 != CHUNK_HEADER_REASON
+            )
+        (record,) = list(WriteAheadLog.iter_records(path))
+        with pytest.raises(TraceFormatError):
+            decode_ingest_record(record)
+
+
+@pytest.mark.parametrize("engine", ["batched", "runs", "scalar"])
+class TestBitIdentity:
+    def test_runtime_matches_offline(self, tmp_path, stream, flows, engine):
+        config = make_config(engine)
+        base = offline_baseline(config, 2, stream)
+        with StreamingRuntime(config, 2, state_dir=tmp_path) as rt:
+            rt.ingest_stream(stream, chunk_packets=1500)
+            result = rt.drain()
+            assert result.num_packets == len(stream)
+            assert result.restarts == 0
+            assert_matches_offline(result, rt, base, flows)
+
+
+class TestRecovery:
+    def test_sigkill_mid_stream_recovers_bit_identically(
+        self, tmp_path, stream, flows
+    ):
+        config = make_config()
+        base = offline_baseline(config, 2, stream)
+        chunks = np.array_split(stream, 12)
+        with StreamingRuntime(config, 2, state_dir=tmp_path, checkpoint_every=2) as rt:
+            for i, chunk in enumerate(chunks):
+                if i == 7:
+                    rt.kill_worker(1)
+                rt.ingest(chunk)
+            result = rt.drain()
+            assert result.restarts == 1
+            assert result.num_packets == len(stream)
+            assert_matches_offline(result, rt, base, flows)
+
+    def test_recovery_without_checkpoints_replays_wal(self, tmp_path, stream, flows):
+        """checkpoint_every=0: the restarted worker rebuilds purely from
+        ingest-WAL replay plus supervisor re-feed."""
+        config = make_config()
+        base = offline_baseline(config, 2, stream)
+        chunks = np.array_split(stream, 8)
+        with StreamingRuntime(config, 2, state_dir=tmp_path, checkpoint_every=0) as rt:
+            for i, chunk in enumerate(chunks):
+                if i == 5:
+                    rt.kill_worker(0)
+                rt.ingest(chunk)
+            result = rt.drain()
+            assert result.restarts == 1
+            assert_matches_offline(result, rt, base, flows)
+
+    def test_pending_query_survives_worker_death(self, tmp_path, stream, flows):
+        """A query outstanding when its worker dies is re-sent to the
+        restarted worker and still answered."""
+        config = make_config()
+        with StreamingRuntime(config, 1, state_dir=tmp_path) as rt:
+            rt.ingest(stream[:4000])
+            rt.supervisor.ask(0, 999, flows[:4], "csm")
+            rt.kill_worker(0)
+            est = rt.supervisor.collect_reply(0, 999, timeout=60)
+            assert est.shape == (4,)
+            assert rt.restarts == 1
+
+    def test_restart_budget_exhaustion_raises(self, tmp_path, stream):
+        config = make_config()
+        with StreamingRuntime(
+            config, 1, state_dir=tmp_path, max_restarts=0
+        ) as rt:
+            rt.ingest(stream[:2000])
+            rt.kill_worker(0)
+            with pytest.raises(IngestError, match="max_restarts"):
+                for _ in range(100):
+                    rt.ingest(stream[:500])
+                    time.sleep(0.01)
+
+
+class TestBackpressure:
+    def _stalled_runtime(self, tmp_path, policy, registry=None):
+        rt = StreamingRuntime(
+            make_config(),
+            1,
+            state_dir=tmp_path,
+            queue_depth=1,
+            backpressure=policy,
+            registry=registry,
+        ).start()
+        # Freeze the consumer: the bounded queue must now fill.
+        rt.kill_worker(0, signal.SIGSTOP)
+        return rt
+
+    def test_shed_drops_and_counts(self, tmp_path, stream):
+        registry = MetricsRegistry()
+        rt = self._stalled_runtime(tmp_path, "shed", registry)
+        try:
+            accepted = sum(rt.ingest(stream[:100]) for _ in range(10))
+            assert accepted < 10 * 100
+            assert registry.counter("runtime.backpressure.shed_chunks").value > 0
+            rt.kill_worker(0, signal.SIGCONT)
+            result = rt.drain()
+            # Exactly the accepted packets were measured — sheds are real drops.
+            assert result.num_packets == accepted
+        finally:
+            rt.kill_worker(0, signal.SIGCONT)
+            rt.shutdown()
+
+    def test_error_policy_raises_on_full_queue(self, tmp_path, stream):
+        rt = self._stalled_runtime(tmp_path, "error")
+        try:
+            with pytest.raises(IngestError, match="queue is full"):
+                for _ in range(10):
+                    rt.ingest(stream[:100])
+        finally:
+            rt.kill_worker(0, signal.SIGCONT)
+            rt.shutdown()
+
+    def test_block_policy_records_stalls(self, tmp_path, stream):
+        registry = MetricsRegistry()
+        rt = StreamingRuntime(
+            make_config(),
+            1,
+            state_dir=tmp_path,
+            queue_depth=1,
+            backpressure="block",
+            registry=registry,
+        ).start()
+        try:
+            rt.kill_worker(0, signal.SIGSTOP)
+            # Unfreeze shortly after; the blocked put must ride it out.
+            import threading
+
+            threading.Timer(
+                0.4, lambda: rt.kill_worker(0, signal.SIGCONT)
+            ).start()
+            for _ in range(8):
+                assert rt.ingest(stream[:100]) == 100
+            result = rt.drain()
+            assert result.num_packets == 8 * 100
+            assert registry.counter("runtime.backpressure.stalls").value > 0
+        finally:
+            rt.shutdown()
+
+    def test_rejects_unknown_policy(self, tmp_path):
+        with pytest.raises(ConfigError):
+            StreamingRuntime(
+                make_config(), 1, state_dir=tmp_path, backpressure="bogus"
+            )
+
+
+class TestLiveQueries:
+    def test_queries_mid_ingest_then_exact_after_drain(
+        self, tmp_path, stream, flows
+    ):
+        config = make_config()
+        base = offline_baseline(config, 2, stream)
+        with StreamingRuntime(config, 2, state_dir=tmp_path) as rt:
+            rt.ingest(stream[:6000])
+            live = rt.query(flows[:32])
+            assert live.shape == (32,)
+            assert np.all(np.isfinite(live))
+            rt.ingest(stream[6000:])
+            rt.drain()
+            np.testing.assert_array_equal(
+                rt.query(flows), base.estimate(flows, "csm", clip_negative=True)
+            )
+
+
+class TestLifecycle:
+    def test_ingest_before_start_raises(self, tmp_path, stream):
+        rt = StreamingRuntime(make_config(), 1, state_dir=tmp_path)
+        with pytest.raises(IngestError, match="not started"):
+            rt.ingest(stream[:10])
+
+    def test_ingest_after_drain_raises(self, tmp_path, stream):
+        with StreamingRuntime(make_config(), 1, state_dir=tmp_path) as rt:
+            rt.ingest(stream[:1000])
+            rt.drain()
+            with pytest.raises(IngestError, match="drained"):
+                rt.ingest(stream[:10])
+
+    def test_drain_is_idempotent(self, tmp_path, stream):
+        with StreamingRuntime(make_config(), 1, state_dir=tmp_path) as rt:
+            rt.ingest(stream[:1000])
+            assert rt.drain() is rt.drain()
+
+
+class TestMeasureIntegration:
+    """api.measure(stream=..., workers=...) rides the runtime."""
+
+    def test_measure_stream_workers(self, stream, flows):
+        import repro
+
+        result = repro.measure(
+            stream=stream, workers=2, sram_kb=4, cache_kb=2, chunk_packets=2000
+        )
+        assert isinstance(result, repro.StreamMeasurementResult)
+        assert result.num_packets == len(stream)
+        assert result.runtime.restarts == 0
+        assert len(result.top_flows(5)) == 5
+        est = result.estimate(flows)
+        assert est.shape == flows.shape and np.all(est >= 0)
+
+    def test_measure_rejects_both_inputs(self, stream):
+        import repro
+
+        with pytest.raises(ConfigError):
+            repro.measure(stream[:10], stream=stream[:10], sram_kb=1, cache_kb=1)
+
+    def test_measure_iterable_requires_expected_sizes(self, stream):
+        import repro
+
+        with pytest.raises(ConfigError, match="expected_packets"):
+            repro.measure(stream=iter([stream]), sram_kb=1, cache_kb=1)

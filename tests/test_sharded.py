@@ -110,6 +110,44 @@ class TestMeasurement:
             par.estimate(tiny_trace.flows.ids),
         )
 
+    def test_process_stream_matches_one_shot(self, tiny_trace):
+        """Chunked streaming ingest is bit-identical to one-shot
+        process(), whatever the chunk size (docs/runtime.md)."""
+        cfg = make_config(tiny_trace)
+        one_shot = ShardedCaesar(cfg, num_shards=3)
+        one_shot.process(tiny_trace.packets)
+        one_shot.finalize()
+        for chunk_packets in (777, 4096):
+            streamed = ShardedCaesar(cfg, num_shards=3)
+            streamed.process_stream(tiny_trace.packets, chunk_packets=chunk_packets)
+            streamed.finalize()
+            np.testing.assert_array_equal(
+                one_shot.estimate(tiny_trace.flows.ids),
+                streamed.estimate(tiny_trace.flows.ids),
+            )
+            for a, b in zip(one_shot.shards, streamed.shards):
+                assert a.checkpoint().digest == b.checkpoint().digest
+
+    def test_process_stream_accepts_iterables(self, tiny_trace):
+        cfg = make_config(tiny_trace)
+        a = ShardedCaesar(cfg, num_shards=2)
+        a.process(tiny_trace.packets)
+        a.finalize()
+        pieces = np.array_split(tiny_trace.packets, 5)
+        b = ShardedCaesar(cfg, num_shards=2)
+        b.process_stream(iter(pieces))
+        b.finalize()
+        np.testing.assert_array_equal(
+            a.estimate(tiny_trace.flows.ids), b.estimate(tiny_trace.flows.ids)
+        )
+
+    def test_process_stream_after_finalize_raises(self, tiny_trace):
+        sc = ShardedCaesar(make_config(tiny_trace), num_shards=2)
+        sc.process(tiny_trace.packets)
+        sc.finalize()
+        with pytest.raises(QueryError):
+            sc.process_stream(tiny_trace.packets)
+
     def test_volume_through_shards(self, tiny_trace):
         from repro.traffic.lengths import constant_lengths
 
