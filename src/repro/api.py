@@ -116,12 +116,14 @@ def _measure_stream(
     workers: int,
     chunk_packets: int,
     state_dir: str | None,
+    transport: str | None,
     registry: MetricsRegistry | None,
     num_flows: int | None,
 ) -> StreamMeasurementResult:
     """The ``workers=W`` arm of :func:`measure`: run the streaming
     runtime over the stream, then rebuild the offline twin."""
     from repro.runtime.client import StreamingRuntime
+    from repro.runtime.transport import DEFAULT_TRANSPORT
 
     tmp: tempfile.TemporaryDirectory | None = None
     if state_dir is None:
@@ -129,7 +131,11 @@ def _measure_stream(
         state_dir = tmp.name
     try:
         with StreamingRuntime(
-            config, workers, state_dir=state_dir, registry=registry
+            config,
+            workers,
+            state_dir=state_dir,
+            transport=transport if transport is not None else DEFAULT_TRANSPORT,
+            registry=registry,
         ) as rt:
             rt.ingest_stream(stream, lengths=lengths, chunk_packets=chunk_packets)
             result = rt.drain()
@@ -155,6 +161,7 @@ def measure(
     expected_flows: int | None = None,
     chunk_packets: int | None = None,
     state_dir: str | None = None,
+    transport: str | None = None,
     sram_kb: float | None = None,
     cache_kb: float | None = None,
     target_rel_error: float | None = None,
@@ -209,14 +216,23 @@ def measure(
     :class:`StreamMeasurementResult` whose estimates are bit-identical
     to the single-process sharded run; ``state_dir`` keeps the workers'
     checkpoints/WALs (default: a temporary directory, removed after
-    the run).
+    the run); ``transport`` picks how chunks reach the workers —
+    ``"shm"`` (default, zero-copy shared-memory rings) or ``"queue"``
+    (bounded pickled queues) — without changing results.
     """
     if (packets is None) == (stream is None):
         raise ConfigError("give exactly one of packets= or stream=")
     if stream is None and not (
-        workers is None and chunk_packets is None and state_dir is None
+        workers is None
+        and chunk_packets is None
+        and state_dir is None
+        and transport is None
     ):
-        raise ConfigError("workers/chunk_packets/state_dir apply only with stream=")
+        raise ConfigError(
+            "workers/chunk_packets/state_dir/transport apply only with stream="
+        )
+    if transport is not None and workers is None:
+        raise ConfigError("transport= applies only with workers=")
     if stream is not None:
         if checkpoint_every is not None or resume_from is not None:
             raise ConfigError(
@@ -317,6 +333,7 @@ def measure(
                 workers=workers,
                 chunk_packets=cp,
                 state_dir=state_dir,
+                transport=transport,
                 registry=registry,
                 num_flows=num_flows,
             )

@@ -209,7 +209,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="packets per ingest chunk (the unit of queuing and recovery)",
     )
     serve_p.add_argument(
+        "--transport",
+        choices=["queue", "shm"],
+        default="shm",
+        help="data plane: zero-copy shared-memory rings (shm, default) or "
+        "bounded pickled queues (queue); results are identical either way",
+    )
+    serve_p.add_argument(
         "--queue-depth", type=int, default=8, help="bound of each shard's inbox (chunks)"
+    )
+    serve_p.add_argument(
+        "--ring-kb",
+        type=int,
+        default=None,
+        metavar="KB",
+        help="per-shard shared-memory ring size in KiB (shm transport only; "
+        "default 4096)",
     )
     serve_p.add_argument(
         "--backpressure",
@@ -413,10 +428,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ) from None
         if not 0 <= chaos[0] < args.workers:
             raise ConfigError(f"--chaos-kill shard {chaos[0]} out of range")
+    if args.ring_kb is not None and args.transport != "shm":
+        raise ConfigError("--ring-kb applies only with --transport shm")
     print(
         f"serving {args.trace} over {args.workers} shard workers "
-        f"({config.describe()}, chunk={args.chunk_packets}, "
-        f"backpressure={args.backpressure})"
+        f"({config.describe()}, transport={args.transport}, "
+        f"chunk={args.chunk_packets}, backpressure={args.backpressure})"
     )
     tmp = None
     state_dir = args.state_dir
@@ -429,7 +446,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config,
             args.workers,
             state_dir=state_dir,
+            transport=args.transport,
             queue_depth=args.queue_depth,
+            ring_bytes=args.ring_kb * 1024 if args.ring_kb is not None else None,
             backpressure=args.backpressure,
             checkpoint_every=args.checkpoint_every,
             registry=registry,

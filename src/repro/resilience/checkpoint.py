@@ -26,6 +26,7 @@ corrupt state.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import zipfile
 from pathlib import Path
@@ -292,17 +293,36 @@ class Checkpoint:
         return _digest(self.arrays, self.config_json, self.state_json)
 
     def save(self, path: str | Path) -> Path:
-        """Write the checkpoint (compressed ``.npz`` with digest)."""
+        """Write the checkpoint (compressed ``.npz`` with digest).
+
+        The file is a standard ``.npz`` (``np.load``-compatible), but
+        written through :mod:`zipfile` directly because
+        ``np.savez_compressed`` hardwires zlib level 6 — on DRAM-scale
+        counter banks that costs ~50% more CPU than level 1 for a few
+        percent of compressed size, and checkpoint cadence sits on the
+        runtime's critical path.
+        """
         path = Path(path)
-        np.savez_compressed(
-            path,
-            **self.arrays,
-            config_json=np.array(self.config_json),
-            state_json=np.array(self.state_json),
-            digest=np.array(self.digest),
-        )
-        # np.savez appends .npz when missing; report the real file.
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        members = dict(self.arrays)
+        members["config_json"] = np.array(self.config_json)
+        members["state_json"] = np.array(self.state_json)
+        members["digest"] = np.array(self.digest)
+        with zipfile.ZipFile(
+            path, "w", zipfile.ZIP_DEFLATED, compresslevel=1
+        ) as zf:
+            for name, arr in members.items():
+                arr = np.asarray(arr)
+                # NOT ascontiguousarray: it promotes the 0-d JSON/digest
+                # members to 1-d (it guarantees ndim >= 1), which breaks
+                # their round-trip as scalars.
+                if arr.ndim and not arr.flags.c_contiguous:
+                    arr = np.ascontiguousarray(arr)
+                buf = io.BytesIO()
+                np.lib.format.write_array(buf, arr, allow_pickle=False)
+                zf.writestr(f"{name}.npy", buf.getvalue())
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> "Checkpoint":

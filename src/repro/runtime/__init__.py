@@ -3,7 +3,7 @@
 The one-shot paths (``Caesar.process``, ``ShardedCaesar.process``)
 assume the whole trace is an array in hand. This package is the
 deployment shape instead: ``W`` long-lived worker processes, one CAESAR
-shard each, fed packet chunks through bounded queues with a
+shard each, fed packet chunks through a pluggable transport with a
 backpressure policy, answering live queries mid-ingest, and supervised
 — a worker killed at any instant is restarted from its newest
 checkpoint plus ingest-WAL replay and re-fed what it lost, finishing
@@ -16,8 +16,14 @@ Module map:
   partitioning and stream chunking (shared with
   :class:`~repro.core.sharded.ShardedScheme` so both ingest paths agree
   bit for bit);
-- :mod:`~repro.runtime.queues` — bounded shard inboxes and the
-  block/shed/error backpressure policies;
+- :mod:`~repro.runtime.transport` — the transport protocol: per-shard
+  channels with block/shed/error backpressure, split data/control/
+  message planes, restart-safe lifecycle;
+- :mod:`~repro.runtime.queues` — the bounded-``mp.Queue`` transport
+  (pickled chunks; portable, debuggable);
+- :mod:`~repro.runtime.shm` — the zero-copy shared-memory ring
+  transport (raw NumPy chunk bytes, fixed-width headers, batched acks;
+  the default);
 - :mod:`~repro.runtime.worker` — the shard worker process: ingest WAL,
   periodic atomic checkpoints, boot-time recovery;
 - :mod:`~repro.runtime.supervisor` — process babysitting: crash
@@ -32,8 +38,17 @@ from repro.runtime.partitioner import (
     StreamPartitioner,
     chunk_stream,
 )
-from repro.runtime.queues import BACKPRESSURE_POLICIES, ShardQueueSender
-from repro.runtime.supervisor import DEFAULT_QUEUE_DEPTH, ShardSupervisor
+from repro.runtime.queues import DEFAULT_QUEUE_DEPTH, QueueTransport
+from repro.runtime.shm import DEFAULT_RING_BYTES, SharedMemoryRingTransport
+from repro.runtime.supervisor import ShardSupervisor
+from repro.runtime.transport import (
+    BACKPRESSURE_POLICIES,
+    DEFAULT_ACK_EVERY,
+    DEFAULT_TRANSPORT,
+    TRANSPORTS,
+    Transport,
+    resolve_transport,
+)
 from repro.runtime.worker import WorkerSpec, boot_shard
 
 
@@ -49,15 +64,22 @@ def __getattr__(name: str) -> object:
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "DEFAULT_ACK_EVERY",
     "DEFAULT_CHUNK_PACKETS",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_RING_BYTES",
     "DEFAULT_SHARD_SEED",
+    "DEFAULT_TRANSPORT",
+    "QueueTransport",
     "RuntimeResult",
-    "ShardQueueSender",
+    "SharedMemoryRingTransport",
     "ShardSupervisor",
     "StreamPartitioner",
     "StreamingRuntime",
+    "TRANSPORTS",
+    "Transport",
     "WorkerSpec",
     "boot_shard",
     "chunk_stream",
+    "resolve_transport",
 ]

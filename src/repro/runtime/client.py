@@ -3,8 +3,10 @@
 :class:`StreamingRuntime` is the deployment-shaped entry point the
 one-shot paths lack: ``W`` long-lived worker processes (one CAESAR
 shard each, configs derived exactly as :class:`~repro.core.sharded.
-ShardedCaesar` derives them), fed through bounded queues with a
-backpressure policy, answering live queries mid-ingest, and supervised
+ShardedCaesar` derives them), fed through a pluggable transport — the
+zero-copy shared-memory ring data plane by default, bounded pickled
+queues on request — with a backpressure policy, answering live queries
+mid-ingest, and supervised
 — a SIGKILLed worker is restarted from its newest checkpoint plus
 ingest-WAL replay, then re-fed whatever it lost, finishing
 bit-identically to a run that never crashed.
@@ -24,8 +26,9 @@ Determinism contract (docs/runtime.md): with the default ``"block"``
 backpressure policy, ``rt.drain()``'s per-shard states — estimates *and*
 checkpoint digests — equal a single-process
 ``ShardedCaesar(config, W).process(stream)`` run bit for bit, for every
-engine, regardless of chunk sizes, queue depths, scheduling interleave,
-or how many workers were killed along the way.
+engine and every transport, regardless of chunk sizes, channel
+capacities, scheduling interleave, or how many workers were killed
+along the way.
 """
 
 from __future__ import annotations
@@ -52,6 +55,12 @@ from repro.runtime.partitioner import (
     chunk_stream,
 )
 from repro.runtime.supervisor import DEFAULT_QUEUE_DEPTH, ShardSupervisor
+from repro.runtime.transport import (
+    DEFAULT_ACK_EVERY,
+    DEFAULT_TRANSPORT,
+    Transport,
+    resolve_transport,
+)
 from repro.runtime.worker import WorkerSpec
 from repro.types import FlowIdArray
 
@@ -104,12 +113,16 @@ class StreamingRuntime:
         state_dir: str | Path,
         divide_budget: bool = True,
         shard_seed: int = DEFAULT_SHARD_SEED,
+        transport: "str | Transport" = DEFAULT_TRANSPORT,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        ring_bytes: int | None = None,
         backpressure: str = "block",
         checkpoint_every: int = 4,
+        ack_every: int = DEFAULT_ACK_EVERY,
         registry: MetricsRegistry | None = None,
         start_method: str | None = None,
         max_restarts: int = 3,
+        compute_slots: int | None = None,
     ) -> None:
         self.config = config
         self.num_shards = int(num_shards)
@@ -118,6 +131,9 @@ class StreamingRuntime:
         self.state_dir = Path(state_dir)
         self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
         self.metrics = resolve_registry(registry)
+        self.transport = resolve_transport(
+            transport, queue_depth=queue_depth, ring_bytes=ring_bytes
+        )
         specs = [
             WorkerSpec(
                 shard_id=i,
@@ -126,16 +142,18 @@ class StreamingRuntime:
                 ),
                 state_dir=str(self.state_dir / f"shard{i}"),
                 checkpoint_every=checkpoint_every,
+                ack_every=ack_every,
             )
             for i in range(self.num_shards)
         ]
         self.supervisor = ShardSupervisor(
             specs,
-            queue_depth=queue_depth,
+            transport=self.transport,
             backpressure=backpressure,
             registry=registry,
             max_restarts=max_restarts,
             start_method=start_method,
+            compute_slots=compute_slots,
         )
         self._started = False
         self._drained = False

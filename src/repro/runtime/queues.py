@@ -1,126 +1,225 @@
-"""Bounded shard queues and backpressure policies.
+"""The bounded-queue transport: pickled chunks over ``mp.Queue``.
 
-Each shard worker is fed through one bounded multiprocessing queue;
-*bounded* is the point — an unbounded queue turns a slow shard into
-unbounded producer-side memory growth, which is exactly the failure a
-streaming runtime exists to prevent. When a queue is full the producer
-applies a :data:`BACKPRESSURE_POLICIES` policy:
+This is the runtime's original data plane, refactored to conform to
+the :mod:`~repro.runtime.transport` protocol. Each shard gets three
+``multiprocessing`` queues — a bounded data inbox (*bounded* is the
+point: an unbounded queue turns a slow shard into unbounded
+producer-side memory growth), an unbounded control channel, and an
+unbounded outbox for worker messages. Every payload is pickled through
+a pipe, which is what makes this transport portable and debuggable —
+and what the shared-memory ring (:mod:`~repro.runtime.shm`) exists to
+avoid on the hot path.
 
-- ``"block"`` (default) — wait for space in short slices, invoking a
-  caller-supplied stall hook between slices (the supervisor uses the
-  hook to keep detecting/restarting dead workers while blocked, so a
-  crashed consumer can never wedge the producer). Lossless: the only
-  policy under which the bit-identity contract holds.
-- ``"shed"`` — drop the chunk and count it (load-shedding edge
-  deployments prefer bounded staleness over backpressure).
-- ``"error"`` — raise :class:`~repro.errors.IngestError` immediately
-  (callers that own their own retry/shed logic).
-
-Stall counts, stall seconds, shed chunks/packets, and a per-shard
-queue-depth gauge are recorded in the runtime's
-:class:`~repro.obs.registry.MetricsRegistry`.
+Restart semantics: a process killed mid-``put`` can leave a queue's
+pipe unusable, so :meth:`QueueShardChannel.open` builds three fresh
+queues per worker incarnation and :meth:`~QueueShardChannel.abandon`
+discards the old ones; a blocked send straddling the swap retries
+against the replacements on its next stall slice.
 """
 
 from __future__ import annotations
 
 import queue as queue_mod
-import time
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import ConfigError, IngestError
+import numpy as np
+import numpy.typing as npt
+
 from repro.obs.registry import MetricsRegistry
+from repro.runtime.transport import (
+    BACKPRESSURE_POLICIES,
+    STALL_SLICE_SECONDS,
+    ShardChannel,
+    Transport,
+    WorkerTransport,
+)
 
-#: Accepted values for the runtime's ``backpressure=`` option.
-BACKPRESSURE_POLICIES = ("block", "shed", "error")
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing.context
+    from multiprocessing.queues import Queue
 
-#: Seconds per blocked-put slice; between slices the stall hook runs.
-STALL_SLICE_SECONDS = 0.05
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "DEFAULT_QUEUE_DEPTH",
+    "QueueShardChannel",
+    "QueueTransport",
+    "QueueWorkerTransport",
+    "STALL_SLICE_SECONDS",
+]
+
+#: Default bound of each shard's inbox (chunks).
+DEFAULT_QUEUE_DEPTH = 8
 
 
-class ShardQueueSender:
-    """Producer-side wrapper applying one backpressure policy.
+@dataclass
+class QueueWorkerTransport(WorkerTransport):
+    """Worker end: three plain queues (picklable as ``Process`` args)."""
 
-    The underlying queue is *replaceable*: after a worker restart the
-    supervisor swaps in the fresh process's queue via
-    :meth:`rebind`, and an in-progress blocked put retries against the
-    replacement on its next slice.
-    """
+    inbox: "Queue"
+    control: "Queue"
+    outbox: "Queue"
+
+    def open(self) -> None:  # queues need no process-local attach
+        return None
+
+    def recv_data(self, timeout: float) -> tuple | None:
+        try:
+            return self.inbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    def recv_control(self) -> tuple | None:
+        try:
+            return self.control.get_nowait()
+        except queue_mod.Empty:
+            return None
+
+    def send(self, message: tuple) -> None:
+        self.outbox.put(message)
+
+    def close(self) -> None:  # teardown is the supervisor's job
+        return None
+
+
+class QueueShardChannel(ShardChannel):
+    """Supervisor end of one shard's queue-based link."""
 
     def __init__(
         self,
         shard_id: int,
-        q: "queue_mod.Queue",
         *,
+        queue_depth: int,
+        ctx: "multiprocessing.context.BaseContext",
         policy: str = "block",
         registry: MetricsRegistry,
         stall_hook: Callable[[], None] | None = None,
     ) -> None:
-        if policy not in BACKPRESSURE_POLICIES:
-            raise ConfigError(
-                f"backpressure must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
-            )
-        self.shard_id = shard_id
-        self.queue = q
-        self.policy = policy
-        self.metrics = registry
-        self._stall_hook = stall_hook
+        super().__init__(
+            shard_id, policy=policy, registry=registry, stall_hook=stall_hook
+        )
+        self.queue_depth = queue_depth
+        self._ctx = ctx
+        self._inbox: "Queue | None" = None
+        self._control: "Queue | None" = None
+        self._outbox: "Queue | None" = None
 
-    def rebind(self, q: "queue_mod.Queue") -> None:
-        """Point this sender at a fresh queue (worker restart)."""
-        self.queue = q
+    # -- lifecycle ----------------------------------------------------------
 
-    def _observe_depth(self) -> None:
+    def open(self) -> QueueWorkerTransport:
+        self.incarnation += 1
+        self._inbox = self._ctx.Queue(maxsize=self.queue_depth)
+        self._control = self._ctx.Queue()
+        self._outbox = self._ctx.Queue()
+        return QueueWorkerTransport(self._inbox, self._control, self._outbox)
+
+    def abandon(self) -> None:
+        for q in (self._inbox, self._control, self._outbox):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._inbox = self._control = self._outbox = None
+
+    def close(self) -> None:
+        self.abandon()
+
+    # -- data plane ---------------------------------------------------------
+
+    def _offer_chunk(
+        self,
+        seq: int,
+        packets: npt.NDArray[np.uint64],
+        lengths: npt.NDArray[np.int64] | None,
+        wait: float,
+    ) -> bool:
         try:
-            depth = self.queue.qsize()
-        except NotImplementedError:  # pragma: no cover - macOS qsize
-            return
-        self.metrics.gauge(f"runtime.shard{self.shard_id}.queue_depth").set(depth)
-
-    def send(self, message: tuple, *, num_packets: int = 0) -> bool:
-        """Enqueue one message under the configured policy.
-
-        Returns ``True`` if the message was enqueued, ``False`` if the
-        shed policy dropped it. ``num_packets`` sizes the shed
-        accounting for chunk messages.
-        """
-        if self.policy == "block":
-            while True:
-                try:
-                    self.queue.put(message, timeout=STALL_SLICE_SECONDS)
-                    self._observe_depth()
-                    return True
-                except queue_mod.Full:
-                    self.metrics.counter("runtime.backpressure.stalls").inc()
-                    stalled = self.metrics.gauge("runtime.backpressure.stall_seconds")
-                    stalled.set(stalled.value + STALL_SLICE_SECONDS)
-                    if self._stall_hook is not None:
-                        self._stall_hook()
-        try:
-            self.queue.put_nowait(message)
-            self._observe_depth()
+            if wait > 0:
+                self._inbox.put(("chunk", seq, packets, lengths), timeout=wait)
+            else:
+                self._inbox.put_nowait(("chunk", seq, packets, lengths))
             return True
         except queue_mod.Full:
-            if self.policy == "error":
-                raise IngestError(
-                    f"shard {self.shard_id} ingest queue is full "
-                    "(backpressure policy 'error')"
-                ) from None
-            self.metrics.counter("runtime.backpressure.shed_chunks").inc()
-            self.metrics.counter("runtime.backpressure.shed_packets").inc(num_packets)
             return False
 
-    def send_blocking(self, message: tuple, timeout: float = 60.0) -> None:
-        """Enqueue a control-flow message (drain sentinel) regardless of
-        the data backpressure policy — these must never be shed."""
+    def send_drain(self, timeout: float = 60.0) -> None:
+        # In-band on the inbox so it is ordered after every sent chunk.
+        import time
+
         deadline = time.monotonic() + timeout
         while True:
             try:
-                self.queue.put(message, timeout=STALL_SLICE_SECONDS)
+                self._inbox.put(("drain",), timeout=STALL_SLICE_SECONDS)
                 return
             except queue_mod.Full:
-                if self._stall_hook is not None:
-                    self._stall_hook()
+                self._record_stall(STALL_SLICE_SECONDS, count=False)
                 if time.monotonic() > deadline:
+                    from repro.errors import IngestError
+
                     raise IngestError(
                         f"shard {self.shard_id} queue stayed full for {timeout:.0f}s"
                     ) from None
+
+    # -- control plane ------------------------------------------------------
+
+    def send_control(self, message: tuple) -> None:
+        self._control.put(message)
+
+    # -- message plane ------------------------------------------------------
+
+    def poll(self) -> list[tuple]:
+        out: list[tuple] = []
+        if self._outbox is None:
+            return out
+        while True:
+            try:
+                out.append(self._outbox.get_nowait())
+            except (queue_mod.Empty, OSError, ValueError):
+                return out
+
+    def recv(self, timeout: float) -> tuple | None:
+        try:
+            return self._outbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    # -- observability ------------------------------------------------------
+
+    def data_depth(self) -> int | None:
+        try:
+            return self._inbox.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS qsize
+            return None
+
+
+@dataclass(frozen=True)
+class QueueTransport(Transport):
+    """The portable default-depth bounded-queue transport."""
+
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    name: str = field(default="queue", init=False)
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            from repro.errors import IngestError
+
+            raise IngestError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+
+    def channel(
+        self,
+        shard_id: int,
+        *,
+        ctx: "multiprocessing.context.BaseContext",
+        policy: str,
+        registry: MetricsRegistry,
+        stall_hook: Callable[[], None] | None = None,
+    ) -> QueueShardChannel:
+        return QueueShardChannel(
+            shard_id,
+            queue_depth=self.queue_depth,
+            ctx=ctx,
+            policy=policy,
+            registry=registry,
+            stall_hook=stall_hook,
+        )

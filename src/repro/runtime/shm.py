@@ -1,0 +1,559 @@
+"""The zero-copy transport: chunk payloads over shared-memory rings.
+
+The queue transport pickles every chunk through a pipe — serialize,
+syscall, copy into the pipe buffer, syscall, copy out, unpickle. At
+line rate that transport cost swamps shard parallelism (the backwards
+worker scaling in BENCH_micro.json). This transport replaces the data
+plane with one ``multiprocessing.shared_memory`` **ring buffer per
+shard**: the producer writes the raw NumPy packet bytes straight into
+the ring (one memcpy), the worker reads them straight out (one
+memcpy), and no pickling, framing allocation, or pipe syscall touches
+the hot path. Control and worker messages stay on small queues — they
+are rare and tiny; only chunk payloads earn shared memory.
+
+Ring layout (all offsets in bytes)::
+
+    [0 ..  8)   head  — monotonic write counter, producer-owned
+    [64 .. 72)  tail  — monotonic read counter, consumer-owned
+    [128 .. 128+capacity)  data area
+
+Head and tail are free-running ``uint64`` byte counters (position =
+``counter % capacity``), each written by exactly one process — the
+classic single-producer/single-consumer ring, no locks. They live 64
+bytes apart so the two writers never share a cache line.
+
+Records are 32-byte aligned. Each starts with a fixed-width header row
+
+    ``kind:u32  flags:u32  seq:u64  n_packets:u64  nbytes:u64``
+
+followed by ``nbytes`` of payload: the packet array bytes, then the
+length array bytes when present (``FLAG_HAS_LENGTHS``). A record never
+straddles the wrap point: when the tail of the buffer is too short,
+the producer writes a ``KIND_WRAP`` filler record and continues at
+offset zero. Alignment guarantees the filler header always fits.
+
+Chunks larger than half the ring are **fragmented**: split into
+``FLAG_MORE``-chained records the worker reassembles before its loop
+ever sees the chunk — WAL framing and sequence semantics stay
+untouched. (Half the ring, because a wrap filler may precede a record;
+``need + fill <= 2*need <= capacity`` guarantees a drained ring always
+has room, so the block policy can always make progress.) Under
+``shed``/``error`` an oversized chunk can never fit atomically, so it
+is shed/raised outright.
+
+Lifecycle: the supervisor's channel owns every segment — it creates a
+fresh, uniquely-named ring per worker incarnation, unlinks the old one
+on crash restart (a producer killed mid-write leaves an unparseable
+ring; abandoning it sidesteps torn records entirely, exactly like the
+fresh-queue rule), and unlinks on close. Workers only ever *attach*
+and are told not to track the segment, so no cleanup races and no
+leaked ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import uuid
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import IngestError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.transport import (
+    ShardChannel,
+    Transport,
+    WorkerTransport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing.context
+    from multiprocessing.queues import Queue
+    from multiprocessing.synchronize import Semaphore
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "RingConsumer",
+    "RingProducer",
+    "SharedMemoryRingTransport",
+    "ShmShardChannel",
+    "ShmWorkerTransport",
+]
+
+#: Default data capacity of each shard's ring (bytes).
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+#: Smallest sane ring: room for the control block plus a few records.
+MIN_RING_BYTES = 256
+
+#: Record header: kind, flags, seq, n_packets, payload bytes.
+HEADER = struct.Struct("<IIQQQ")
+
+#: Record alignment; equals the header size so a wrap filler always fits.
+ALIGN = HEADER.size  # 32
+
+#: Byte offset of the data area (head at 0, tail at 64, one cache line apart).
+CTRL_BYTES = 128
+
+KIND_CHUNK = 1
+KIND_DRAIN = 2
+KIND_WRAP = 3
+
+FLAG_HAS_LENGTHS = 1
+FLAG_MORE = 2  # more fragments of this chunk follow
+
+#: Sleep between ring polls (both sides); short because ring operations
+#: are memcpys, not syscalls — latency matters more than wakeup cost.
+RING_POLL_SECONDS = 0.0005
+
+
+def _align(n: int) -> int:
+    return (n + ALIGN - 1) & ~(ALIGN - 1)
+
+
+class _RingView:
+    """Shared head/tail accounting over one mapped segment."""
+
+    def __init__(self, buf: memoryview, capacity: int) -> None:
+        self.buf = buf
+        self.capacity = capacity
+
+    @property
+    def head(self) -> int:
+        return struct.unpack_from("<Q", self.buf, 0)[0]
+
+    @property
+    def tail(self) -> int:
+        return struct.unpack_from("<Q", self.buf, 64)[0]
+
+    def used(self) -> int:
+        return self.head - self.tail
+
+
+class RingProducer(_RingView):
+    """Single-producer side: write records, publish head last."""
+
+    def try_write(
+        self,
+        kind: int,
+        flags: int,
+        seq: int,
+        n_packets: int,
+        payloads: "list[memoryview | bytes]",
+        nbytes: int,
+    ) -> bool:
+        """Write one whole record if it fits *right now*; else ``False``.
+
+        The payload bytes are copied in before the head counter is
+        published, so the consumer can never observe a half-written
+        record.
+        """
+        head, tail = self.head, self.tail
+        need = _align(HEADER.size + nbytes)
+        pos = head % self.capacity
+        rem = self.capacity - pos
+        fill = rem if rem < need else 0
+        if self.capacity - (head - tail) < need + fill:
+            return False
+        if fill:
+            HEADER.pack_into(
+                self.buf, CTRL_BYTES + pos, KIND_WRAP, 0, 0, 0, fill - HEADER.size
+            )
+            head += fill
+            pos = 0
+        HEADER.pack_into(self.buf, CTRL_BYTES + pos, kind, flags, seq, n_packets, nbytes)
+        off = CTRL_BYTES + pos + HEADER.size
+        for view in payloads:
+            view = memoryview(view).cast("B")
+            self.buf[off : off + view.nbytes] = view
+            off += view.nbytes
+        struct.pack_into("<Q", self.buf, 0, head + need)
+        return True
+
+
+class RingConsumer(_RingView):
+    """Single-consumer side: read records, publish tail last."""
+
+    def try_read(self) -> tuple | None:
+        """One record as ``(kind, flags, seq, n_packets, payload)`` —
+        the payload copied out into a fresh writable buffer — or
+        ``None`` when the ring is empty."""
+        while True:
+            tail = self.tail
+            if tail == self.head:
+                return None
+            pos = tail % self.capacity
+            kind, flags, seq, n_packets, nbytes = HEADER.unpack_from(
+                self.buf, CTRL_BYTES + pos
+            )
+            if kind == KIND_WRAP:
+                struct.pack_into("<Q", self.buf, 64, tail + HEADER.size + nbytes)
+                continue
+            start = CTRL_BYTES + pos + HEADER.size
+            payload = bytearray(self.buf[start : start + nbytes])
+            struct.pack_into("<Q", self.buf, 64, tail + _align(HEADER.size + nbytes))
+            return kind, flags, seq, n_packets, payload
+
+
+def _encode_payload(
+    packets: npt.NDArray[np.uint64],
+    lengths: npt.NDArray[np.int64] | None,
+) -> tuple[list, int, int]:
+    """Chunk arrays → (payload views, total bytes, flags); no copies."""
+    views: list = [np.ascontiguousarray(packets)]
+    nbytes = packets.size * 8
+    flags = 0
+    if lengths is not None:
+        views.append(np.ascontiguousarray(lengths))
+        nbytes += lengths.size * 8
+        flags |= FLAG_HAS_LENGTHS
+    return views, nbytes, flags
+
+
+def _decode_payload(
+    payload: bytearray, n_packets: int, flags: int
+) -> tuple[npt.NDArray[np.uint64], npt.NDArray[np.int64] | None]:
+    """Invert :func:`_encode_payload` over the copied-out buffer."""
+    packets = np.frombuffer(payload, dtype=np.uint64, count=n_packets)
+    lengths = None
+    if flags & FLAG_HAS_LENGTHS:
+        lengths = np.frombuffer(
+            payload, dtype=np.int64, count=n_packets, offset=n_packets * 8
+        )
+    return packets, lengths
+
+
+@dataclass
+class ShmWorkerTransport(WorkerTransport):
+    """Worker end: attach the ring by name, reassemble fragments.
+
+    ``doorbell`` is a semaphore the producer releases once per record
+    written: the worker blocks on it (futex wait, zero CPU) instead of
+    sleep-polling the ring — on few-core machines a polling consumer
+    steals exactly the cycles the busy shard needs.
+    """
+
+    shm_name: str
+    capacity: int
+    doorbell: "Semaphore"
+    control: "Queue"
+    outbox: "Queue"
+    _shm: shared_memory.SharedMemory | None = field(default=None, repr=False)
+    _ring: RingConsumer | None = field(default=None, repr=False)
+
+    def open(self) -> None:
+        try:
+            # 3.13+: opt out of resource tracking at attach; the
+            # supervisor's channel owns the segment's lifetime.
+            self._shm = shared_memory.SharedMemory(name=self.shm_name, track=False)
+        except TypeError:
+            # Older interpreters register attaches too, but the resource
+            # tracker is one process shared across the tree and its cache
+            # is a set — the supervisor's unlink unregisters exactly once.
+            self._shm = shared_memory.SharedMemory(name=self.shm_name)
+        self._ring = RingConsumer(self._shm.buf, self.capacity)
+
+    def recv_data(self, timeout: float) -> tuple | None:
+        deadline = time.monotonic() + timeout
+        frags: bytearray | None = None
+        waited = False
+        while True:
+            rec = self._ring.try_read()
+            if rec is None:
+                if frags is not None:
+                    # Mid-chunk the producer is actively writing (we are
+                    # the only consumer, so it cannot be blocked on us):
+                    # wait for the rest instead of surfacing a torn chunk.
+                    self.doorbell.acquire(timeout=RING_POLL_SECONDS)
+                    continue
+                remaining = deadline - time.monotonic()
+                if waited or remaining <= 0:
+                    # A wake without a record means the doorbell rang for
+                    # a control message (send_control rings it too) —
+                    # surface so the caller's loop polls the control
+                    # plane instead of riding out the timeout.
+                    return None
+                self.doorbell.acquire(timeout=remaining)
+                waited = True
+                continue
+            waited = False
+            kind, flags, seq, n_packets, payload = rec
+            if kind == KIND_DRAIN:
+                return ("drain",)
+            if frags is None and not flags & FLAG_MORE:
+                packets, lengths = _decode_payload(payload, n_packets, flags)
+                return ("chunk", seq, packets, lengths)
+            frags = payload if frags is None else frags + payload
+            if flags & FLAG_MORE:
+                continue
+            packets, lengths = _decode_payload(frags, n_packets, flags)
+            return ("chunk", seq, packets, lengths)
+
+    def recv_control(self) -> tuple | None:
+        import queue as queue_mod
+
+        try:
+            return self.control.get_nowait()
+        except queue_mod.Empty:
+            return None
+
+    def send(self, message: tuple) -> None:
+        self.outbox.put(message)
+
+    def close(self) -> None:
+        self._ring = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+
+class ShmShardChannel(ShardChannel):
+    """Supervisor end: segment lifecycle, zero-copy sends, fragmentation."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        ring_bytes: int,
+        ctx: "multiprocessing.context.BaseContext",
+        policy: str = "block",
+        registry: MetricsRegistry,
+        stall_hook: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__(
+            shard_id, policy=policy, registry=registry, stall_hook=stall_hook
+        )
+        self.capacity = ring_bytes & ~(ALIGN - 1)
+        # A record (header + payload + possible wrap filler) must fit a
+        # drained ring, so single records are capped at half capacity.
+        self.max_payload = self.capacity // 2 - 2 * HEADER.size
+        self._ctx = ctx
+        self._shm: shared_memory.SharedMemory | None = None
+        self._ring: RingProducer | None = None
+        self._doorbell: "Semaphore | None" = None
+        self._control: "Queue | None" = None
+        self._outbox: "Queue | None" = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self) -> ShmWorkerTransport:
+        self.incarnation += 1
+        name = f"repro-s{self.shard_id}-i{self.incarnation}-{uuid.uuid4().hex[:8]}"
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=True, size=CTRL_BYTES + self.capacity
+        )
+        self._shm.buf[:CTRL_BYTES] = bytes(CTRL_BYTES)  # head = tail = 0
+        self._ring = RingProducer(self._shm.buf, self.capacity)
+        self._doorbell = self._ctx.Semaphore(0)
+        self._control = self._ctx.Queue()
+        self._outbox = self._ctx.Queue()
+        return ShmWorkerTransport(
+            name, self.capacity, self._doorbell, self._control, self._outbox
+        )
+
+    def abandon(self) -> None:
+        self._ring = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+        for q in (self._control, self._outbox):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._control = self._outbox = self._doorbell = None
+
+    def close(self) -> None:
+        self.abandon()
+
+    # -- data plane ---------------------------------------------------------
+
+    def _offer_chunk(
+        self,
+        seq: int,
+        packets: npt.NDArray[np.uint64],
+        lengths: npt.NDArray[np.int64] | None,
+        wait: float,
+    ) -> bool:
+        views, nbytes, flags = _encode_payload(packets, lengths)
+        deadline = time.monotonic() + wait
+        while True:
+            ring = self._ring
+            if ring is not None and ring.try_write(
+                KIND_CHUNK, flags, seq, len(packets), views, nbytes
+            ):
+                self._doorbell.release()
+                return True
+            if wait <= 0 or time.monotonic() >= deadline:
+                return False
+            time.sleep(RING_POLL_SECONDS)
+
+    def _chunk_fits(self, packets, lengths) -> bool:
+        nbytes = len(packets) * (8 if lengths is None else 16)
+        return nbytes <= self.max_payload
+
+    def send_chunk(self, seq, packets, lengths) -> bool:
+        if self._chunk_fits(packets, lengths):
+            return super().send_chunk(seq, packets, lengths)
+        # Oversized: only the lossless block policy can stream it through
+        # in fragments; shed/error need whole-chunk atomicity.
+        if self.policy == "shed":
+            self.metrics.counter("runtime.backpressure.shed_chunks").inc()
+            self.metrics.counter("runtime.backpressure.shed_packets").inc(len(packets))
+            return False
+        if self.policy == "error":
+            raise IngestError(
+                f"shard {self.shard_id}: chunk of {len(packets)} packets exceeds "
+                f"the ring's {self.max_payload}-byte record cap; raise ring_bytes "
+                "or lower chunk_packets (backpressure policy 'error')"
+            )
+        self._stream_fragments(seq, packets, lengths)
+        return True
+
+    def send_chunk_required(self, seq, packets, lengths, timeout: float = 60.0) -> None:
+        if self._chunk_fits(packets, lengths):
+            return super().send_chunk_required(seq, packets, lengths, timeout)
+        self._stream_fragments(seq, packets, lengths, timeout=timeout)
+
+    def _stream_fragments(
+        self,
+        seq: int,
+        packets: npt.NDArray[np.uint64],
+        lengths: npt.NDArray[np.int64] | None,
+        timeout: float | None = None,
+    ) -> None:
+        """Stream one oversized chunk as ``FLAG_MORE``-chained records.
+
+        If a worker restart swaps the ring mid-chunk (the stall hook
+        runs the supervisor pump), partially written fragments died
+        with the old segment — start the whole chunk over on the fresh
+        one; the worker only ever sees complete reassembled chunks.
+        """
+        _views, _nbytes, base_flags = _encode_payload(packets, lengths)
+        blob = b"".join(memoryview(v).cast("B") for v in _views)
+        step = self.max_payload & ~(ALIGN - 1)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            incarnation = self.incarnation
+            restarted = False
+            for start in range(0, len(blob), step):
+                frag = memoryview(blob)[start : start + step]
+                more = FLAG_MORE if start + step < len(blob) else 0
+                while not self._ring.try_write(
+                    KIND_CHUNK, base_flags | more, seq, len(packets), [frag], frag.nbytes
+                ):
+                    self._record_stall(RING_POLL_SECONDS)
+                    time.sleep(RING_POLL_SECONDS)
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise IngestError(
+                            f"shard {self.shard_id} ring stayed full for {timeout:.0f}s"
+                        )
+                    if self.incarnation != incarnation:
+                        restarted = True
+                        break
+                if restarted:
+                    break
+                self._doorbell.release()
+            if not restarted:
+                return
+
+    def send_drain(self, timeout: float = 60.0) -> None:
+        deadline = time.monotonic() + timeout
+        while not self._ring.try_write(KIND_DRAIN, 0, 0, 0, [], 0):
+            self._record_stall(RING_POLL_SECONDS, count=False)
+            time.sleep(RING_POLL_SECONDS)
+            if time.monotonic() > deadline:
+                raise IngestError(
+                    f"shard {self.shard_id} ring stayed full for {timeout:.0f}s"
+                )
+        self._doorbell.release()
+
+    # -- control plane ------------------------------------------------------
+
+    def send_control(self, message: tuple) -> None:
+        self._control.put(message)
+        # Ring the doorbell too: a worker idling in its data wait wakes
+        # immediately instead of riding out the poll timeout (a spurious
+        # wake is just one extra empty try_read).
+        if self._doorbell is not None:
+            self._doorbell.release()
+
+    def nudge(self) -> None:
+        # The put above is asynchronous (mp.Queue feeder thread): the
+        # doorbell can ring before the message lands and the worker goes
+        # back to sleep. Re-ringing is cheap and idempotent — a spurious
+        # wake is one empty try_read plus one control poll.
+        if self._doorbell is not None:
+            self._doorbell.release()
+
+    # -- message plane ------------------------------------------------------
+
+    def poll(self) -> list[tuple]:
+        import queue as queue_mod
+
+        out: list[tuple] = []
+        if self._outbox is None:
+            return out
+        while True:
+            try:
+                out.append(self._outbox.get_nowait())
+            except (queue_mod.Empty, OSError, ValueError):
+                return out
+
+    def recv(self, timeout: float) -> tuple | None:
+        import queue as queue_mod
+
+        try:
+            return self._outbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    # -- observability ------------------------------------------------------
+
+    def data_depth(self) -> int | None:
+        ring = self._ring
+        return None if ring is None else ring.used()
+
+    @property
+    def segment_name(self) -> str | None:
+        """The live segment's name (introspection/leak tests)."""
+        return None if self._shm is None else self._shm.name
+
+
+@dataclass(frozen=True)
+class SharedMemoryRingTransport(Transport):
+    """The zero-copy shared-memory ring transport."""
+
+    ring_bytes: int = DEFAULT_RING_BYTES
+    name: str = field(default="shm", init=False)
+
+    def __post_init__(self) -> None:
+        if self.ring_bytes < MIN_RING_BYTES:
+            raise IngestError(
+                f"ring_bytes must be >= {MIN_RING_BYTES}, got {self.ring_bytes}"
+            )
+
+    def channel(
+        self,
+        shard_id: int,
+        *,
+        ctx: "multiprocessing.context.BaseContext",
+        policy: str,
+        registry: MetricsRegistry,
+        stall_hook: Callable[[], None] | None = None,
+    ) -> ShmShardChannel:
+        return ShmShardChannel(
+            shard_id,
+            ring_bytes=self.ring_bytes,
+            ctx=ctx,
+            policy=policy,
+            registry=registry,
+            stall_hook=stall_hook,
+        )

@@ -1,9 +1,10 @@
 """Shard-worker supervision: spawn, feed, monitor, restart, re-feed.
 
 The supervisor owns the runtime's process tree. Per shard it keeps a
-:class:`WorkerHandle` — the live process, its bounded inbox, its control
-and outbox channels, and a *retention buffer* of every chunk sent but
-not yet acknowledged. The durability split is exact:
+:class:`WorkerHandle` — the live process, its transport channel
+(:class:`~repro.runtime.transport.ShardChannel`), and a *retention
+buffer* of every chunk sent but not yet acknowledged. The durability
+split is exact:
 
 - chunks the worker **acked** are in the worker's ingest WAL on disk —
   the supervisor drops its copy, and crash recovery replays them from
@@ -12,21 +13,30 @@ not yet acknowledged. The durability split is exact:
   process) stay retained here and are re-fed, in sequence order, to the
   restarted worker — which skips any it already made durable.
 
+Acks are *cumulative* (``ack seq`` covers every chunk up to ``seq``,
+valid because each shard's chunks are applied strictly in sequence
+order), which is what lets workers batch them without weakening the
+split: a batched ack arriving late just means a few more chunks ride
+the retention buffer until it lands.
+
 Either way each chunk reaches the shard's scheme exactly once, in
 order, so the recovered shard is bit-identical to one that never
-crashed (tests/test_runtime.py kills workers with SIGKILL to prove it).
+crashed (tests/test_runtime.py kills workers with SIGKILL to prove it,
+on every transport).
 
 Worker death is detected by liveness polls woven into every wait loop —
-including blocked backpressure puts, so a crashed consumer can never
-wedge the producer. Each worker gets fresh queues on restart (a process
-killed mid-``put`` can leave a queue's pipe unusable; abandoning the
-old queues sidesteps that entirely).
+including blocked backpressure sends, so a crashed consumer can never
+wedge the producer. Each restart gets fresh transport resources
+(queues, shared-memory rings): a process killed mid-transfer can leave
+them unusable, and abandoning them sidesteps that entirely. Everything
+here is expressed against the transport protocol — the supervisor does
+not know whether bytes move by pickle or by memcpy.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import queue as queue_mod
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -35,14 +45,24 @@ import numpy.typing as npt
 
 from repro.errors import ConfigError, IngestError
 from repro.obs.registry import MetricsRegistry, resolve_registry
-from repro.runtime.queues import BACKPRESSURE_POLICIES, ShardQueueSender
+from repro.runtime.queues import DEFAULT_QUEUE_DEPTH  # noqa: F401  (re-export)
+from repro.runtime.transport import (
+    BACKPRESSURE_POLICIES,
+    ShardChannel,
+    Transport,
+)
 from repro.runtime.worker import WorkerSpec, worker_main
-
-#: Default bound of each shard's inbox (chunks).
-DEFAULT_QUEUE_DEPTH = 8
 
 #: Seconds a worker gets to boot/recover before the supervisor gives up.
 READY_TIMEOUT = 60.0
+
+
+def _core_budget() -> int:
+    """CPUs actually available to this process (container/affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass
@@ -50,11 +70,8 @@ class WorkerHandle:
     """Supervisor-side state of one shard worker."""
 
     spec: WorkerSpec
+    channel: ShardChannel
     process: "mp.process.BaseProcess | None" = None
-    inbox: "mp.queues.Queue | None" = None
-    control: "mp.queues.Queue | None" = None
-    outbox: "mp.queues.Queue | None" = None
-    sender: ShardQueueSender | None = None
     next_seq: int = 0  # next chunk sequence number to assign
     retained: dict[int, tuple] = field(default_factory=dict)  # seq -> (pkts, lens)
     restarts: int = 0
@@ -74,14 +91,13 @@ class ShardSupervisor:
         self,
         specs: list[WorkerSpec],
         *,
-        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        transport: Transport,
         backpressure: str = "block",
         registry: MetricsRegistry | None = None,
         max_restarts: int = 3,
         start_method: str | None = None,
+        compute_slots: int | None = None,
     ) -> None:
-        if queue_depth < 1:
-            raise IngestError(f"queue_depth must be >= 1, got {queue_depth}")
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ConfigError(
                 f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
@@ -89,41 +105,58 @@ class ShardSupervisor:
             )
         self.metrics = resolve_registry(registry)
         self.backpressure = backpressure
-        self.queue_depth = queue_depth
+        self.transport = transport
         self.max_restarts = max_restarts
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         self._ctx = mp.get_context(start_method)
-        self.handles = [WorkerHandle(spec=spec) for spec in specs]
+        # Oversubscription guard: when shard workers outnumber the core
+        # budget, uncoordinated compute thrashes the shared caches (see
+        # worker._compute_slot). One counting semaphore, sized to the
+        # budget, is shared by every worker across all restarts; when
+        # the cores cover the workers it is skipped entirely.
+        if compute_slots is not None and compute_slots < 1:
+            raise ConfigError(
+                f"compute_slots must be >= 1, got {compute_slots}"
+            )
+        slots = _core_budget() if compute_slots is None else compute_slots
+        self._compute_gate = (
+            self._ctx.Semaphore(slots) if len(specs) > slots else None
+        )
+        self.handles = [
+            WorkerHandle(
+                spec=spec,
+                channel=transport.channel(
+                    spec.shard_id,
+                    ctx=self._ctx,
+                    policy=backpressure,
+                    registry=self.metrics,
+                    stall_hook=self.pump,
+                ),
+            )
+            for spec in specs
+        ]
         self._pumping = False
         self._stopped = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
+        # Spawn everyone first, then collect readies: worker boot
+        # (fork, recover, attach) overlaps across shards instead of
+        # paying W serial round-trips.
         for handle in self.handles:
             self._spawn(handle)
+        for handle in self.handles:
             self._wait_ready(handle)
 
     def _spawn(self, handle: WorkerHandle) -> None:
-        handle.inbox = self._ctx.Queue(maxsize=self.queue_depth)
-        handle.control = self._ctx.Queue()
-        handle.outbox = self._ctx.Queue()
-        if handle.sender is None:
-            handle.sender = ShardQueueSender(
-                handle.spec.shard_id,
-                handle.inbox,
-                policy=self.backpressure,
-                registry=self.metrics,
-                stall_hook=self.pump,
-            )
-        else:
-            handle.sender.rebind(handle.inbox)
+        endpoint = handle.channel.open()
         handle.process = self._ctx.Process(
             target=worker_main,
-            args=(handle.spec, handle.inbox, handle.control, handle.outbox),
+            args=(handle.spec, endpoint, self._compute_gate),
             daemon=True,
             name=f"repro-shard-{handle.spec.shard_id}",
         )
@@ -133,9 +166,8 @@ class ShardSupervisor:
         """Block until the (re)started worker reports its recovery point."""
         deadline = time.monotonic() + READY_TIMEOUT
         while True:
-            try:
-                msg = handle.outbox.get(timeout=0.05)
-            except queue_mod.Empty:
+            msg = handle.channel.recv(timeout=0.05)
+            if msg is None:
                 if not handle.process.is_alive():
                     raise IngestError(
                         f"shard {handle.spec.shard_id} died during boot"
@@ -161,29 +193,36 @@ class ShardSupervisor:
         for handle in self.handles:
             if handle.process is None:
                 continue
-            if handle.process.is_alive() and handle.control is not None:
+            if handle.process.is_alive():
                 try:
-                    handle.control.put_nowait(("stop",))
-                except (queue_mod.Full, ValueError):  # pragma: no cover
+                    handle.channel.send_control(("stop",))
+                except (OSError, ValueError):  # pragma: no cover
                     pass
         for handle in self.handles:
             if handle.process is None:
                 continue
-            handle.process.join(timeout=5.0)
+            # Join in slices, re-waking the worker each time: the stop
+            # message may still be in flight behind the wake that was
+            # sent with it (see ShardChannel.nudge).
+            deadline = time.monotonic() + 5.0
+            while handle.process.is_alive() and time.monotonic() < deadline:
+                handle.channel.nudge()
+                handle.process.join(timeout=0.01)
             if handle.process.is_alive():  # pragma: no cover - hard fallback
                 handle.process.kill()
                 handle.process.join(timeout=5.0)
-            for q in (handle.inbox, handle.control, handle.outbox):
-                if q is not None:
-                    q.close()
-                    q.cancel_join_thread()
+            handle.channel.close()
 
     # -- message pump and crash recovery ------------------------------------
 
     def _handle_msg(self, handle: WorkerHandle, msg: tuple) -> None:
         kind = msg[0]
         if kind == "ack":
-            handle.retained.pop(int(msg[2]), None)
+            # Cumulative: everything up to the acked seq is durable
+            # worker-side (chunks apply strictly in seq order).
+            through = int(msg[2])
+            for seq in [s for s in handle.retained if s <= through]:
+                handle.retained.pop(seq)
         elif kind == "checkpoint":
             handle.last_checkpoint_seq = int(msg[2])
             handle.last_checkpoint_digest = msg[3]
@@ -198,24 +237,19 @@ class ShardSupervisor:
             handle.last_error = msg[2]
 
     def pump(self) -> None:
-        """Drain worker outboxes; detect and recover dead workers.
+        """Drain worker messages; detect and recover dead workers.
 
         Called from every wait loop (including blocked backpressure
-        puts). Re-entrant calls — a restart's re-feed blocking on a
-        *different* shard's full queue — collapse to a no-op.
+        sends). Re-entrant calls — a restart's re-feed blocking on a
+        *different* shard's full channel — collapse to a no-op.
         """
         if self._pumping or self._stopped:
             return
         self._pumping = True
         try:
             for handle in self.handles:
-                if handle.outbox is not None:
-                    while True:
-                        try:
-                            msg = handle.outbox.get_nowait()
-                        except (queue_mod.Empty, OSError, ValueError):
-                            break
-                        self._handle_msg(handle, msg)
+                for msg in handle.channel.poll():
+                    self._handle_msg(handle, msg)
                 if handle.process is not None and not handle.process.is_alive():
                     self._restart(handle)
         finally:
@@ -230,12 +264,10 @@ class ShardSupervisor:
                 + (f"; last error:\n{handle.last_error}" if handle.last_error else "")
             )
         handle.process.join(timeout=1.0)
-        for q in (handle.inbox, handle.control, handle.outbox):
-            # A process killed mid-put can leave a queue unusable —
-            # abandon all three and start fresh.
-            if q is not None:
-                q.close()
-                q.cancel_join_thread()
+        # A process killed mid-transfer can leave the transport resources
+        # unusable (a half-read pipe, a half-written ring) — abandon them
+        # all; _spawn builds fresh ones.
+        handle.channel.abandon()
         handle.restarts += 1
         self.metrics.counter("runtime.restarts").inc()
         self.metrics.counter(f"runtime.shard{shard}.restarts").inc()
@@ -249,13 +281,13 @@ class ShardSupervisor:
                 handle.retained.pop(seq)
                 continue
             pkts, lens = handle.retained[seq]
-            handle.sender.send_blocking(("chunk", seq, pkts, lens))
+            handle.channel.send_chunk_required(seq, pkts, lens)
             refed += 1
         self.metrics.counter("runtime.refed_chunks").inc(refed)
         for query_msg in list(handle.pending_queries.values()):
-            handle.control.put(query_msg)
+            handle.channel.send_control(query_msg)
         if handle.drain_sent:
-            handle.sender.send_blocking(("drain",))
+            handle.channel.send_drain()
 
     # -- feeding ------------------------------------------------------------
 
@@ -271,12 +303,11 @@ class ShardSupervisor:
         """
         handle = self.handles[shard]
         seq = handle.next_seq
-        message = ("chunk", seq, packets, lengths)
-        # Retain *before* sending: a blocked put pumps the message loop,
+        # Retain *before* sending: a blocked send pumps the message loop,
         # which may deliver this very chunk's ack mid-send — the ack must
         # find the retention entry to drop it.
         handle.retained[seq] = (packets, lengths)
-        accepted = handle.sender.send(message, num_packets=len(packets))
+        accepted = handle.channel.send_chunk(seq, packets, lengths)
         if accepted:
             handle.next_seq = seq + 1
             self.metrics.counter("runtime.chunks_sent").inc()
@@ -289,7 +320,7 @@ class ShardSupervisor:
     def send_drain(self) -> None:
         for handle in self.handles:
             handle.drain_sent = True
-            handle.sender.send_blocking(("drain",))
+            handle.channel.send_drain()
 
     def wait_finalized(self, timeout: float = 300.0) -> None:
         deadline = time.monotonic() + timeout
@@ -300,7 +331,7 @@ class ShardSupervisor:
                     h.spec.shard_id for h in self.handles if h.finalized is None
                 ]
                 raise IngestError(f"shards {missing} did not finalize in {timeout:.0f}s")
-            time.sleep(0.01)
+            time.sleep(0.005)
 
     # -- queries ------------------------------------------------------------
 
@@ -314,7 +345,7 @@ class ShardSupervisor:
         handle = self.handles[shard]
         message = ("query", qid, flow_ids, method)
         handle.pending_queries[qid] = message
-        handle.control.put(message)
+        handle.channel.send_control(message)
         self.metrics.counter("runtime.queries").inc()
 
     def collect_reply(

@@ -12,8 +12,14 @@ Durability protocol (per chunk, in order):
 1. append the chunk (packets + optional lengths, tagged with its shard
    chunk sequence number) to the ingest WAL and flush;
 2. feed it to the scheme;
-3. ack the sequence number to the supervisor (the supervisor may now
-   drop its retained copy — the chunk is durable here);
+3. every ``ack_every`` chunks (and on checkpoint, drain, stop, or a
+   duplicate re-feed) send a *cumulative* ack — everything up to the
+   acked sequence number is durable here, so the supervisor may drop
+   those retained copies. Batching trades a little extra retention
+   (at most ``ack_every`` chunks ride the supervisor's buffer) for
+   ``ack_every``-fold fewer control messages; the recovery split is
+   unchanged because un-acked-but-durable chunks are deduplicated on
+   re-feed anyway;
 4. every ``checkpoint_every`` chunks, atomically write a
    :class:`~repro.resilience.checkpoint.Checkpoint` named by the
    sequence number and prune the ingest WAL's role back to "since the
@@ -37,9 +43,9 @@ from __future__ import annotations
 import os
 import re
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from queue import Empty
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -49,15 +55,55 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.errors import TraceFormatError
 from repro.resilience.wal import WalRecord, WriteAheadLog
+from repro.runtime.transport import DEFAULT_ACK_EVERY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from multiprocessing.queues import Queue
+    from multiprocessing.synchronize import Semaphore
+
+    from repro.runtime.transport import WorkerTransport
 
 #: Reason code marking an ingest-WAL header row (never a real eviction).
 CHUNK_HEADER_REASON = 255
 
-#: How long a blocked inbox read waits before re-polling the control channel.
+#: How long a blocked data read waits before re-polling the control channel.
 POLL_SECONDS = 0.05
+
+#: Longest a worker waits for a compute slot before proceeding anyway.
+#: The slot is an optimization (see :func:`_compute_slot`), never a
+#: correctness device — a SIGKILLed holder must not wedge the others.
+GATE_TIMEOUT = 1.0
+
+
+@contextmanager
+def _compute_slot(gate: "Semaphore | None"):
+    """Hold one oversubscription-guard slot for a heavy compute section.
+
+    When shard workers outnumber cores, letting them all chew
+    concurrently just interleaves them through the scheduler — total
+    throughput cannot rise, but every context switch refills caches and
+    TLBs, so total *work* does (measured ~30-40% CPU inflation with 4
+    workers on 1 core). The supervisor hands every worker one counting
+    semaphore sized to the core budget; holding it through chunk
+    processing and finalize/checkpoint keeps at most ``cores`` workers
+    computing while the rest sleep in a futex, preserving the per-shard
+    cache locality that sharding buys. With ``workers <= cores`` no
+    gate is created and this is a no-op — true parallelism passes
+    through untouched.
+
+    The acquire is bounded by :data:`GATE_TIMEOUT` and the section runs
+    regardless: a slot lost to a SIGKILLed holder degrades back to
+    concurrent compute instead of deadlocking (crash tests kill workers
+    at arbitrary instants, including mid-hold).
+    """
+    if gate is None:
+        yield
+        return
+    got = gate.acquire(timeout=GATE_TIMEOUT)
+    try:
+        yield
+    finally:
+        if got:
+            gate.release()
 
 _CKPT_RE = re.compile(r"ck_(\d{10})(_final)?\.npz$")
 
@@ -70,6 +116,7 @@ class WorkerSpec:
     config: CaesarConfig
     state_dir: str
     checkpoint_every: int = 4  # chunks between checkpoints; 0 disables
+    ack_every: int = DEFAULT_ACK_EVERY  # chunks between cumulative acks
 
     @property
     def wal_path(self) -> Path:
@@ -164,7 +211,37 @@ def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
             scheme.process(packets, lengths)
             last_seq = seq
             replayed += 1
+    # Long-lived process: absorb the banks' first-touch page faults
+    # here, not inside the first chunks' scatter-adds.
+    scheme.counters.prefault()
+    _warm_code_paths(state_dir)
     return scheme, last_seq, replayed
+
+
+def _warm_code_paths(state_dir: Path) -> None:
+    """Run the whole chunk pipeline once on a throwaway toy scheme.
+
+    A forked worker inherits the parent's heap copy-on-write; the first
+    traversal of each code path then takes a spray of CoW faults (every
+    refcount bump writes a page) right inside the first real chunk.
+    Exercising process → finalize → checkpoint on a tiny scheme at boot
+    moves those one-time faults off the measurement path. Costs a few
+    milliseconds once per process lifetime.
+    """
+    from repro.resilience.checkpoint import Checkpoint
+
+    toy = Caesar(
+        CaesarConfig(cache_entries=8, entry_capacity=8, k=2, bank_size=64)
+    )
+    toy.process(np.arange(64, dtype=np.uint64))
+    toy.finalize()
+    ckpt = Checkpoint.capture(toy)
+    _ = ckpt.digest
+    warm_path = state_dir / ".warmup.npz"
+    try:
+        ckpt.save(warm_path)
+    finally:
+        warm_path.unlink(missing_ok=True)
 
 
 def _save_checkpoint_atomic(scheme: Caesar, target: Path) -> str:
@@ -202,62 +279,83 @@ def _answer_query(
 
 def worker_main(
     spec: WorkerSpec,
-    inbox: "Queue",
-    control: "Queue",
-    outbox: "Queue",
+    transport: "WorkerTransport",
+    compute_gate: "Semaphore | None" = None,
 ) -> None:
     """Entry point of one shard worker process (module-level: picklable
-    under any multiprocessing start method)."""
+    under any multiprocessing start method). ``transport`` is the
+    worker-side endpoint the supervisor's channel built for this
+    incarnation — the loop is transport-agnostic. ``compute_gate`` is
+    the supervisor's oversubscription guard (see :func:`_compute_slot`),
+    or ``None`` when the core budget covers every worker."""
     shard = spec.shard_id
     try:
+        transport.open()
         scheme, last_seq, replayed = boot_shard(spec)
         wal = WriteAheadLog(spec.wal_path)
-        outbox.put(("ready", shard, last_seq, replayed))
+        unacked = 0
+
+        def flush_ack() -> None:
+            nonlocal unacked
+            if unacked:
+                transport.send(("ack", shard, last_seq))
+                unacked = 0
+
+        transport.send(("ready", shard, last_seq, replayed))
         while True:
             # Control first: queries stay responsive however deep the
-            # data queue is, and stop wins over queued work.
-            try:
-                while True:
-                    msg = control.get_nowait()
-                    if msg[0] == "stop":
-                        wal.close()
-                        return
-                    if msg[0] == "query":
-                        _kind, qid, flow_ids, method = msg
-                        try:
-                            est = _answer_query(scheme, flow_ids, method)
-                            outbox.put(("reply", shard, qid, est, None))
-                        except Exception as exc:  # noqa: BLE001 - reported to caller
-                            outbox.put(("reply", shard, qid, None, repr(exc)))
-            except Empty:
-                pass
-            try:
-                item = inbox.get(timeout=POLL_SECONDS)
-            except Empty:
+            # data plane is, and stop wins over queued work.
+            while (msg := transport.recv_control()) is not None:
+                if msg[0] == "stop":
+                    flush_ack()
+                    wal.close()
+                    transport.close()  # flushes outbound queues first
+                    # Everything is durable and flushed; skip interpreter
+                    # teardown (GC over the forked heap costs ~10ms per
+                    # worker, serialized on small machines).
+                    os._exit(0)
+                if msg[0] == "query":
+                    _kind, qid, flow_ids, method = msg
+                    try:
+                        est = _answer_query(scheme, flow_ids, method)
+                        transport.send(("reply", shard, qid, est, None))
+                    except Exception as exc:  # noqa: BLE001 - reported to caller
+                        transport.send(("reply", shard, qid, None, repr(exc)))
+            item = transport.recv_data(POLL_SECONDS)
+            if item is None:
                 continue
             if item[0] == "chunk":
                 _kind, seq, packets, lengths = item
                 if seq <= last_seq:
                     # Duplicate re-feed of an already-durable chunk: ack
-                    # (again) so the supervisor drops its retained copy.
-                    outbox.put(("ack", shard, seq))
+                    # cumulatively (again) so the supervisor's retained
+                    # copies — this one included — all drop.
+                    unacked = 1
+                    flush_ack()
                     continue
-                append_ingest_chunk(wal, seq, packets, lengths)
-                scheme.process(packets, lengths)
+                with _compute_slot(compute_gate):
+                    append_ingest_chunk(wal, seq, packets, lengths)
+                    scheme.process(packets, lengths)
                 last_seq = seq
-                outbox.put(("ack", shard, seq))
+                unacked += 1
+                if unacked >= max(spec.ack_every, 1):
+                    flush_ack()
                 if spec.checkpoint_every and (seq + 1) % spec.checkpoint_every == 0:
-                    digest = _save_checkpoint_atomic(
-                        scheme, spec.checkpoint_path(seq)
-                    )
+                    with _compute_slot(compute_gate):
+                        digest = _save_checkpoint_atomic(
+                            scheme, spec.checkpoint_path(seq)
+                        )
                     _prune_checkpoints(Path(spec.state_dir))
-                    outbox.put(("checkpoint", shard, seq, digest))
+                    flush_ack()  # checkpointed ⊇ durable: retention can drop
+                    transport.send(("checkpoint", shard, seq, digest))
             elif item[0] == "drain":
-                scheme.finalize()  # idempotent across drain re-sends
-                digest = _save_checkpoint_atomic(
-                    scheme, spec.checkpoint_path(max(last_seq, 0), final=True)
-                )
-                outbox.put(
+                flush_ack()
+                with _compute_slot(compute_gate):
+                    scheme.finalize()  # idempotent across drain re-sends
+                    digest = _save_checkpoint_atomic(
+                        scheme, spec.checkpoint_path(max(last_seq, 0), final=True)
+                    )
+                transport.send(
                     (
                         "finalized",
                         shard,
@@ -267,5 +365,5 @@ def worker_main(
                     )
                 )
     except Exception:  # noqa: BLE001 - crash surface: report, then die
-        outbox.put(("error", shard, traceback.format_exc()))
+        transport.send(("error", shard, traceback.format_exc()))
         raise

@@ -49,6 +49,21 @@ class BankedCounterArray:
         #: Packet mass rejected by stuck counters (fault accounting).
         self.stuck_lost_mass = 0
 
+    # -- memory ----------------------------------------------------------
+
+    def prefault(self) -> None:
+        """Touch every counter page so later updates never take a
+        first-touch page fault.
+
+        ``np.zeros`` maps the banks lazily; on the default path physical
+        pages materialize one fault at a time inside the first
+        scatter-adds — measurement jitter right on the hot path. Long-
+        lived deployments (the shard workers) call this once at boot,
+        where the cost is absorbed by startup. Adding zero is a bitwise
+        no-op on every counter, so measurement state is untouched.
+        """
+        self._values += 0
+
     # -- updates ---------------------------------------------------------
 
     def add_at(

@@ -87,6 +87,31 @@ class TestBenchResultsSchema:
             assert f"bench_run_kernel_{stream}" in recorded, stream
             assert f"bench_packet_loop_{stream}" in recorded, stream
 
+    def test_runtime_transport_benches_recorded(self, results):
+        """Both transports' worker-scaling curves must be in the
+        artifact — 1/2/4 workers each over queues and shm rings."""
+        recorded = {entry["name"] for entry in results["benchmarks"]}
+        for w in (1, 2, 4):
+            assert f"bench_runtime_ingest_{w}w" in recorded, w
+            assert f"bench_runtime_ingest_{w}w_shm" in recorded, w
+
+    def test_shm_workers_scale_forward(self, results):
+        """The point of the zero-copy transport: with pickling off the
+        hot path, four shard workers must beat one (smaller per-shard
+        structures), not lose to transport overhead.
+
+        Compared on the median: the CI box shares its core with other
+        processes whose bursts produce large one-sided outliers, which
+        the mean of a handful of rounds inherits and the median does
+        not."""
+        stats = {
+            entry["name"]: entry["stats"] for entry in results["benchmarks"]
+        }
+        assert (
+            stats["bench_runtime_ingest_4w_shm"]["median"]
+            < stats["bench_runtime_ingest_1w_shm"]["median"]
+        ), "shm 4-worker ingest is not faster than 1-worker"
+
     def test_artifact_built_from_clean_tree(self, results):
         """A benchmark artifact recorded against uncommitted edits is
         unreproducible — reject it so regeneration happens post-commit."""

@@ -1,11 +1,13 @@
 """Streaming runtime tests: bit-identity, crash recovery, backpressure.
 
 The contract under test (docs/runtime.md): a ``StreamingRuntime`` run —
-chunked ingest through bounded queues into ``W`` worker processes, with
-any number of workers SIGKILLed along the way — finishes with per-shard
-states (estimates *and* checkpoint digests) bit-identical to a
-single-process ``ShardedCaesar.process`` of the same stream, on every
-construction engine.
+chunked ingest through a pluggable transport into ``W`` worker
+processes, with any number of workers SIGKILLed along the way —
+finishes with per-shard states (estimates *and* checkpoint digests)
+bit-identical to a single-process ``ShardedCaesar.process`` of the same
+stream, on every construction engine and every transport. Transport-
+sensitive suites run twice: once over bounded pickled queues, once over
+the zero-copy shared-memory rings.
 """
 
 import signal
@@ -21,12 +23,23 @@ from repro.obs.registry import MetricsRegistry
 from repro.resilience.wal import WriteAheadLog
 from repro.runtime import StreamPartitioner, chunk_stream
 from repro.runtime.client import StreamingRuntime
+from repro.runtime.queues import QueueTransport
+from repro.runtime.shm import (
+    CTRL_BYTES,
+    KIND_CHUNK,
+    RingConsumer,
+    RingProducer,
+    SharedMemoryRingTransport,
+)
+from repro.runtime.transport import resolve_transport
 from repro.runtime.worker import (
     WorkerSpec,
     append_ingest_chunk,
     boot_shard,
     decode_ingest_record,
 )
+
+TRANSPORTS = ["queue", "shm"]
 
 
 def make_config(engine="batched", seed=5):
@@ -38,6 +51,14 @@ def make_config(engine="batched", seed=5):
         seed=seed,
         engine=engine,
     )
+
+
+def tiny_transport(name):
+    """A transport whose data plane fills after ~2 hundred-packet chunks
+    (the backpressure tests freeze the consumer and need a fast fill)."""
+    if name == "queue":
+        return QueueTransport(queue_depth=1)
+    return SharedMemoryRingTransport(ring_bytes=2048)
 
 
 @pytest.fixture(scope="module")
@@ -159,12 +180,13 @@ class TestIngestWal:
             decode_ingest_record(record)
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("engine", ["batched", "runs", "scalar"])
 class TestBitIdentity:
-    def test_runtime_matches_offline(self, tmp_path, stream, flows, engine):
+    def test_runtime_matches_offline(self, tmp_path, stream, flows, engine, transport):
         config = make_config(engine)
         base = offline_baseline(config, 2, stream)
-        with StreamingRuntime(config, 2, state_dir=tmp_path) as rt:
+        with StreamingRuntime(config, 2, state_dir=tmp_path, transport=transport) as rt:
             rt.ingest_stream(stream, chunk_packets=1500)
             result = rt.drain()
             assert result.num_packets == len(stream)
@@ -172,14 +194,17 @@ class TestBitIdentity:
             assert_matches_offline(result, rt, base, flows)
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestRecovery:
     def test_sigkill_mid_stream_recovers_bit_identically(
-        self, tmp_path, stream, flows
+        self, tmp_path, stream, flows, transport
     ):
         config = make_config()
         base = offline_baseline(config, 2, stream)
         chunks = np.array_split(stream, 12)
-        with StreamingRuntime(config, 2, state_dir=tmp_path, checkpoint_every=2) as rt:
+        with StreamingRuntime(
+            config, 2, state_dir=tmp_path, transport=transport, checkpoint_every=2
+        ) as rt:
             for i, chunk in enumerate(chunks):
                 if i == 7:
                     rt.kill_worker(1)
@@ -189,13 +214,17 @@ class TestRecovery:
             assert result.num_packets == len(stream)
             assert_matches_offline(result, rt, base, flows)
 
-    def test_recovery_without_checkpoints_replays_wal(self, tmp_path, stream, flows):
+    def test_recovery_without_checkpoints_replays_wal(
+        self, tmp_path, stream, flows, transport
+    ):
         """checkpoint_every=0: the restarted worker rebuilds purely from
         ingest-WAL replay plus supervisor re-feed."""
         config = make_config()
         base = offline_baseline(config, 2, stream)
         chunks = np.array_split(stream, 8)
-        with StreamingRuntime(config, 2, state_dir=tmp_path, checkpoint_every=0) as rt:
+        with StreamingRuntime(
+            config, 2, state_dir=tmp_path, transport=transport, checkpoint_every=0
+        ) as rt:
             for i, chunk in enumerate(chunks):
                 if i == 5:
                     rt.kill_worker(0)
@@ -204,11 +233,13 @@ class TestRecovery:
             assert result.restarts == 1
             assert_matches_offline(result, rt, base, flows)
 
-    def test_pending_query_survives_worker_death(self, tmp_path, stream, flows):
+    def test_pending_query_survives_worker_death(
+        self, tmp_path, stream, flows, transport
+    ):
         """A query outstanding when its worker dies is re-sent to the
         restarted worker and still answered."""
         config = make_config()
-        with StreamingRuntime(config, 1, state_dir=tmp_path) as rt:
+        with StreamingRuntime(config, 1, state_dir=tmp_path, transport=transport) as rt:
             rt.ingest(stream[:4000])
             rt.supervisor.ask(0, 999, flows[:4], "csm")
             rt.kill_worker(0)
@@ -216,10 +247,10 @@ class TestRecovery:
             assert est.shape == (4,)
             assert rt.restarts == 1
 
-    def test_restart_budget_exhaustion_raises(self, tmp_path, stream):
+    def test_restart_budget_exhaustion_raises(self, tmp_path, stream, transport):
         config = make_config()
         with StreamingRuntime(
-            config, 1, state_dir=tmp_path, max_restarts=0
+            config, 1, state_dir=tmp_path, transport=transport, max_restarts=0
         ) as rt:
             rt.ingest(stream[:2000])
             rt.kill_worker(0)
@@ -229,23 +260,24 @@ class TestRecovery:
                     time.sleep(0.01)
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestBackpressure:
-    def _stalled_runtime(self, tmp_path, policy, registry=None):
+    def _stalled_runtime(self, tmp_path, transport, policy, registry=None):
         rt = StreamingRuntime(
             make_config(),
             1,
             state_dir=tmp_path,
-            queue_depth=1,
+            transport=tiny_transport(transport),
             backpressure=policy,
             registry=registry,
         ).start()
-        # Freeze the consumer: the bounded queue must now fill.
+        # Freeze the consumer: the bounded data plane must now fill.
         rt.kill_worker(0, signal.SIGSTOP)
         return rt
 
-    def test_shed_drops_and_counts(self, tmp_path, stream):
+    def test_shed_drops_and_counts(self, tmp_path, stream, transport):
         registry = MetricsRegistry()
-        rt = self._stalled_runtime(tmp_path, "shed", registry)
+        rt = self._stalled_runtime(tmp_path, transport, "shed", registry)
         try:
             accepted = sum(rt.ingest(stream[:100]) for _ in range(10))
             assert accepted < 10 * 100
@@ -258,29 +290,29 @@ class TestBackpressure:
             rt.kill_worker(0, signal.SIGCONT)
             rt.shutdown()
 
-    def test_error_policy_raises_on_full_queue(self, tmp_path, stream):
-        rt = self._stalled_runtime(tmp_path, "error")
+    def test_error_policy_raises_on_full_channel(self, tmp_path, stream, transport):
+        rt = self._stalled_runtime(tmp_path, transport, "error")
         try:
-            with pytest.raises(IngestError, match="queue is full"):
+            with pytest.raises(IngestError, match="is full"):
                 for _ in range(10):
                     rt.ingest(stream[:100])
         finally:
             rt.kill_worker(0, signal.SIGCONT)
             rt.shutdown()
 
-    def test_block_policy_records_stalls(self, tmp_path, stream):
+    def test_block_policy_records_stalls(self, tmp_path, stream, transport):
         registry = MetricsRegistry()
         rt = StreamingRuntime(
             make_config(),
             1,
             state_dir=tmp_path,
-            queue_depth=1,
+            transport=tiny_transport(transport),
             backpressure="block",
             registry=registry,
         ).start()
         try:
             rt.kill_worker(0, signal.SIGSTOP)
-            # Unfreeze shortly after; the blocked put must ride it out.
+            # Unfreeze shortly after; the blocked send must ride it out.
             import threading
 
             threading.Timer(
@@ -294,20 +326,185 @@ class TestBackpressure:
         finally:
             rt.shutdown()
 
-    def test_rejects_unknown_policy(self, tmp_path):
+    def test_rejects_unknown_policy(self, tmp_path, transport):
         with pytest.raises(ConfigError):
             StreamingRuntime(
-                make_config(), 1, state_dir=tmp_path, backpressure="bogus"
+                make_config(),
+                1,
+                state_dir=tmp_path,
+                transport=transport,
+                backpressure="bogus",
             )
 
 
+class TestShmRing:
+    """Unit tests of the SPSC ring itself — no processes involved."""
+
+    def _ring_pair(self, capacity=512):
+        buf = memoryview(bytearray(CTRL_BYTES + capacity))
+        return RingProducer(buf, capacity), RingConsumer(buf, capacity)
+
+    def test_roundtrip_one_record(self):
+        prod, cons = self._ring_pair()
+        payload = bytes(range(48))
+        assert prod.try_write(KIND_CHUNK, 0, 7, 6, [payload], len(payload))
+        kind, flags, seq, n, out = cons.try_read()
+        assert (kind, flags, seq, n) == (KIND_CHUNK, 0, 7, 6)
+        assert bytes(out) == payload
+        assert cons.try_read() is None
+
+    def test_wraparound_preserves_payloads(self):
+        """Many records through a small ring: every byte survives the
+        wrap filler machinery, in order."""
+        prod, cons = self._ring_pair(capacity=512)
+        rng = np.random.default_rng(3)
+        for seq in range(200):
+            payload = rng.integers(0, 256, size=int(rng.integers(1, 150))).astype(
+                np.uint8
+            )
+            # Drain-as-needed: mimics producer waiting on the consumer.
+            while not prod.try_write(
+                KIND_CHUNK, 0, seq, len(payload), [payload], payload.nbytes
+            ):
+                rec = cons.try_read()
+                assert rec is not None
+            rec = cons.try_read()
+            assert rec is not None
+            kind, _flags, got_seq, n, out = rec
+            assert kind == KIND_CHUNK and got_seq == seq and n == len(payload)
+            np.testing.assert_array_equal(
+                np.frombuffer(out, dtype=np.uint8), payload
+            )
+            assert prod.used() == 0  # fully drained, counters keep running
+
+    def test_full_ring_rejects_write(self):
+        prod, cons = self._ring_pair(capacity=128)
+        payload = bytes(64)
+        assert prod.try_write(KIND_CHUNK, 0, 0, 0, [payload], 64)
+        assert not prod.try_write(KIND_CHUNK, 0, 1, 0, [payload], 64)
+        assert cons.try_read() is not None
+        assert prod.try_write(KIND_CHUNK, 0, 1, 0, [payload], 64)
+
+
+class TestShmTransport:
+    """Shared-memory specifics: fragmentation, segment lifecycle, sizing."""
+
+    def test_oversized_chunk_fragments_bit_identically(self, tmp_path, stream, flows):
+        """A chunk far larger than the whole ring streams through as
+        FLAG_MORE fragments and the result stays bit-identical."""
+        config = make_config()
+        base = offline_baseline(config, 2, stream)
+        with StreamingRuntime(
+            config,
+            2,
+            state_dir=tmp_path,
+            transport=SharedMemoryRingTransport(ring_bytes=4096),
+        ) as rt:
+            rt.ingest(stream)  # one 12k-packet chunk ≈ 96 KiB >> 4 KiB ring
+            result = rt.drain()
+            assert result.num_packets == len(stream)
+            assert_matches_offline(result, rt, base, flows)
+
+    def test_oversized_chunk_shed_drops_outright(self, tmp_path, stream):
+        registry = MetricsRegistry()
+        with StreamingRuntime(
+            make_config(),
+            1,
+            state_dir=tmp_path,
+            transport=SharedMemoryRingTransport(ring_bytes=2048),
+            backpressure="shed",
+            registry=registry,
+        ) as rt:
+            assert rt.ingest(stream[:4000]) == 0  # can never fit atomically
+            assert registry.counter("runtime.backpressure.shed_packets").value == 4000
+            assert rt.drain().num_packets == 0
+
+    def test_oversized_chunk_error_raises(self, tmp_path, stream):
+        with StreamingRuntime(
+            make_config(),
+            1,
+            state_dir=tmp_path,
+            transport=SharedMemoryRingTransport(ring_bytes=2048),
+            backpressure="error",
+        ) as rt:
+            with pytest.raises(IngestError, match="record cap"):
+                rt.ingest(stream[:4000])
+
+    def test_segments_unlinked_after_shutdown(self, tmp_path, stream):
+        from multiprocessing import shared_memory
+
+        with StreamingRuntime(
+            make_config(), 2, state_dir=tmp_path, transport="shm"
+        ) as rt:
+            rt.ingest(stream[:2000])
+            names = [h.channel.segment_name for h in rt.supervisor.handles]
+            assert all(names)
+            rt.drain()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_crash_restart_swaps_and_unlinks_segment(self, tmp_path, stream):
+        from multiprocessing import shared_memory
+
+        with StreamingRuntime(
+            make_config(), 1, state_dir=tmp_path, transport="shm"
+        ) as rt:
+            rt.ingest(stream[:2000])
+            old = rt.supervisor.handles[0].channel.segment_name
+            rt.kill_worker(0)
+            deadline = time.monotonic() + 30
+            while rt.restarts == 0 and time.monotonic() < deadline:
+                rt.ingest(stream[:100])
+            assert rt.restarts == 1
+            new = rt.supervisor.handles[0].channel.segment_name
+            assert new != old
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=old)
+
+    def test_batched_acks_empty_retention_after_drain(self, tmp_path, stream):
+        """With batching, retention may lag ack_every chunks mid-run but
+        the drain-time ack flush must empty it on every shard."""
+        with StreamingRuntime(
+            make_config(),
+            2,
+            state_dir=tmp_path,
+            transport="shm",
+            ack_every=5,
+            checkpoint_every=0,
+        ) as rt:
+            rt.ingest_stream(stream, chunk_packets=700)
+            rt.drain()
+            rt.supervisor.pump()
+            assert all(not h.retained for h in rt.supervisor.handles)
+
+
+class TestTransportSelection:
+    def test_rejects_unknown_transport(self, tmp_path):
+        with pytest.raises(ConfigError, match="transport"):
+            StreamingRuntime(make_config(), 1, state_dir=tmp_path, transport="bogus")
+
+    def test_resolve_passes_instances_through(self):
+        t = QueueTransport(queue_depth=3)
+        assert resolve_transport(t) is t
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(IngestError, match="queue_depth"):
+            QueueTransport(queue_depth=0)
+
+    def test_ring_bytes_must_be_sane(self):
+        with pytest.raises(IngestError, match="ring_bytes"):
+            SharedMemoryRingTransport(ring_bytes=16)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestLiveQueries:
     def test_queries_mid_ingest_then_exact_after_drain(
-        self, tmp_path, stream, flows
+        self, tmp_path, stream, flows, transport
     ):
         config = make_config()
         base = offline_baseline(config, 2, stream)
-        with StreamingRuntime(config, 2, state_dir=tmp_path) as rt:
+        with StreamingRuntime(config, 2, state_dir=tmp_path, transport=transport) as rt:
             rt.ingest(stream[:6000])
             live = rt.query(flows[:32])
             assert live.shape == (32,)
@@ -341,11 +538,17 @@ class TestLifecycle:
 class TestMeasureIntegration:
     """api.measure(stream=..., workers=...) rides the runtime."""
 
-    def test_measure_stream_workers(self, stream, flows):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_measure_stream_workers(self, stream, flows, transport):
         import repro
 
         result = repro.measure(
-            stream=stream, workers=2, sram_kb=4, cache_kb=2, chunk_packets=2000
+            stream=stream,
+            workers=2,
+            transport=transport,
+            sram_kb=4,
+            cache_kb=2,
+            chunk_packets=2000,
         )
         assert isinstance(result, repro.StreamMeasurementResult)
         assert result.num_packets == len(stream)
@@ -365,3 +568,15 @@ class TestMeasureIntegration:
 
         with pytest.raises(ConfigError, match="expected_packets"):
             repro.measure(stream=iter([stream]), sram_kb=1, cache_kb=1)
+
+    def test_measure_transport_requires_workers(self, stream):
+        import repro
+
+        with pytest.raises(ConfigError, match="workers"):
+            repro.measure(stream=stream, transport="shm", sram_kb=1, cache_kb=1)
+
+    def test_measure_transport_requires_stream(self, stream):
+        import repro
+
+        with pytest.raises(ConfigError, match="stream="):
+            repro.measure(stream[:100], transport="shm", sram_kb=1, cache_kb=1)
