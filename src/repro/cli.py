@@ -16,9 +16,12 @@ Subcommands::
 runtime (:mod:`repro.runtime`): bounded queues with a backpressure
 policy, optional live queries mid-ingest (``--query-every``),
 deterministic fault injection by SIGKILLing a worker mid-stream
-(``--chaos-kill SHARD:CHUNK``), and ``--verify-offline`` proving the
-result bit-identical to a single-process sharded run — the CI
-runtime-smoke job runs exactly this (see docs/runtime.md).
+(``--chaos-kill SHARD:CHUNK``), live elastic shard splits — scripted
+(``--reshard SHARD:AT_CHUNK``) or hot-shard-triggered
+(``--reshard-above FILL``) — and ``--verify-offline`` proving the
+result bit-identical to a single-process sharded run under the final
+shard map — the CI runtime-smoke and reshard-smoke jobs run exactly
+this (see docs/runtime.md).
 
 ``run``, ``report``, and ``measure`` accept ``--metrics-out PATH``:
 observability is switched on (a :class:`~repro.obs.MetricsRegistry`
@@ -254,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(crash-recovery demo; the run must still finish bit-identically)",
     )
     serve_p.add_argument(
+        "--reshard",
+        default=None,
+        metavar="SHARD:AT_CHUNK",
+        help="split shard SHARD live just before ingesting chunk AT_CHUNK "
+        "(elastic scale-out demo; other shards keep ingesting, and with "
+        "--verify-offline the result must equal an offline run under the "
+        "final shard map)",
+    )
+    serve_p.add_argument(
+        "--reshard-above",
+        type=float,
+        default=None,
+        metavar="FILL",
+        help="hot-shard detection: split any shard whose data-plane fill "
+        "fraction stays at or above FILL (0..1) for a few consecutive "
+        "ingests",
+    )
+    serve_p.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="upper bound on shards after splits (default: unlimited)",
+    )
+    serve_p.add_argument(
         "--verify-offline",
         action="store_true",
         help="after the drain, rerun single-process ShardedCaesar and assert "
@@ -428,6 +456,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ) from None
         if not 0 <= chaos[0] < args.workers:
             raise ConfigError(f"--chaos-kill shard {chaos[0]} out of range")
+    reshard: tuple[int, int] | None = None
+    if args.reshard:
+        try:
+            shard_s, chunk_s = args.reshard.split(":")
+            reshard = (int(shard_s), int(chunk_s))
+        except ValueError:
+            raise ConfigError(
+                f"--reshard wants SHARD:AT_CHUNK, got {args.reshard!r}"
+            ) from None
+        if not 0 <= reshard[0] < args.workers:
+            raise ConfigError(f"--reshard shard {reshard[0]} out of range")
     if args.ring_kb is not None and args.transport != "shm":
         raise ConfigError("--ring-kb applies only with --transport shm")
     print(
@@ -452,6 +491,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backpressure=args.backpressure,
             checkpoint_every=args.checkpoint_every,
             registry=registry,
+            reshard_above=args.reshard_above,
+            max_shards=args.max_shards,
         ) as rt:
             for i, (pkts, lens) in enumerate(
                 chunk_stream(trace.packets, chunk_packets=args.chunk_packets)
@@ -459,6 +500,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if chaos is not None and i == chaos[1]:
                     print(f"[chaos: SIGKILL shard {chaos[0]} worker at chunk {i}]")
                     rt.kill_worker(chaos[0])
+                if reshard is not None and i == reshard[1]:
+                    print(f"[reshard: splitting shard {reshard[0]} at chunk {i}]")
+                    rt.begin_reshard(reshard[0])
                 rt.ingest(pkts, lens)
                 if args.query_every and i % args.query_every == 0:
                     est = rt.query(watch)
@@ -468,6 +512,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"ingested {result.num_packets} packets; "
                 f"worker restarts: {result.restarts}"
             )
+            if result.reshards:
+                print(
+                    f"resharded {result.reshards}x — final map "
+                    f"{result.shard_map.describe()}"
+                )
             for s, digest in enumerate(result.shard_digests):
                 print(f"  shard {s}: final digest {digest[:16]}…")
             estimates = rt.query(trace.flows.ids)
@@ -484,7 +533,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{estimates[i]:>12.1f}  {int(trace.flows.sizes[i]):>10d}"
         )
     if args.verify_offline:
-        offline = ShardedCaesar(config, args.workers)
+        # Build the offline twin under the runtime's *final* shard map,
+        # so resharded runs verify against the post-split deployment.
+        offline = ShardedCaesar(config, shard_map=result.shard_map)
         offline.process(trace.packets)
         offline.finalize()
         base = offline.estimate(trace.flows.ids, "csm", clip_negative=True)

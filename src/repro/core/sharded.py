@@ -33,6 +33,7 @@ from repro.obs.schemes import observe_scheme
 from repro.runtime.partitioner import (
     DEFAULT_CHUNK_PACKETS,
     DEFAULT_SHARD_SEED,
+    ShardMap,
     StreamPartitioner,
     chunk_stream,
 )
@@ -55,6 +56,12 @@ def shard_caesar_config(
     streaming runtime (:mod:`repro.runtime`) — both must build
     byte-identical shard instances or the bit-identity contract between
     the one-shot and streaming paths breaks.
+
+    For resharded deployments ``num_shards`` is the map's *base* shard
+    count (``ShardMap.num_base``), never the post-split count: a split
+    adds memory (scale-out), it does not silently re-budget the
+    survivors — and shard ``i``'s seed must not move when some *other*
+    shard splits, or every untouched shard's state would change.
     """
     if divide_budget:
         config = replace(
@@ -63,6 +70,21 @@ def shard_caesar_config(
             bank_size=max(1, config.bank_size // num_shards),
         )
     return replace(config, seed=config.seed + SHARD_SEED_STRIDE * shard_index)
+
+
+def shard_configs_for_map(
+    config: CaesarConfig,
+    shard_map: ShardMap,
+    *,
+    divide_budget: bool = True,
+) -> list[CaesarConfig]:
+    """Per-shard configs for every shard of a (possibly split) map."""
+    return [
+        shard_caesar_config(
+            config, i, shard_map.num_base, divide_budget=divide_budget
+        )
+        for i in range(shard_map.num_shards)
+    ]
 
 
 def _run_shard(
@@ -89,24 +111,34 @@ class ShardedScheme:
     def __init__(
         self,
         make_shard: Callable[[int], MeasurementScheme],
-        num_shards: int,
+        num_shards: int | None = None,
         *,
         shard_seed: int = DEFAULT_SHARD_SEED,
         registry: MetricsRegistry | None = None,
+        shard_map: ShardMap | None = None,
     ) -> None:
-        if num_shards < 1:
-            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
-        self.num_shards = int(num_shards)
+        # The flow → shard map is shared with the streaming runtime so
+        # both ingest paths agree bit for bit (docs/runtime.md). A
+        # resharded deployment hands its final versioned map in here.
+        if shard_map is None:
+            if num_shards is None or num_shards < 1:
+                raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+            self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
+        else:
+            self.partitioner = StreamPartitioner(shard_map=shard_map)
+        self.num_shards = self.partitioner.num_shards
         # One registry observes the whole deployment: stage metrics from
         # shards sharing it aggregate naturally across shards.
         self.metrics = resolve_registry(registry)
         self.shards: Sequence[MeasurementScheme] = [
-            make_shard(i) for i in range(num_shards)
+            make_shard(i) for i in range(self.num_shards)
         ]
-        # The flow → shard map is shared with the streaming runtime so
-        # both ingest paths agree bit for bit (docs/runtime.md).
-        self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
         self._finalized = False
+
+    @property
+    def shard_map(self) -> ShardMap:
+        """The (possibly versioned) flow → shard map in force."""
+        return self.partitioner.shard_map
 
     # -- partitioning --------------------------------------------------------
 
@@ -251,21 +283,26 @@ class ShardedCaesar(ShardedScheme):
     def __init__(
         self,
         config: CaesarConfig,
-        num_shards: int,
+        num_shards: int | None = None,
         *,
         divide_budget: bool = True,
         shard_seed: int = DEFAULT_SHARD_SEED,
         registry: MetricsRegistry | None = None,
+        shard_map: ShardMap | None = None,
     ) -> None:
-        if num_shards < 1:
-            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if shard_map is None:
+            if num_shards is None or num_shards < 1:
+                raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+            shard_map = ShardMap(num_base=int(num_shards), shard_seed=int(shard_seed))
+        # Budget splits over the map's *base* count: a split scales the
+        # deployment out (more total memory), it never re-budgets the
+        # untouched shards (see shard_caesar_config).
+        num_base = shard_map.num_base
         if divide_budget:
-            # Split the total memory across shards so a W-way deployment
-            # is budget-comparable to one big instance.
             shard_config = replace(
                 config,
-                cache_entries=max(1, config.cache_entries // num_shards),
-                bank_size=max(1, config.bank_size // num_shards),
+                cache_entries=max(1, config.cache_entries // num_base),
+                bank_size=max(1, config.bank_size // num_base),
             )
         else:
             shard_config = config
@@ -276,11 +313,10 @@ class ShardedCaesar(ShardedScheme):
         # streaming runtime's workers.
         super().__init__(
             lambda i: Caesar(
-                shard_caesar_config(config, i, num_shards, divide_budget=divide_budget),
+                shard_caesar_config(config, i, num_base, divide_budget=divide_budget),
                 registry=registry,
             ),
-            num_shards,
-            shard_seed=shard_seed,
+            shard_map=shard_map,
             registry=registry,
         )
 

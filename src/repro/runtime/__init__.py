@@ -27,7 +27,11 @@ Module map:
 - :mod:`~repro.runtime.worker` — the shard worker process: ingest WAL,
   periodic atomic checkpoints, boot-time recovery;
 - :mod:`~repro.runtime.supervisor` — process babysitting: crash
-  detection, restart, retained-chunk re-feed;
+  detection, restart, retained-chunk re-feed, and the live shard-split
+  state machine (seal → replay → cutover → refeed);
+- :mod:`~repro.runtime.planner` — hot-shard detection
+  (:class:`ReshardPlanner`): sustained data-plane fill picks the shard
+  to split;
 - :mod:`~repro.runtime.client` — :class:`StreamingRuntime`, the
   user-facing facade.
 """
@@ -35,9 +39,12 @@ Module map:
 from repro.runtime.partitioner import (
     DEFAULT_CHUNK_PACKETS,
     DEFAULT_SHARD_SEED,
+    ShardMap,
+    ShardSplit,
     StreamPartitioner,
     chunk_stream,
 )
+from repro.runtime.planner import DEFAULT_SUSTAIN, ReshardPlanner
 from repro.runtime.queues import DEFAULT_QUEUE_DEPTH, QueueTransport
 from repro.runtime.shm import DEFAULT_RING_BYTES, SharedMemoryRingTransport
 from repro.runtime.supervisor import ShardSupervisor
@@ -69,10 +76,14 @@ __all__ = [
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_RING_BYTES",
     "DEFAULT_SHARD_SEED",
+    "DEFAULT_SUSTAIN",
     "DEFAULT_TRANSPORT",
     "QueueTransport",
+    "ReshardPlanner",
     "RuntimeResult",
     "SharedMemoryRingTransport",
+    "ShardMap",
+    "ShardSplit",
     "ShardSupervisor",
     "StreamPartitioner",
     "StreamingRuntime",

@@ -46,14 +46,16 @@ import numpy.typing as npt
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.core.sharded import ShardedCaesar, shard_caesar_config
-from repro.errors import IngestError
+from repro.errors import ConfigError, IngestError
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.runtime.partitioner import (
     DEFAULT_CHUNK_PACKETS,
     DEFAULT_SHARD_SEED,
+    ShardMap,
     StreamPartitioner,
     chunk_stream,
 )
+from repro.runtime.planner import DEFAULT_SUSTAIN, ReshardPlanner
 from repro.runtime.supervisor import DEFAULT_QUEUE_DEPTH, ShardSupervisor
 from repro.runtime.transport import (
     DEFAULT_ACK_EVERY,
@@ -82,19 +84,24 @@ class RuntimeResult:
     checkpoint_paths: tuple[str, ...]
     num_packets: int
     restarts: int
+    shard_map: ShardMap | None = None  # the final (possibly split) map
+    reshards: int = 0  # splits performed during the run
 
     def load_scheme(self, *, registry: MetricsRegistry | None = None) -> ShardedCaesar:
         """Rebuild the deployment locally from the final checkpoints.
 
         The returned :class:`ShardedCaesar` is finalized and queryable
         offline, and is bit-identical to the workers' final states —
-        the runtime's answer to "hand me the finished measurement".
+        the runtime's answer to "hand me the finished measurement". A
+        resharded run rebuilds under its *final* shard map, so query
+        routing matches the split deployment exactly.
         """
         scheme = ShardedCaesar(
             self.config,
-            self.num_shards,
+            self.num_shards if self.shard_map is None else None,
             divide_budget=self.divide_budget,
             shard_seed=self.shard_seed,
+            shard_map=self.shard_map,
             registry=registry,
         )
         scheme.shards = [Caesar.resume(path) for path in self.checkpoint_paths]
@@ -123,6 +130,9 @@ class StreamingRuntime:
         start_method: str | None = None,
         max_restarts: int = 3,
         compute_slots: int | None = None,
+        reshard_above: float | None = None,
+        reshard_sustain: int = DEFAULT_SUSTAIN,
+        max_shards: int | None = None,
     ) -> None:
         self.config = config
         self.num_shards = int(num_shards)
@@ -130,6 +140,24 @@ class StreamingRuntime:
         self.shard_seed = shard_seed
         self.state_dir = Path(state_dir)
         self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
+        self.checkpoint_every = checkpoint_every
+        self.ack_every = ack_every
+        if max_shards is not None and max_shards < self.num_shards:
+            raise ConfigError(
+                f"max_shards={max_shards} is below num_shards={num_shards}"
+            )
+        self.max_shards = max_shards
+        # Hot-shard detection: watch sustained data-plane fill and split
+        # the offender (see repro.runtime.planner). Off unless asked for.
+        self._planner = (
+            None
+            if reshard_above is None
+            else ReshardPlanner(
+                threshold=reshard_above,
+                sustain=reshard_sustain,
+                max_shards=max_shards,
+            )
+        )
         self.metrics = resolve_registry(registry)
         self.transport = resolve_transport(
             transport, queue_depth=queue_depth, ring_bytes=ring_bytes
@@ -206,12 +234,51 @@ class StreamingRuntime:
         self._require(not_drained=True)
         packets = np.asarray(packets, dtype=np.uint64)
         accepted = 0
-        for shard, (pkts, lens) in enumerate(
-            self.partitioner.partition(packets, lengths)
-        ):
-            if len(pkts) and self.supervisor.send_chunk(shard, pkts, lens):
-                accepted += len(pkts)
+        pending: tuple | None = (packets, lengths)
+        while pending is not None:
+            pkts_all, lens_all = pending
+            version = self.partitioner.version
+            parts = self.partitioner.partition(pkts_all, lens_all)
+            pending = None
+            for shard, (pkts, lens) in enumerate(parts):
+                if not len(pkts):
+                    continue
+                if self.supervisor.send_chunk(shard, pkts, lens):
+                    accepted += len(pkts)
+                if self.partitioner.version != version:
+                    # A reshard cut over mid-call (a blocked send pumps
+                    # the supervisor, and the pump may finish a split):
+                    # the not-yet-sent remainder was partitioned under
+                    # the retired map — re-partition it under the new
+                    # one. Refinement makes this safe: non-donor
+                    # subchunks land on the same shard either way, and
+                    # per-flow order is preserved (each flow lives in
+                    # exactly one unsent subchunk).
+                    rest = [p for p in parts[shard + 1 :] if len(p[0])]
+                    if rest:
+                        pending = (
+                            np.concatenate([p for p, _ in rest]),
+                            None
+                            if lens_all is None
+                            else np.concatenate([ln for _, ln in rest]),
+                        )
+                    break
+        self._maybe_plan_reshard()
         return accepted
+
+    def _maybe_plan_reshard(self) -> None:
+        """One hot-shard planner observation per ingest call."""
+        if (
+            self._planner is None
+            or self._drained
+            or self.supervisor.reshard_in_progress
+        ):
+            return
+        donor = self._planner.observe(self.supervisor.shard_fills())
+        if donor is not None and (
+            self.max_shards is None or self.num_shards < self.max_shards
+        ):
+            self.begin_reshard(donor)
 
     def ingest_stream(
         self,
@@ -228,6 +295,73 @@ class StreamingRuntime:
         ):
             accepted += self.ingest(pkts, lens)
         return accepted
+
+    # -- elastic resharding --------------------------------------------------
+
+    @property
+    def shard_map(self) -> ShardMap:
+        """The versioned flow → shard map currently in force."""
+        return self.partitioner.shard_map
+
+    @property
+    def reshard_in_progress(self) -> bool:
+        return self.supervisor.reshard_in_progress
+
+    def begin_reshard(self, donor: int) -> None:
+        """Split shard ``donor`` live: seal it, boot two successors from
+        its checkpointed WAL history, flip to the next map version, and
+        re-feed anything held in flight — all while the other shards
+        keep ingesting. Asynchronous: driven forward by subsequent
+        :meth:`ingest` / :meth:`query` / :meth:`drain` calls (or
+        :meth:`finish_reshard` to block on completion).
+        """
+        self._require(not_drained=True)
+        if self.max_shards is not None and self.num_shards >= self.max_shards:
+            raise IngestError(
+                f"cannot split: already at max_shards={self.max_shards}"
+            )
+        new_map = self.partitioner.shard_map.split(donor)
+        child = new_map.num_shards - 1
+        donor_spec = self.supervisor.handles[donor].spec
+        version = new_map.version
+
+        def make_specs(sealed_seq: int) -> tuple[WorkerSpec, WorkerSpec]:
+            # The successors' ancestry: every WAL the donor itself was
+            # born from, plus the donor's own (sealed, now-immutable)
+            # WAL — recursive splits just grow the chain.
+            history = (*donor_spec.history_wals, str(donor_spec.wal_path))
+            spec_a, spec_b = (
+                WorkerSpec(
+                    shard_id=sid,
+                    # Budget still divides by the *base* count: a split
+                    # scales out; untouched shards' configs never move.
+                    config=shard_caesar_config(
+                        self.config,
+                        sid,
+                        new_map.num_base,
+                        divide_budget=self.divide_budget,
+                    ),
+                    state_dir=str(self.state_dir / f"shard{sid}.v{version}"),
+                    checkpoint_every=self.checkpoint_every,
+                    ack_every=self.ack_every,
+                    history_wals=history,
+                    history_through=sealed_seq,
+                    shard_map=new_map,
+                )
+                for sid in (donor, child)
+            )
+            return spec_a, spec_b
+
+        def on_cutover(map_: ShardMap) -> None:
+            self.partitioner = StreamPartitioner(shard_map=map_)
+            self.num_shards = map_.num_shards
+
+        self.supervisor.begin_reshard(donor, make_specs, on_cutover)
+
+    def finish_reshard(self, timeout: float = 300.0) -> None:
+        """Block until any in-flight reshard fully completes."""
+        self._require()
+        self.supervisor.finish_reshard(timeout=timeout)
 
     # -- queries ------------------------------------------------------------
 
@@ -284,6 +418,8 @@ class StreamingRuntime:
             checkpoint_paths=tuple(h.finalized[1] for h in handles),
             num_packets=sum(h.finalized[2] for h in handles),
             restarts=sum(h.restarts for h in handles),
+            shard_map=self.partitioner.shard_map,
+            reshards=self.partitioner.shard_map.version,
         )
         self._drained = True
         return self._result

@@ -141,14 +141,14 @@ class QueueShardChannel(ShardChannel):
         except queue_mod.Full:
             return False
 
-    def send_drain(self, timeout: float = 60.0) -> None:
+    def _send_marker(self, marker: tuple, timeout: float) -> None:
         # In-band on the inbox so it is ordered after every sent chunk.
         import time
 
         deadline = time.monotonic() + timeout
         while True:
             try:
-                self._inbox.put(("drain",), timeout=STALL_SLICE_SECONDS)
+                self._inbox.put(marker, timeout=STALL_SLICE_SECONDS)
                 return
             except queue_mod.Full:
                 self._record_stall(STALL_SLICE_SECONDS, count=False)
@@ -158,6 +158,12 @@ class QueueShardChannel(ShardChannel):
                     raise IngestError(
                         f"shard {self.shard_id} queue stayed full for {timeout:.0f}s"
                     ) from None
+
+    def send_drain(self, timeout: float = 60.0) -> None:
+        self._send_marker(("drain",), timeout)
+
+    def send_seal(self, timeout: float = 60.0) -> None:
+        self._send_marker(("seal",), timeout)
 
     # -- control plane ------------------------------------------------------
 
@@ -185,10 +191,16 @@ class QueueShardChannel(ShardChannel):
     # -- observability ------------------------------------------------------
 
     def data_depth(self) -> int | None:
+        if self._inbox is None:
+            return None
         try:
             return self._inbox.qsize()
         except NotImplementedError:  # pragma: no cover - macOS qsize
             return None
+
+    def data_fill(self) -> float | None:
+        depth = self.data_depth()
+        return None if depth is None else min(depth / self.queue_depth, 1.0)
 
 
 @dataclass(frozen=True)

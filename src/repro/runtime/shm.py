@@ -102,6 +102,7 @@ CTRL_BYTES = 128
 KIND_CHUNK = 1
 KIND_DRAIN = 2
 KIND_WRAP = 3
+KIND_SEAL = 4
 
 FLAG_HAS_LENGTHS = 1
 FLAG_MORE = 2  # more fragments of this chunk follow
@@ -284,6 +285,8 @@ class ShmWorkerTransport(WorkerTransport):
             kind, flags, seq, n_packets, payload = rec
             if kind == KIND_DRAIN:
                 return ("drain",)
+            if kind == KIND_SEAL:
+                return ("seal",)
             if frags is None and not flags & FLAG_MORE:
                 packets, lengths = _decode_payload(payload, n_packets, flags)
                 return ("chunk", seq, packets, lengths)
@@ -464,9 +467,9 @@ class ShmShardChannel(ShardChannel):
             if not restarted:
                 return
 
-    def send_drain(self, timeout: float = 60.0) -> None:
+    def _send_marker(self, kind: int, timeout: float) -> None:
         deadline = time.monotonic() + timeout
-        while not self._ring.try_write(KIND_DRAIN, 0, 0, 0, [], 0):
+        while not self._ring.try_write(kind, 0, 0, 0, [], 0):
             self._record_stall(RING_POLL_SECONDS, count=False)
             time.sleep(RING_POLL_SECONDS)
             if time.monotonic() > deadline:
@@ -474,6 +477,12 @@ class ShmShardChannel(ShardChannel):
                     f"shard {self.shard_id} ring stayed full for {timeout:.0f}s"
                 )
         self._doorbell.release()
+
+    def send_drain(self, timeout: float = 60.0) -> None:
+        self._send_marker(KIND_DRAIN, timeout)
+
+    def send_seal(self, timeout: float = 60.0) -> None:
+        self._send_marker(KIND_SEAL, timeout)
 
     # -- control plane ------------------------------------------------------
 
@@ -520,6 +529,10 @@ class ShmShardChannel(ShardChannel):
     def data_depth(self) -> int | None:
         ring = self._ring
         return None if ring is None else ring.used()
+
+    def data_fill(self) -> float | None:
+        depth = self.data_depth()
+        return None if depth is None else min(depth / self.capacity, 1.0)
 
     @property
     def segment_name(self) -> str | None:

@@ -39,12 +39,14 @@ import multiprocessing as mp
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 import numpy.typing as npt
 
 from repro.errors import ConfigError, IngestError
 from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.runtime.partitioner import ShardMap
 from repro.runtime.queues import DEFAULT_QUEUE_DEPTH  # noqa: F401  (re-export)
 from repro.runtime.transport import (
     BACKPRESSURE_POLICIES,
@@ -82,6 +84,33 @@ class WorkerHandle:
     pending_queries: dict[int, tuple] = field(default_factory=dict)
     replies: dict[int, tuple] = field(default_factory=dict)
     drain_sent: bool = False
+    seal_sent: bool = False  # reshard seal marker sent (re-sent on restart)
+    sealed: tuple | None = None  # (sealed_seq, digest) once the worker sealed
+    ready_seq: int | None = None  # async-observed boot report (successors)
+
+
+#: Reshard phases, in order. ``sealing``: the donor is flushing acks and
+#: cutting its durable checkpoint; its inbound chunks are held. ``replaying``:
+#: both successors are booting (history-chain replay); donor still answers
+#: queries. ``refeed``: cutover happened — the map flipped, the donor is
+#: retired — and the held chunks drain to the successors under the new map.
+RESHARD_PHASES = ("sealing", "replaying", "refeed")
+
+
+@dataclass
+class ReshardOp:
+    """Supervisor-side state of one in-flight shard split."""
+
+    donor: int
+    make_specs: Callable[[int], tuple[WorkerSpec, WorkerSpec]]
+    on_cutover: Callable[[ShardMap], None] | None = None
+    phase: str = "sealing"
+    held: list[tuple] = field(default_factory=list)  # [(packets, lengths), ...]
+    sealed_seq: int = -1
+    sealed_digest: str | None = None
+    successors: list[WorkerHandle] = field(default_factory=list)
+    new_map: ShardMap | None = None
+    started_at: float = field(default_factory=time.monotonic)
 
 
 class ShardSupervisor:
@@ -140,6 +169,8 @@ class ShardSupervisor:
         ]
         self._pumping = False
         self._stopped = False
+        self._reshard: ReshardOp | None = None
+        self._refeeding = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -187,10 +218,17 @@ class ShardSupervisor:
             else:
                 self._handle_msg(handle, msg)
 
+    def _all_handles(self) -> list[WorkerHandle]:
+        """Every live handle, including not-yet-cutover split successors."""
+        out = list(self.handles)
+        if self._reshard is not None:
+            out.extend(self._reshard.successors)
+        return out
+
     def stop(self) -> None:
         """Graceful shutdown: stop every worker, join, hard-kill stragglers."""
         self._stopped = True
-        for handle in self.handles:
+        for handle in self._all_handles():
             if handle.process is None:
                 continue
             if handle.process.is_alive():
@@ -198,7 +236,7 @@ class ShardSupervisor:
                     handle.channel.send_control(("stop",))
                 except (OSError, ValueError):  # pragma: no cover
                     pass
-        for handle in self.handles:
+        for handle in self._all_handles():
             if handle.process is None:
                 continue
             # Join in slices, re-waking the worker each time: the stop
@@ -233,6 +271,13 @@ class ShardSupervisor:
             if qid in handle.pending_queries:
                 handle.pending_queries.pop(qid)
                 handle.replies[qid] = (est, err)
+        elif kind == "sealed":
+            handle.sealed = (int(msg[2]), msg[3])
+        elif kind == "ready":
+            # Successors boot asynchronously (pump polls them); the
+            # initial blocking start path consumes "ready" directly in
+            # _wait_ready and never reaches here.
+            handle.ready_seq = int(msg[2])
         elif kind == "error":
             handle.last_error = msg[2]
 
@@ -252,10 +297,11 @@ class ShardSupervisor:
                     self._handle_msg(handle, msg)
                 if handle.process is not None and not handle.process.is_alive():
                     self._restart(handle)
+            self._advance_reshard()
         finally:
             self._pumping = False
 
-    def _restart(self, handle: WorkerHandle) -> None:
+    def _restart(self, handle: WorkerHandle) -> int:
         """Restart a dead worker and re-feed everything it lost."""
         shard = handle.spec.shard_id
         if handle.restarts >= self.max_restarts:
@@ -286,8 +332,204 @@ class ShardSupervisor:
         self.metrics.counter("runtime.refed_chunks").inc(refed)
         for query_msg in list(handle.pending_queries.values()):
             handle.channel.send_control(query_msg)
+        if handle.seal_sent and handle.sealed is None:
+            # Crashed between seal send and the sealed report: re-seal
+            # after the re-feed (in-band, so it lands after every chunk;
+            # the worker seals the same recovered state idempotently).
+            handle.channel.send_seal()
         if handle.drain_sent:
             handle.channel.send_drain()
+        return recovered_through
+
+    # -- elastic resharding --------------------------------------------------
+
+    @property
+    def reshard_in_progress(self) -> bool:
+        return self._reshard is not None
+
+    @property
+    def reshard_phase(self) -> str | None:
+        return None if self._reshard is None else self._reshard.phase
+
+    def begin_reshard(
+        self,
+        donor: int,
+        make_specs: Callable[[int], tuple[WorkerSpec, WorkerSpec]],
+        on_cutover: Callable[[ShardMap], None] | None = None,
+    ) -> None:
+        """Start splitting shard ``donor`` into itself + a new shard.
+
+        ``make_specs(sealed_seq)`` is called once the donor seals; it
+        must return the two successor :class:`WorkerSpec`\\ s — first the
+        donor's heir (same shard id) then the new child (id equal to the
+        current shard count) — both carrying the new versioned
+        ``shard_map`` and the donor's WAL chain. ``on_cutover`` fires at
+        the instant the map flips (the caller swaps its partitioner
+        there). The split runs asynchronously through :meth:`pump`;
+        other shards keep ingesting throughout, and chunks bound for the
+        donor are held and re-fed under the new map after cutover.
+        """
+        if self._stopped:
+            raise IngestError("cannot reshard a stopped supervisor")
+        if self._reshard is not None:
+            raise IngestError(
+                f"reshard of shard {self._reshard.donor} already in progress"
+            )
+        if not 0 <= donor < len(self.handles):
+            raise ConfigError(
+                f"reshard donor {donor} out of range for {len(self.handles)} shards"
+            )
+        handle = self.handles[donor]
+        if handle.drain_sent or handle.finalized is not None:
+            raise IngestError(f"cannot reshard drained shard {donor}")
+        self._reshard = ReshardOp(
+            donor=donor, make_specs=make_specs, on_cutover=on_cutover
+        )
+        handle.seal_sent = True
+        handle.sealed = None
+        handle.channel.send_seal()
+        self.metrics.counter("runtime.reshards").inc()
+        self.metrics.gauge("runtime.reshard.in_progress").set(1)
+        self.pump()
+
+    def _advance_reshard(self) -> None:
+        """Drive the split state machine one step (called from pump,
+        inside the re-entrancy guard — state transitions only, never
+        chunk sends; the refeed drains in _flush_reshard_refeed)."""
+        op = self._reshard
+        if op is None:
+            return
+        if op.phase == "sealing":
+            donor = self.handles[op.donor]
+            if donor.sealed is None:
+                return
+            op.sealed_seq, op.sealed_digest = donor.sealed
+            spec_a, spec_b = op.make_specs(op.sealed_seq)
+            if spec_a.shard_id != op.donor or spec_b.shard_id != len(self.handles):
+                raise ConfigError(
+                    f"successor specs must carry shard ids {op.donor} and "
+                    f"{len(self.handles)}, got {spec_a.shard_id}/{spec_b.shard_id}"
+                )
+            if spec_b.shard_map is None:
+                raise ConfigError("successor specs must carry the new shard map")
+            op.new_map = spec_b.shard_map
+            for spec in (spec_a, spec_b):
+                successor = WorkerHandle(
+                    spec=spec,
+                    channel=self.transport.channel(
+                        spec.shard_id,
+                        ctx=self._ctx,
+                        policy=self.backpressure,
+                        registry=self.metrics,
+                        stall_hook=self.pump,
+                    ),
+                )
+                self._spawn(successor)
+                op.successors.append(successor)
+            op.phase = "replaying"
+            return
+        if op.phase == "replaying":
+            for successor in op.successors:
+                for msg in successor.channel.poll():
+                    self._handle_msg(successor, msg)
+                if successor.ready_seq is None and not successor.process.is_alive():
+                    # Died mid history replay/boot: plain respawn — no
+                    # retained chunks, queries, or markers to re-feed.
+                    successor.ready_seq = self._restart(successor)
+            donor = self.handles[op.donor]
+            if any(s.ready_seq is None for s in op.successors):
+                return
+            if donor.pending_queries:
+                # Queries still routed to the donor under the old map
+                # must be answered by the donor; hold the cutover.
+                return
+            self._cutover(op)
+            return
+        # phase == "refeed": drains outside the pump guard, in
+        # _flush_reshard_refeed (chunk sends must keep pumping).
+
+    def _cutover(self, op: ReshardOp) -> None:
+        """Retire the donor and swap in the successors atomically (from
+        the caller's perspective: no chunk send happens in between)."""
+        donor = self.handles[op.donor]
+        succ_a, succ_b = op.successors
+        # Retire the donor: everything through sealed_seq is covered by
+        # the successors' history replay, so nothing it holds is needed.
+        if donor.process is not None and donor.process.is_alive():
+            try:
+                donor.channel.send_control(("stop",))
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+            deadline = time.monotonic() + 5.0
+            while donor.process.is_alive() and time.monotonic() < deadline:
+                donor.channel.nudge()
+                donor.process.join(timeout=0.01)
+            if donor.process.is_alive():  # pragma: no cover - hard fallback
+                donor.process.kill()
+                donor.process.join(timeout=5.0)
+        donor.channel.close()
+        donor.retained.clear()
+        for successor in op.successors:
+            # Both successors continue the donor's chunk numbering: every
+            # seq <= sealed_seq is covered by history replay, so the
+            # duplicate-re-feed dedup logic works across the split.
+            successor.next_seq = op.sealed_seq + 1
+        # Answered-but-uncollected replies move to the heir so late
+        # collect_reply() lookups through handles[donor] still find them.
+        succ_a.replies.update(donor.replies)
+        self.handles[op.donor] = succ_a
+        self.handles.append(succ_b)
+        op.successors.clear()
+        op.phase = "refeed"
+        if op.on_cutover is not None:
+            op.on_cutover(op.new_map)
+
+    def _flush_reshard_refeed(self) -> None:
+        """Re-feed the chunks held during the split, re-partitioned
+        under the new map. Runs *outside* pump's re-entrancy guard: a
+        blocked re-feed send must still detect dead successors through
+        its stall hook. Completes the reshard when the backlog drains.
+        """
+        op = self._reshard
+        if op is None or op.phase != "refeed" or self._refeeding or self._pumping:
+            return
+        self._refeeding = True
+        try:
+            child = op.new_map.num_shards - 1
+            while op.held:
+                packets, lengths = op.held.pop(0)
+                owners = op.new_map.owner_of(packets)
+                for sid in (op.donor, child):
+                    mask = owners == sid
+                    if mask.any():
+                        self.send_chunk(
+                            sid,
+                            packets[mask],
+                            lengths[mask] if lengths is not None else None,
+                        )
+                        self.metrics.counter("runtime.reshard.refed_chunks").inc()
+            self._reshard = None
+            self.metrics.gauge("runtime.reshard.in_progress").set(0)
+            self.metrics.gauge("runtime.reshard.last_seconds").set(
+                time.monotonic() - op.started_at
+            )
+        finally:
+            self._refeeding = False
+
+    def finish_reshard(self, timeout: float = 300.0) -> None:
+        """Block until the in-flight reshard (if any) fully completes."""
+        deadline = time.monotonic() + timeout
+        while self._reshard is not None:
+            self.pump()
+            self._flush_reshard_refeed()
+            if self._reshard is None:
+                return
+            if time.monotonic() > deadline:
+                raise IngestError(
+                    f"reshard of shard {self._reshard.donor} stuck in phase "
+                    f"{self._reshard.phase!r} after {timeout:.0f}s"
+                )
+            time.sleep(0.005)
 
     # -- feeding ------------------------------------------------------------
 
@@ -299,8 +541,24 @@ class ShardSupervisor:
     ) -> bool:
         """Enqueue one subchunk on its shard (backpressure applies).
 
-        Returns ``False`` when the shed policy dropped it.
+        Returns ``False`` when the shed policy dropped it. During a
+        reshard, chunks bound for the split donor are *held* (accepted
+        but not yet delivered) and re-fed under the new map after
+        cutover; any pending re-feed backlog drains first, so per-flow
+        order is preserved across the split.
         """
+        self._flush_reshard_refeed()
+        op = self._reshard
+        if op is not None and shard == op.donor and op.phase in (
+            "sealing",
+            "replaying",
+        ):
+            op.held.append((packets, lengths))
+            self.metrics.counter("runtime.reshard.held_chunks").inc()
+            self.metrics.counter("runtime.reshard.held_packets").inc(len(packets))
+            self.pump()
+            self._flush_reshard_refeed()
+            return True
         handle = self.handles[shard]
         seq = handle.next_seq
         # Retain *before* sending: a blocked send pumps the message loop,
@@ -311,6 +569,7 @@ class ShardSupervisor:
         if accepted:
             handle.next_seq = seq + 1
             self.metrics.counter("runtime.chunks_sent").inc()
+            self.metrics.counter(f"runtime.shard{shard}.chunks_sent").inc()
             self.metrics.counter("runtime.packets_sent").inc(len(packets))
         else:
             handle.retained.pop(seq, None)
@@ -318,6 +577,10 @@ class ShardSupervisor:
         return accepted
 
     def send_drain(self) -> None:
+        # A split must fully land before the stream can end: drain
+        # markers are routed per-shard, and held chunks still owe the
+        # successors their packets.
+        self.finish_reshard()
         for handle in self.handles:
             handle.drain_sent = True
             handle.channel.send_drain()
@@ -332,6 +595,18 @@ class ShardSupervisor:
                 ]
                 raise IngestError(f"shards {missing} did not finalize in {timeout:.0f}s")
             time.sleep(0.005)
+
+    def shard_fills(self) -> dict[int, float]:
+        """Data-plane occupancy per shard in ``[0, 1]`` — the
+        transport-neutral hot-shard signal the reshard planner watches.
+        Shards whose transport cannot tell are omitted."""
+        fills: dict[int, float] = {}
+        for i, handle in enumerate(self.handles):
+            fill = handle.channel.data_fill()
+            if fill is not None:
+                fills[i] = fill
+                self.metrics.gauge(f"runtime.shard{i}.fill").set(fill)
+        return fills
 
     # -- queries ------------------------------------------------------------
 

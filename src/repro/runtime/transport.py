@@ -29,8 +29,9 @@ Three roles:
 The planes are deliberately split:
 
 - **data plane** (``send_chunk`` → ``recv_data``): ordered, bounded,
-  policy-governed; carries chunk payloads and the ``drain`` marker
-  (in-band so drain is ordered after every chunk);
+  policy-governed; carries chunk payloads and the in-band ``drain``
+  and reshard ``seal`` markers (in-band so they are ordered after
+  every chunk);
 - **control plane** (``send_control`` → ``recv_control``): small,
   unordered relative to data; carries queries and ``stop`` so they
   never wait behind queued chunks;
@@ -174,6 +175,15 @@ class ShardChannel(ABC):
         """Append the drain marker *in-band* after all sent chunks;
         blocks for capacity regardless of policy (never shed)."""
 
+    @abstractmethod
+    def send_seal(self, timeout: float = 60.0) -> None:
+        """Append the reshard *seal* marker in-band after all sent
+        chunks (never shed). The worker answers it by flushing acks,
+        checkpointing, and reporting ``("sealed", shard, last_seq,
+        digest)`` — the point at which its ingest WAL is a complete,
+        immutable record of the shard's substream, ready for split
+        successors to replay."""
+
     def send_chunk(
         self,
         seq: int,
@@ -253,6 +263,13 @@ class ShardChannel(ABC):
 
     def data_depth(self) -> int | None:
         """How much data is in flight (transport-specific unit), or
+        ``None`` when the transport cannot tell."""
+        return None
+
+    def data_fill(self) -> float | None:
+        """Data-plane occupancy as a fraction of capacity in ``[0, 1]``
+        — the transport-neutral hot-shard signal the
+        :class:`~repro.runtime.planner.ReshardPlanner` watches — or
         ``None`` when the transport cannot tell."""
         return None
 

@@ -55,6 +55,7 @@ from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.errors import TraceFormatError
 from repro.resilience.wal import WalRecord, WriteAheadLog
+from repro.runtime.partitioner import ShardMap
 from repro.runtime.transport import DEFAULT_ACK_EVERY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,13 +111,28 @@ _CKPT_RE = re.compile(r"ck_(\d{10})(_final)?\.npz$")
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a shard worker needs to boot (picklable, spawn-safe)."""
+    """Everything a shard worker needs to boot (picklable, spawn-safe).
+
+    A split successor additionally carries its ancestry: the ordered
+    chain of ancestor ingest WALs (``history_wals``), the sealed
+    sequence number through which that history runs
+    (``history_through``), and the versioned flow map it was born under
+    (``shard_map``). On a fresh boot the successor rebuilds its
+    substream by replaying the chain filtered to the flows the map
+    assigns to ``shard_id`` — bit-identical to an offline shard built
+    under the same map, because ancestor WALs are complete, immutable
+    records of their substreams and partitioning is per-packet and
+    stateless.
+    """
 
     shard_id: int
     config: CaesarConfig
     state_dir: str
     checkpoint_every: int = 4  # chunks between checkpoints; 0 disables
     ack_every: int = DEFAULT_ACK_EVERY  # chunks between cumulative acks
+    history_wals: tuple[str, ...] = ()  # ancestor ingest WALs, oldest first
+    history_through: int = -1  # last seq covered by the history chain
+    shard_map: ShardMap | None = None  # the map this worker was born under
 
     @property
     def wal_path(self) -> Path:
@@ -178,6 +194,38 @@ def _saved_checkpoints(state_dir: Path) -> list[tuple[int, bool, Path]]:
     return sorted(found)
 
 
+def _replay_history(scheme: Caesar, spec: WorkerSpec) -> int:
+    """Rebuild a split successor's substream from its ancestor WALs.
+
+    Replays every chunk of the (sealed, immutable) ancestor chain,
+    filtered to the flows ``spec.shard_map`` assigns to this shard.
+    Read-only: the donor may still be alive serving queries — never
+    truncate or touch its files. Idempotent: a crash mid-replay leaves
+    no checkpoint, so the next boot simply replays again.
+    """
+    if spec.shard_map is None:
+        raise TraceFormatError(
+            f"shard {spec.shard_id} has history WALs but no shard map"
+        )
+    replayed = 0
+    for wal_path in spec.history_wals:
+        path = Path(wal_path)
+        if not path.exists() or path.stat().st_size == 0:
+            continue
+        for record in WriteAheadLog.iter_records(path):
+            seq, packets, lengths = decode_ingest_record(record)
+            if seq > spec.history_through:
+                continue  # beyond the sealed cut (defensive; never post-seal)
+            mask = spec.shard_map.owner_of(packets) == spec.shard_id
+            if not mask.any():
+                continue
+            scheme.process(
+                packets[mask], lengths[mask] if lengths is not None else None
+            )
+            replayed += 1
+    return replayed
+
+
 def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
     """Build or recover this shard's scheme.
 
@@ -186,6 +234,12 @@ def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
     boot), and how many WAL chunks were replayed. Unreadable (torn)
     checkpoints fall back to the previous one — the WAL bridges the
     extra gap automatically.
+
+    A split successor with no readable checkpoint first replays its
+    ancestor WAL chain (filtered by flow ownership), checkpoints that
+    rebuilt state at ``history_through``, and only then replays its own
+    WAL — so once any own-WAL chunk exists, a checkpoint covering the
+    history does too, and recovery never replays history twice.
     """
     state_dir = Path(spec.state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
@@ -198,9 +252,18 @@ def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
             break
         except TraceFormatError:
             continue
+    replayed = 0
     if scheme is None:
         scheme = Caesar(spec.config)
-    replayed = 0
+        if spec.history_wals:
+            replayed += _replay_history(scheme, spec)
+            last_seq = spec.history_through
+            if last_seq >= 0:
+                # Durable cut over the rebuilt history: named by the
+                # sealed seq so own-WAL replay resumes past it. Skipped
+                # at seq -1 (an empty donor) — a "state after chunk 0"
+                # checkpoint name must never describe pre-chunk-0 state.
+                _save_checkpoint_atomic(scheme, spec.checkpoint_path(last_seq))
     wal_path = spec.wal_path
     if wal_path.exists() and wal_path.stat().st_size > 0:
         WriteAheadLog.truncate_torn_tail(wal_path)
@@ -348,6 +411,22 @@ def worker_main(
                     _prune_checkpoints(Path(spec.state_dir))
                     flush_ack()  # checkpointed ⊇ durable: retention can drop
                     transport.send(("checkpoint", shard, seq, digest))
+            elif item[0] == "seal":
+                # Reshard seal: ordered after every chunk sent before it,
+                # so the ingest WAL is now a complete record of this
+                # shard's substream. Flush acks, cut a durable
+                # checkpoint, and report the sealed seq + digest; stay
+                # alive answering queries until the supervisor retires
+                # this worker at cutover. Idempotent across re-sends
+                # (a restart mid-reshard re-seals the same state).
+                unacked = 1
+                flush_ack()
+                with _compute_slot(compute_gate):
+                    digest = _save_checkpoint_atomic(
+                        scheme, spec.checkpoint_path(max(last_seq, 0))
+                    )
+                _prune_checkpoints(Path(spec.state_dir))
+                transport.send(("sealed", shard, last_seq, digest))
             elif item[0] == "drain":
                 flush_ack()
                 with _compute_slot(compute_gate):

@@ -1,6 +1,10 @@
-"""Shared fixtures: small deterministic traces and configured schemes."""
+"""Shared fixtures: small deterministic traces and configured schemes,
+plus deadline-polling helpers for tests that wait on worker processes."""
 
 from __future__ import annotations
+
+import time
+from typing import Callable
 
 import numpy as np
 import pytest
@@ -9,6 +13,29 @@ from repro.traffic.distributions import BoundedZipf, calibrate_zipf_to_mean
 from repro.traffic.flows import FlowSet
 from repro.traffic.packets import uniform_stream
 from repro.traffic.trace import Trace
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.01,
+    desc: str = "condition",
+) -> None:
+    """Poll ``predicate`` until true or ``timeout`` seconds pass.
+
+    The runtime tests wait on cross-process effects (a worker dying, a
+    queue filling, a reshard phase advancing) whose latency varies with
+    machine load; fixed sleeps are either flaky or slow. Deadline
+    polling is both fast on the happy path and generous under load —
+    use this instead of ``time.sleep`` whenever a test waits for
+    anything another process does.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out after {timeout:.0f}s waiting for {desc}")
+        time.sleep(interval)
 
 
 @pytest.fixture(scope="session")

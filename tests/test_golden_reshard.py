@@ -1,0 +1,155 @@
+"""Golden seed-stability tests for the versioned shard map.
+
+The live-reshard contract reduces every resharded run to one offline
+anchor: a ``ShardedCaesar`` built with the final :class:`ShardMap`
+(tests/test_reshard.py proves runtime == anchor bit for bit). These
+goldens pin the *anchor itself* — the split hash bit, the owner
+assignment under a scripted split chain, the per-shard checkpoint
+digests, and a sample of estimates — so any drift in the hash family,
+the split-member derivation, or the shard-config seed stride shows up
+here as a mismatch against checked-in values before it can silently
+re-home every resharded deployment.
+
+Regenerate after an *intentional* numerical change with::
+
+    PYTHONPATH=src python tests/test_golden_reshard.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CaesarConfig
+from repro.core.sharded import ShardedCaesar
+from repro.runtime import ShardMap
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_reshard.json"
+
+#: Workload + configuration the goldens were generated under. Fixed
+#: literals on purpose (see test_golden_estimators.py).
+STREAM_SEED = 11
+STREAM_PACKETS = 12_000
+STREAM_FLOW_SPACE = 2048
+NUM_BASE = 2
+SPLIT_DONORS = (1, 1)  # split shard 1, then split the heir again
+CONFIG = dict(
+    cache_entries=64,
+    entry_capacity=16,
+    k=3,
+    bank_size=512,
+    counter_capacity=2**20 - 1,
+    seed=5,
+    engine="batched",
+)
+
+
+def _stream() -> np.ndarray:
+    rng = np.random.default_rng(STREAM_SEED)
+    return rng.zipf(1.25, STREAM_PACKETS).astype(np.uint64) % STREAM_FLOW_SPACE
+
+
+def _final_map() -> ShardMap:
+    shard_map = ShardMap(num_base=NUM_BASE)
+    for donor in SPLIT_DONORS:
+        shard_map = shard_map.split(donor)
+    return shard_map
+
+
+def _compute() -> dict:
+    stream = _stream()
+    shard_map = _final_map()
+    scheme = ShardedCaesar(CaesarConfig(**CONFIG), shard_map=shard_map)
+    scheme.process(stream)
+    scheme.finalize()
+
+    # Deterministic probe: the 12 most frequent flows (stressing the
+    # shared counters) plus the 4 rarest seen (stressing the noise
+    # subtraction), stable under the fixed stream seed.
+    ids, counts = np.unique(stream, return_counts=True)
+    order = np.argsort(counts, kind="stable")
+    probe = ids[np.concatenate([order[-12:], order[:4]])]
+
+    return {
+        "stream": {
+            "seed": STREAM_SEED,
+            "packets": STREAM_PACKETS,
+            "flow_space": STREAM_FLOW_SPACE,
+        },
+        "config": dict(CONFIG),
+        "map": {
+            "num_base": NUM_BASE,
+            "donors": list(SPLIT_DONORS),
+            "describe": shard_map.describe(),
+        },
+        "probe_flow_ids": [int(f) for f in probe],
+        # The split hash bit, pinned: which shard owns each probe flow
+        # at every map version along the scripted chain.
+        "owners_v0": [int(o) for o in ShardMap(num_base=NUM_BASE).owner_of(probe)],
+        "owners_final": [int(o) for o in shard_map.owner_of(probe)],
+        "shard_packets": [
+            int(n)
+            for n in np.bincount(
+                shard_map.owner_of(stream), minlength=shard_map.num_shards
+            )
+        ],
+        "shard_digests": [s.checkpoint().digest for s in scheme.shards],
+        "csm": scheme.estimate(probe, "csm", clip_negative=True).tolist(),
+    }
+
+
+def test_resharded_anchor_matches_goldens():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _compute()
+    assert current["stream"] == golden["stream"], "workload drifted"
+    assert current["map"] == golden["map"], "split chain drifted"
+    assert current["probe_flow_ids"] == golden["probe_flow_ids"], (
+        "probe set drifted"
+    )
+    assert current["owners_v0"] == golden["owners_v0"], (
+        "base RSS owner assignment drifted"
+    )
+    assert current["owners_final"] == golden["owners_final"], (
+        "split owner assignment drifted (split hash bit moved)"
+    )
+    assert current["shard_packets"] == golden["shard_packets"], (
+        "per-shard substream sizes drifted"
+    )
+    assert current["shard_digests"] == golden["shard_digests"], (
+        "per-shard checkpoint digests drifted"
+    )
+    np.testing.assert_allclose(
+        current["csm"], golden["csm"], rtol=1e-9, atol=0.0,
+        err_msg="resharded CSM estimates drifted from golden values",
+    )
+
+
+def test_goldens_are_sane():
+    """The checked-in numbers must describe a real split: all four
+    shards own packets, the refinement moved donor flows only, and the
+    digests are distinct non-empty hashes."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert len(golden["shard_packets"]) == NUM_BASE + len(SPLIT_DONORS)
+    assert all(n > 0 for n in golden["shard_packets"])
+    assert sum(golden["shard_packets"]) == STREAM_PACKETS
+    v0 = np.array(golden["owners_v0"])
+    final = np.array(golden["owners_final"])
+    # Shard 0 was never split: its probe flows must not have moved.
+    assert np.all(final[v0 == 0] == 0)
+    # Shard 1's flows may only have landed on 1 or the successors.
+    assert np.all(np.isin(final[v0 == 1], [1, 2, 3]))
+    digests = golden["shard_digests"]
+    assert len(set(digests)) == len(digests)
+    assert all(isinstance(d, str) and len(d) >= 32 for d in digests)
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to rewrite the golden file")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_compute(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -11,7 +11,6 @@ the zero-copy shared-memory rings.
 """
 
 import signal
-import time
 
 import numpy as np
 import pytest
@@ -38,6 +37,7 @@ from repro.runtime.worker import (
     boot_shard,
     decode_ingest_record,
 )
+from tests.conftest import wait_until
 
 TRANSPORTS = ["queue", "shm"]
 
@@ -254,10 +254,16 @@ class TestRecovery:
         ) as rt:
             rt.ingest(stream[:2000])
             rt.kill_worker(0)
+
+            def poke() -> bool:
+                # Each ingest pumps the supervisor; the pump that
+                # notices the death raises (budget is zero). Deadline-
+                # polled: kill delivery latency varies with load.
+                rt.ingest(stream[:500])
+                return False
+
             with pytest.raises(IngestError, match="max_restarts"):
-                for _ in range(100):
-                    rt.ingest(stream[:500])
-                    time.sleep(0.01)
+                wait_until(poke, desc="restart-budget exhaustion")
 
 
 @pytest.mark.parametrize("transport", TRANSPORTS)
@@ -310,16 +316,29 @@ class TestBackpressure:
             backpressure="block",
             registry=registry,
         ).start()
+        import threading
+
+        ingested = threading.Event()
+
+        def unfreeze() -> None:
+            # Unfreeze the instant the producer actually stalls (no
+            # fixed sleep: too short misses the stall, too long wastes
+            # wall clock); bail out if all sends somehow fit.
+            wait_until(
+                lambda: ingested.is_set()
+                or registry.counter("runtime.backpressure.stalls").value > 0,
+                desc="first backpressure stall",
+            )
+            rt.kill_worker(0, signal.SIGCONT)
+
         try:
             rt.kill_worker(0, signal.SIGSTOP)
-            # Unfreeze shortly after; the blocked send must ride it out.
-            import threading
-
-            threading.Timer(
-                0.4, lambda: rt.kill_worker(0, signal.SIGCONT)
-            ).start()
+            resumer = threading.Thread(target=unfreeze, daemon=True)
+            resumer.start()
             for _ in range(8):
                 assert rt.ingest(stream[:100]) == 100
+            ingested.set()
+            resumer.join(timeout=30)
             result = rt.drain()
             assert result.num_packets == 8 * 100
             assert registry.counter("runtime.backpressure.stalls").value > 0
@@ -453,9 +472,12 @@ class TestShmTransport:
             rt.ingest(stream[:2000])
             old = rt.supervisor.handles[0].channel.segment_name
             rt.kill_worker(0)
-            deadline = time.monotonic() + 30
-            while rt.restarts == 0 and time.monotonic() < deadline:
+
+            def restarted() -> bool:
                 rt.ingest(stream[:100])
+                return rt.restarts > 0
+
+            wait_until(restarted, desc="worker restart", interval=0.0)
             assert rt.restarts == 1
             new = rt.supervisor.handles[0].channel.segment_name
             assert new != old
