@@ -89,6 +89,11 @@ class StreamMeasurementResult:
     runtime: object  # repro.runtime.RuntimeResult
     num_packets: int
     num_flows_seen: int
+    # Graceful degradation (docs/runtime.md): when the watchdog
+    # quarantined poison chunks, the run finished without that mass and
+    # the result says so instead of pretending the input was complete.
+    degraded: bool = False
+    quarantined_packets: int = 0
 
     def estimate(
         self, flow_ids: FlowIdArray, method: str = "csm"
@@ -149,6 +154,8 @@ def _measure_stream(
         runtime=result,
         num_packets=result.num_packets,
         num_flows_seen=seen,
+        degraded=result.degraded,
+        quarantined_packets=result.quarantined_packets,
     )
 
 

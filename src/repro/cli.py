@@ -282,10 +282,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="upper bound on shards after splits (default: unlimited)",
     )
     serve_p.add_argument(
+        "--inject-worker",
+        action="append",
+        default=None,
+        metavar="SHARD:SPEC",
+        help="inject a runtime fault into one shard worker, e.g. "
+        "'1:hang=6' (hang applying chunk 6), '0:slow=0.05' (sleep per "
+        "chunk), '0:crash=5,crash_limit=2' (crash on chunk 5, twice); "
+        "repeatable, one per shard (see docs/resilience.md)",
+    )
+    serve_p.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="watchdog: seconds without a heartbeat before a worker is "
+        "declared hung and escalated nudge -> SIGTERM -> SIGKILL "
+        "(0 disables the watchdog)",
+    )
+    serve_p.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="N",
+        help="quarantine a chunk after N worker crashes attributed to it "
+        "(0 disables poison-chunk quarantine)",
+    )
+    serve_p.add_argument(
+        "--restart-refill",
+        type=float,
+        default=0.0,
+        metavar="PER_S",
+        help="restart-budget token refill rate per shard (tokens/second); "
+        "0 keeps the hard max-restarts cap",
+    )
+    serve_p.add_argument(
         "--verify-offline",
         action="store_true",
         help="after the drain, rerun single-process ShardedCaesar and assert "
-        "estimates and per-shard checkpoint digests are bit-identical",
+        "estimates and per-shard checkpoint digests are bit-identical "
+        "(quarantined chunks are excluded from the offline twin)",
     )
     serve_p.add_argument(
         "--state-dir",
@@ -427,6 +463,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal as signal_mod
     import tempfile
 
     from repro.analysis.metrics import evaluate
@@ -434,6 +472,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.sharded import ShardedCaesar
     from repro.runtime.client import StreamingRuntime
     from repro.runtime.partitioner import chunk_stream
+    from repro.runtime.watchdog import offline_twin_excluding
 
     trace = Trace.load(args.trace)
     registry = _registry_from(args)
@@ -469,6 +508,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ConfigError(f"--reshard shard {reshard[0]} out of range")
     if args.ring_kb is not None and args.transport != "shm":
         raise ConfigError("--ring-kb applies only with --transport shm")
+    worker_faults = {}
+    for spec_s in args.inject_worker or ():
+        try:
+            shard_s, fault_s = spec_s.split(":", 1)
+            shard = int(shard_s)
+        except ValueError:
+            raise ConfigError(
+                f"--inject-worker wants SHARD:SPEC, got {spec_s!r}"
+            ) from None
+        if not 0 <= shard < args.workers:
+            raise ConfigError(f"--inject-worker shard {shard} out of range")
+        worker_faults[shard] = parse_fault_spec(fault_s)
     print(
         f"serving {args.trace} over {args.workers} shard workers "
         f"({config.describe()}, transport={args.transport}, "
@@ -480,6 +531,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
         state_dir = tmp.name
     watch = trace.flows.ids[: min(8, len(trace.flows.ids))]
+    # Graceful shutdown: the first SIGTERM/SIGINT finishes the current
+    # chunk, drains, and reports as usual (exit 0); a second signal
+    # while that drain runs force-exits with status 2. The force-exit
+    # must take the worker processes down too: ``os._exit`` alone would
+    # orphan them holding inherited fds (our stdout pipe) and any live
+    # shared-memory segments.
+    interrupted = False
+    runtime_box: list = []
+
+    def _on_signal(signum: int, frame: object) -> None:
+        nonlocal interrupted
+        if interrupted:
+            for run in runtime_box:
+                op = run.supervisor._reshard
+                successors = [] if op is None else op.successors
+                for h in (*run.supervisor.handles, *successors):
+                    try:
+                        if h.process.pid is not None:
+                            os.kill(h.process.pid, signal_mod.SIGKILL)
+                    except (OSError, ValueError):
+                        pass
+            os._exit(2)
+        interrupted = True
+        name = signal_mod.Signals(signum).name
+        print(
+            f"[{name}: draining and reporting — signal again to force-exit]",
+            flush=True,
+        )
+
+    prev_handlers = {
+        sig: signal_mod.signal(sig, _on_signal)
+        for sig in (signal_mod.SIGTERM, signal_mod.SIGINT)
+    }
     try:
         with StreamingRuntime(
             config,
@@ -493,10 +577,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             registry=registry,
             reshard_above=args.reshard_above,
             max_shards=args.max_shards,
+            hang_timeout=args.hang_timeout if args.hang_timeout > 0 else None,
+            quarantine_after=args.quarantine_after,
+            restart_refill_per_s=args.restart_refill,
+            worker_faults=worker_faults or None,
         ) as rt:
+            runtime_box.append(rt)
             for i, (pkts, lens) in enumerate(
                 chunk_stream(trace.packets, chunk_packets=args.chunk_packets)
             ):
+                if interrupted:
+                    break
                 if chaos is not None and i == chaos[1]:
                     print(f"[chaos: SIGKILL shard {chaos[0]} worker at chunk {i}]")
                     rt.kill_worker(chaos[0])
@@ -505,9 +596,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     rt.begin_reshard(reshard[0])
                 rt.ingest(pkts, lens)
                 if args.query_every and i % args.query_every == 0:
-                    est = rt.query(watch)
-                    print(f"[chunk {i}: live estimates {np.round(est, 1).tolist()}]")
+                    est = rt.query(watch, detail=True)
+                    print(
+                        f"[chunk {i}: live estimates "
+                        f"{np.round(np.asarray(est), 1).tolist()} "
+                        f"degraded={est.degraded}]"
+                    )
             result = rt.drain()
+            if interrupted:
+                print("[drained after signal]")
             print(
                 f"ingested {result.num_packets} packets; "
                 f"worker restarts: {result.restarts}"
@@ -517,10 +614,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"resharded {result.reshards}x — final map "
                     f"{result.shard_map.describe()}"
                 )
+            if result.quarantined:
+                print(
+                    f"quarantined {result.quarantined_chunks} poison chunk(s) "
+                    f"({result.quarantined_packets} packets): "
+                    + ", ".join(
+                        f"shard {s} seq {q}" for s, q, _ in result.quarantined
+                    )
+                )
             for s, digest in enumerate(result.shard_digests):
                 print(f"  shard {s}: final digest {digest[:16]}…")
             estimates = rt.query(trace.flows.ids)
     finally:
+        for sig, handler in prev_handlers.items():
+            signal_mod.signal(sig, handler)
         if tmp is not None:
             tmp.cleanup()
     quality = evaluate(estimates, trace.flows.sizes)
@@ -533,24 +640,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{estimates[i]:>12.1f}  {int(trace.flows.sizes[i]):>10d}"
         )
     if args.verify_offline:
-        # Build the offline twin under the runtime's *final* shard map,
-        # so resharded runs verify against the post-split deployment.
-        offline = ShardedCaesar(config, shard_map=result.shard_map)
-        offline.process(trace.packets)
-        offline.finalize()
-        base = offline.estimate(trace.flows.ids, "csm", clip_negative=True)
-        digests = tuple(s.checkpoint().digest for s in offline.shards)
-        if not np.array_equal(estimates, base) or digests != result.shard_digests:
+        if interrupted:
             print(
-                "offline verification FAILED: runtime result diverges from the "
-                "single-process sharded run",
-                file=sys.stderr,
+                "offline verification skipped: the run was interrupted "
+                "mid-stream, so the offline twin would see more input"
             )
-            return 1
-        print(
-            "offline verification: bit-identical to single-process ShardedCaesar "
-            "(estimates and per-shard digests)"
-        )
+        else:
+            if result.quarantined:
+                if result.reshards:
+                    print(
+                        "offline verification with quarantined chunks is not "
+                        "supported on a resharded run (per-shard sequence "
+                        "numbers change under a split map)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                # The twin replays the stream skipping exactly the
+                # quarantined (shard, seq) chunks the runtime never
+                # applied — the degraded run must still be bit-identical
+                # to an offline run over the same surviving input.
+                offline = offline_twin_excluding(
+                    config,
+                    result.shard_map,
+                    trace.packets,
+                    chunk_packets=args.chunk_packets,
+                    quarantined={(s, q) for s, q, _ in result.quarantined},
+                )
+            else:
+                # Build the offline twin under the runtime's *final*
+                # shard map, so resharded runs verify against the
+                # post-split deployment.
+                offline = ShardedCaesar(config, shard_map=result.shard_map)
+                offline.process(trace.packets)
+                offline.finalize()
+            base = offline.estimate(trace.flows.ids, "csm", clip_negative=True)
+            digests = tuple(s.checkpoint().digest for s in offline.shards)
+            if not np.array_equal(estimates, base) or digests != result.shard_digests:
+                print(
+                    "offline verification FAILED: runtime result diverges from "
+                    "the single-process sharded run",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "offline verification: bit-identical to single-process "
+                "ShardedCaesar (estimates and per-shard digests)"
+            )
     _maybe_write_metrics(args, registry)
     return 0
 

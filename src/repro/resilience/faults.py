@@ -69,6 +69,24 @@ class FaultPlan:
     stuck_value:
         The pinned value; ``None`` pins at the counter capacity
         (stuck-at-max, the classic failure of a saturating cell).
+    hang_at_chunk:
+        Runtime-level fault: the shard worker hangs (sleeps forever)
+        when it is about to apply this chunk seq — once per state dir,
+        so the restarted worker sails past it. Drives the watchdog's
+        nudge → SIGTERM → SIGKILL escalation deterministically.
+        ``-1`` disables.
+    slow_apply:
+        Runtime-level fault: seconds of artificial delay before each
+        chunk apply (a pathologically slow shard). ``0`` disables.
+    crash_on_seq:
+        Runtime-level fault: the worker raises (before making the chunk
+        durable) when it is about to apply this chunk seq — the poison
+        chunk. ``-1`` disables.
+    crash_limit:
+        How many times ``crash_on_seq`` fires before the fault clears
+        (tracked in a state-dir counter file, so it survives restarts).
+        ``0`` means *always* — a truly poison chunk that only
+        quarantine can get past.
     """
 
     seed: int = DEFAULT_FAULT_SEED
@@ -78,6 +96,10 @@ class FaultPlan:
     wipe_cache_at: tuple[int, ...] = field(default_factory=tuple)
     stuck_counters: int = 0
     stuck_value: int | None = None
+    hang_at_chunk: int = -1
+    slow_apply: float = 0.0
+    crash_on_seq: int = -1
+    crash_limit: int = 0
 
     def __post_init__(self) -> None:
         for name in ("drop_chunk", "duplicate_chunk", "flip_bit"):
@@ -88,18 +110,33 @@ class FaultPlan:
             raise ConfigError(f"stuck_counters must be >= 0, got {self.stuck_counters}")
         if any(w < 0 for w in self.wipe_cache_at):
             raise ConfigError(f"wipe_cache_at points must be >= 0, got {self.wipe_cache_at}")
+        if self.slow_apply < 0:
+            raise ConfigError(f"slow_apply must be >= 0, got {self.slow_apply}")
+        if self.hang_at_chunk < -1 or self.crash_on_seq < -1:
+            raise ConfigError("hang_at_chunk/crash_on_seq must be a chunk seq or -1")
+        if self.crash_limit < 0:
+            raise ConfigError(f"crash_limit must be >= 0, got {self.crash_limit}")
         # Normalize to a sorted tuple so the wipe schedule is canonical.
         object.__setattr__(self, "wipe_cache_at", tuple(sorted(self.wipe_cache_at)))
 
     @property
     def enabled(self) -> bool:
-        """Whether the plan injects anything at all."""
+        """Whether the plan injects any *eviction-path* fault (what
+        gates building a :class:`FaultInjector`); runtime-level faults
+        are executed by the shard worker, not the injector."""
         return bool(
             self.drop_chunk
             or self.duplicate_chunk
             or self.flip_bit
             or self.wipe_cache_at
             or self.stuck_counters
+        )
+
+    @property
+    def runtime_enabled(self) -> bool:
+        """Whether the plan injects any runtime-level (worker) fault."""
+        return bool(
+            self.hang_at_chunk >= 0 or self.slow_apply > 0 or self.crash_on_seq >= 0
         )
 
     def to_dict(self) -> dict:
@@ -123,6 +160,10 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 
         drop=0.1,dup=0.05,flip=0.01,wipe=5000+20000,stuck=3,stuck_value=7,seed=9
 
+    plus the runtime-level (worker) faults::
+
+        hang=6,slow=0.05,crash=5,crash_limit=2
+
     ``wipe`` takes one or more ``+``-separated access counts. Unknown
     keys and malformed values raise :class:`~repro.errors.ConfigError`.
     """
@@ -133,6 +174,9 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         "duplicate": "duplicate_chunk",
         "flip": "flip_bit",
         "stuck": "stuck_counters",
+        "hang": "hang_at_chunk",
+        "slow": "slow_apply",
+        "crash": "crash_on_seq",
     }
     for token in filter(None, (t.strip() for t in spec.split(","))):
         if "=" not in token:
@@ -140,11 +184,18 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         key, _, raw = token.partition("=")
         key = aliases.get(key.strip(), key.strip())
         try:
-            if key in ("drop_chunk", "duplicate_chunk", "flip_bit"):
+            if key in ("drop_chunk", "duplicate_chunk", "flip_bit", "slow_apply"):
                 kwargs[key] = float(raw)
             elif key == "wipe":
                 kwargs["wipe_cache_at"] = tuple(int(w) for w in raw.split("+"))
-            elif key in ("stuck_counters", "stuck_value", "seed"):
+            elif key in (
+                "stuck_counters",
+                "stuck_value",
+                "seed",
+                "hang_at_chunk",
+                "crash_on_seq",
+                "crash_limit",
+            ):
                 kwargs[key] = int(raw)
             else:
                 raise ConfigError(f"unknown --inject key {key!r}")

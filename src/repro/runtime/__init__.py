@@ -32,6 +32,10 @@ Module map:
 - :mod:`~repro.runtime.planner` — hot-shard detection
   (:class:`ReshardPlanner`): sustained data-plane fill picks the shard
   to split;
+- :mod:`~repro.runtime.watchdog` — liveness and graceful degradation:
+  heartbeat hang detection with nudge → SIGTERM → SIGKILL escalation,
+  restart token budgets with backoff + per-shard circuit breakers,
+  poison-chunk quarantine, and partial query results;
 - :mod:`~repro.runtime.client` — :class:`StreamingRuntime`, the
   user-facing facade.
 """
@@ -56,6 +60,21 @@ from repro.runtime.transport import (
     Transport,
     resolve_transport,
 )
+from repro.runtime.watchdog import (
+    DEFAULT_HANG_TIMEOUT,
+    DEFAULT_HEARTBEAT_EVERY,
+    DEFAULT_QUARANTINE_AFTER,
+    CircuitBreaker,
+    PartialEstimate,
+    QuarantineRecord,
+    RestartBudget,
+    ShardQueryStatus,
+    Watchdog,
+    WatchdogConfig,
+    backoff_delay,
+    load_quarantine,
+    offline_twin_excluding,
+)
 from repro.runtime.worker import WorkerSpec, boot_shard
 
 
@@ -71,26 +90,39 @@ def __getattr__(name: str) -> object:
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "CircuitBreaker",
     "DEFAULT_ACK_EVERY",
     "DEFAULT_CHUNK_PACKETS",
+    "DEFAULT_HANG_TIMEOUT",
+    "DEFAULT_HEARTBEAT_EVERY",
+    "DEFAULT_QUARANTINE_AFTER",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_RING_BYTES",
     "DEFAULT_SHARD_SEED",
     "DEFAULT_SUSTAIN",
     "DEFAULT_TRANSPORT",
+    "PartialEstimate",
+    "QuarantineRecord",
     "QueueTransport",
     "ReshardPlanner",
+    "RestartBudget",
     "RuntimeResult",
     "SharedMemoryRingTransport",
     "ShardMap",
+    "ShardQueryStatus",
     "ShardSplit",
     "ShardSupervisor",
     "StreamPartitioner",
     "StreamingRuntime",
     "TRANSPORTS",
     "Transport",
+    "Watchdog",
+    "WatchdogConfig",
     "WorkerSpec",
+    "backoff_delay",
     "boot_shard",
     "chunk_stream",
+    "load_quarantine",
+    "offline_twin_excluding",
     "resolve_transport",
 ]

@@ -63,7 +63,16 @@ from repro.runtime.transport import (
     Transport,
     resolve_transport,
 )
+from repro.runtime.watchdog import (
+    DEFAULT_HANG_TIMEOUT,
+    DEFAULT_HEARTBEAT_EVERY,
+    DEFAULT_QUARANTINE_AFTER,
+    PartialEstimate,
+    ShardQueryStatus,
+    WatchdogConfig,
+)
 from repro.runtime.worker import WorkerSpec
+from repro.resilience.faults import FaultPlan
 from repro.types import FlowIdArray
 
 
@@ -86,6 +95,24 @@ class RuntimeResult:
     restarts: int
     shard_map: ShardMap | None = None  # the final (possibly split) map
     reshards: int = 0  # splits performed during the run
+    # Chunks the watchdog quarantined as poison: (shard, seq, n_packets).
+    # Their packets were never applied — account for them (or replay them
+    # after a fix) via repro.runtime.watchdog.load_quarantine.
+    quarantined: tuple[tuple[int, int, int], ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run finished without some of its input (poison
+        chunks were quarantined instead of applied)."""
+        return bool(self.quarantined)
+
+    @property
+    def quarantined_packets(self) -> int:
+        return sum(n for _, _, n in self.quarantined)
+
+    @property
+    def quarantined_chunks(self) -> int:
+        return len(self.quarantined)
 
     def load_scheme(self, *, registry: MetricsRegistry | None = None) -> ShardedCaesar:
         """Rebuild the deployment locally from the final checkpoints.
@@ -133,6 +160,13 @@ class StreamingRuntime:
         reshard_above: float | None = None,
         reshard_sustain: int = DEFAULT_SUSTAIN,
         max_shards: int | None = None,
+        heartbeat_every: float = DEFAULT_HEARTBEAT_EVERY,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
+        restart_refill_per_s: float = 0.0,
+        restart_backoff_base: float = 0.25,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        query_deadline: float = 60.0,
+        worker_faults: "dict[int, FaultPlan] | None" = None,
     ) -> None:
         self.config = config
         self.num_shards = int(num_shards)
@@ -162,6 +196,9 @@ class StreamingRuntime:
         self.transport = resolve_transport(
             transport, queue_depth=queue_depth, ring_bytes=ring_bytes
         )
+        self.heartbeat_every = heartbeat_every
+        self.query_deadline = query_deadline
+        faults = worker_faults or {}
         specs = [
             WorkerSpec(
                 shard_id=i,
@@ -171,6 +208,8 @@ class StreamingRuntime:
                 state_dir=str(self.state_dir / f"shard{i}"),
                 checkpoint_every=checkpoint_every,
                 ack_every=ack_every,
+                heartbeat_every=heartbeat_every,
+                fault_plan=faults.get(i),
             )
             for i in range(self.num_shards)
         ]
@@ -182,6 +221,12 @@ class StreamingRuntime:
             max_restarts=max_restarts,
             start_method=start_method,
             compute_slots=compute_slots,
+            restart_refill_per_s=restart_refill_per_s,
+            restart_backoff_base=restart_backoff_base,
+            quarantine_after=quarantine_after,
+            watchdog=(
+                None if hang_timeout is None else WatchdogConfig.for_timeout(hang_timeout)
+            ),
         )
         self._started = False
         self._drained = False
@@ -344,6 +389,7 @@ class StreamingRuntime:
                     state_dir=str(self.state_dir / f"shard{sid}.v{version}"),
                     checkpoint_every=self.checkpoint_every,
                     ack_every=self.ack_every,
+                    heartbeat_every=self.heartbeat_every,
                     history_wals=history,
                     history_through=sealed_seq,
                     shard_map=new_map,
@@ -366,29 +412,102 @@ class StreamingRuntime:
     # -- queries ------------------------------------------------------------
 
     def query(
-        self, flow_ids: FlowIdArray, method: str = "csm"
-    ) -> npt.NDArray[np.float64]:
+        self,
+        flow_ids: FlowIdArray,
+        method: str = "csm",
+        *,
+        deadline: float | None = None,
+        detail: bool = False,
+    ) -> "npt.NDArray[np.float64] | PartialEstimate":
         """Per-flow estimates from the live workers, in input order.
 
         Mid-ingest this is the approximate online estimate (flushed SRAM
         state plus cached residue — see ``Caesar.estimate_online``);
         after :meth:`drain` it is the exact offline estimate.
+
+        The query plane degrades instead of hanging: shards that are
+        mid-restart or behind an open circuit breaker are *skipped*, and
+        shards that miss the per-query ``deadline`` (default: the
+        runtime's ``query_deadline``) get exactly one retry with a fresh
+        window before their flows are reported as ``NaN``. Pass
+        ``detail=True`` to get a :class:`PartialEstimate` carrying the
+        per-shard status and mass coverage alongside the estimates;
+        otherwise just the (possibly NaN-holed) array is returned.
         """
         self._require()
+        window = self.query_deadline if deadline is None else float(deadline)
+        t_end = time.monotonic() + window
         flow_ids = np.asarray(flow_ids, dtype=np.uint64)
         owners = self.partitioner.shard_of(flow_ids)
-        out = np.empty(len(flow_ids), dtype=np.float64)
+        out = np.full(len(flow_ids), np.nan, dtype=np.float64)
+        statuses: dict[int, str] = {}
+        masks: dict[int, npt.NDArray[np.bool_]] = {}
         asked = []
         for shard in range(self.num_shards):
             mask = owners == shard
-            if mask.any():
+            if not mask.any():
+                continue
+            masks[shard] = mask
+            if not self.supervisor.shard_available(shard):
+                statuses[shard] = "skipped"
+                continue
+            qid = self._next_qid
+            self._next_qid += 1
+            self.supervisor.ask(shard, qid, flow_ids[mask], method)
+            asked.append((shard, qid, mask))
+        timed_out = []
+        for shard, qid, mask in asked:
+            reply = self.supervisor.try_collect_reply(shard, qid, t_end)
+            if reply is None:
+                self.supervisor.cancel_query(shard, qid)
+                timed_out.append((shard, mask))
+            else:
+                out[mask] = reply
+                statuses[shard] = "ok"
+        # One retry round for shards that missed the window (typically
+        # mid-restart when first asked): fresh qid, fresh window.
+        if timed_out:
+            t_retry = time.monotonic() + window
+            for shard, mask in timed_out:
+                if not self.supervisor.shard_available(shard):
+                    statuses[shard] = "timeout"
+                    continue
                 qid = self._next_qid
                 self._next_qid += 1
                 self.supervisor.ask(shard, qid, flow_ids[mask], method)
-                asked.append((shard, qid, mask))
-        for shard, qid, mask in asked:
-            out[mask] = self.supervisor.collect_reply(shard, qid)
-        return out
+                reply = self.supervisor.try_collect_reply(shard, qid, t_retry)
+                if reply is None:
+                    self.supervisor.cancel_query(shard, qid)
+                    statuses[shard] = "timeout"
+                else:
+                    out[mask] = reply
+                    statuses[shard] = "ok"
+        shards = tuple(
+            ShardQueryStatus(
+                shard=s,
+                status=statuses[s],
+                coverage=self.supervisor.shard_coverage(s),
+            )
+            for s in sorted(statuses)
+        )
+        degraded = any(s.status != "ok" or s.coverage < 1.0 for s in shards)
+        if degraded:
+            self.metrics.counter("runtime.query.degraded").inc()
+        if not detail:
+            return out
+        # Overall coverage: per-flow-weighted mass coverage, with flows
+        # on unanswered shards contributing zero.
+        total = len(flow_ids)
+        covered = sum(
+            int(masks[s.shard].sum()) * (s.coverage if s.status == "ok" else 0.0)
+            for s in shards
+        )
+        return PartialEstimate(
+            estimates=out,
+            degraded=degraded,
+            coverage=covered / total if total else 1.0,
+            shards=shards,
+        )
 
     # -- drain --------------------------------------------------------------
 
@@ -409,6 +528,11 @@ class StreamingRuntime:
             packets_sent / elapsed
         )
         handles = self.supervisor.handles
+        quarantined = tuple(
+            (h.spec.shard_id, seq, n_packets)
+            for h in handles
+            for seq, n_packets in h.quarantined
+        )
         self._result = RuntimeResult(
             config=self.config,
             num_shards=self.num_shards,
@@ -420,6 +544,7 @@ class StreamingRuntime:
             restarts=sum(h.restarts for h in handles),
             shard_map=self.partitioner.shard_map,
             reshards=self.partitioner.shard_map.version,
+            quarantined=quarantined,
         )
         self._drained = True
         return self._result

@@ -57,6 +57,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -335,6 +336,12 @@ class ShmShardChannel(ShardChannel):
         # drained ring, so single records are capped at half capacity.
         self.max_payload = self.capacity // 2 - 2 * HEADER.size
         self._ctx = ctx
+        # Per-channel namespace: every incarnation's segment shares this
+        # prefix and no other channel's (not even the same shard id in a
+        # concurrent runtime), so sweep_orphans can reclaim crashed
+        # incarnations' leaks without ever touching a stranger's segment.
+        # Kept short: POSIX shm names have tight limits on some OSes.
+        self.segment_prefix = f"repro-s{shard_id}-{uuid.uuid4().hex[:6]}-"
         self._shm: shared_memory.SharedMemory | None = None
         self._ring: RingProducer | None = None
         self._doorbell: "Semaphore | None" = None
@@ -345,7 +352,7 @@ class ShmShardChannel(ShardChannel):
 
     def open(self) -> ShmWorkerTransport:
         self.incarnation += 1
-        name = f"repro-s{self.shard_id}-i{self.incarnation}-{uuid.uuid4().hex[:8]}"
+        name = f"{self.segment_prefix}i{self.incarnation}-{uuid.uuid4().hex[:6]}"
         self._shm = shared_memory.SharedMemory(
             name=name, create=True, size=CTRL_BYTES + self.capacity
         )
@@ -375,6 +382,32 @@ class ShmShardChannel(ShardChannel):
 
     def close(self) -> None:
         self.abandon()
+        self.sweep_orphans()
+
+    def sweep_orphans(self) -> int:
+        """Unlink segments from this channel's *past* incarnations.
+
+        ``abandon`` already unlinks on the normal restart path; this
+        catches what slips through it — a supervisor process that died
+        between ``open`` and ``abandon``, or an unlink raced by a crash
+        — by scanning ``/dev/shm`` for this channel's unique namespace
+        prefix. The live incarnation's segment is skipped; unlinking is
+        a plain file remove, so no resource-tracker registration churn.
+        """
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+            return 0
+        live = None if self._shm is None else self._shm.name
+        swept = 0
+        for path in shm_dir.glob(f"{self.segment_prefix}*"):
+            if path.name == live:
+                continue
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - raced by another sweep
+                continue
+        return swept
 
     # -- data plane ---------------------------------------------------------
 
@@ -420,10 +453,16 @@ class ShmShardChannel(ShardChannel):
         self._stream_fragments(seq, packets, lengths)
         return True
 
-    def send_chunk_required(self, seq, packets, lengths, timeout: float = 60.0) -> None:
+    def send_chunk_required(
+        self, seq, packets, lengths, timeout: float = 60.0, abort=None
+    ) -> bool:
         if self._chunk_fits(packets, lengths):
-            return super().send_chunk_required(seq, packets, lengths, timeout)
+            return super().send_chunk_required(seq, packets, lengths, timeout, abort)
+        # Oversized fragment streaming has no abort hook: a dead reader
+        # is detected by the stall hook's pump swapping the ring, and the
+        # bounded timeout still applies.
         self._stream_fragments(seq, packets, lengths, timeout=timeout)
+        return True
 
     def _stream_fragments(
         self,

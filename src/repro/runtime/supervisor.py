@@ -53,6 +53,18 @@ from repro.runtime.transport import (
     ShardChannel,
     Transport,
 )
+from repro.runtime.watchdog import (
+    DEFAULT_JITTER_SEED,
+    DEFAULT_QUARANTINE_AFTER,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RestartBudget,
+    Watchdog,
+    WatchdogConfig,
+    quarantine_chunk,
+    sweep_stale_tmp,
+)
 from repro.runtime.worker import WorkerSpec, worker_main
 
 #: Seconds a worker gets to boot/recover before the supervisor gives up.
@@ -87,6 +99,14 @@ class WorkerHandle:
     seal_sent: bool = False  # reshard seal marker sent (re-sent on restart)
     sealed: tuple | None = None  # (sealed_seq, digest) once the worker sealed
     ready_seq: int | None = None  # async-observed boot report (successors)
+    # -- watchdog / restart-discipline state (repro.runtime.watchdog) -------
+    last_seen: float = 0.0  # monotonic time of the last worker message
+    hang_stage: int = 0  # 0 healthy, 1 nudged, 2 SIGTERMed
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    budget: RestartBudget | None = None  # set by the supervisor at build
+    packets_sent: int = 0  # total packet mass routed to this shard
+    suspects: dict[int, int] = field(default_factory=dict)  # seq -> crash count
+    quarantined: list[tuple[int, int]] = field(default_factory=list)  # (seq, n)
 
 
 #: Reshard phases, in order. ``sealing``: the donor is flushing acks and
@@ -126,6 +146,12 @@ class ShardSupervisor:
         max_restarts: int = 3,
         start_method: str | None = None,
         compute_slots: int | None = None,
+        restart_refill_per_s: float = 0.0,
+        restart_backoff_base: float = 0.25,
+        restart_backoff_max: float = 30.0,
+        restart_jitter_seed: int = DEFAULT_JITTER_SEED,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        watchdog: WatchdogConfig | None = WatchdogConfig(),
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ConfigError(
@@ -136,6 +162,17 @@ class ShardSupervisor:
         self.backpressure = backpressure
         self.transport = transport
         self.max_restarts = max_restarts
+        # Restart discipline: per-shard token bucket + backoff + breaker.
+        # The defaults (no refill, immediate first retry) reproduce the
+        # historic bare-counter behavior exactly.
+        self.restart_refill_per_s = restart_refill_per_s
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_max = restart_backoff_max
+        self.restart_jitter_seed = restart_jitter_seed
+        self.quarantine_after = quarantine_after
+        self._watchdog = (
+            None if watchdog is None else Watchdog(watchdog, self.metrics)
+        )
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -154,23 +191,24 @@ class ShardSupervisor:
         self._compute_gate = (
             self._ctx.Semaphore(slots) if len(specs) > slots else None
         )
-        self.handles = [
-            WorkerHandle(
-                spec=spec,
-                channel=transport.channel(
-                    spec.shard_id,
-                    ctx=self._ctx,
-                    policy=backpressure,
-                    registry=self.metrics,
-                    stall_hook=self.pump,
-                ),
-            )
-            for spec in specs
-        ]
+        self.handles = [self._make_handle(spec) for spec in specs]
         self._pumping = False
         self._stopped = False
         self._reshard: ReshardOp | None = None
         self._refeeding = False
+
+    def _make_handle(self, spec: WorkerSpec) -> WorkerHandle:
+        return WorkerHandle(
+            spec=spec,
+            channel=self.transport.channel(
+                spec.shard_id,
+                ctx=self._ctx,
+                policy=self.backpressure,
+                registry=self.metrics,
+                stall_hook=self.pump,
+            ),
+            budget=RestartBudget(self.max_restarts, self.restart_refill_per_s),
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -192,6 +230,10 @@ class ShardSupervisor:
             name=f"repro-shard-{handle.spec.shard_id}",
         )
         handle.process.start()
+        # Liveness baseline: boot time counts against the hang timeout
+        # only from here, never from a stale pre-restart timestamp.
+        handle.last_seen = time.monotonic()
+        handle.hang_stage = 0
 
     def _wait_ready(self, handle: WorkerHandle) -> int:
         """Block until the (re)started worker reports its recovery point."""
@@ -211,6 +253,8 @@ class ShardSupervisor:
                     )
                 continue
             if msg[0] == "ready":
+                handle.last_seen = time.monotonic()
+                handle.hang_stage = 0
                 return int(msg[2])  # last durable chunk seq
             if msg[0] == "error":
                 handle.last_error = msg[2]
@@ -255,6 +299,16 @@ class ShardSupervisor:
 
     def _handle_msg(self, handle: WorkerHandle, msg: tuple) -> None:
         kind = msg[0]
+        # Any message is a sign of life: refresh the watchdog's liveness
+        # view, cancel any in-flight escalation, and close a half-open
+        # breaker — the restarted worker demonstrably works.
+        handle.last_seen = time.monotonic()
+        handle.hang_stage = 0
+        if kind != "error" and handle.breaker.state == BREAKER_HALF_OPEN:
+            handle.breaker.record_success()
+            self._set_breaker_gauge(handle)
+        if kind == "heartbeat":
+            return  # receipt alone is the payload
         if kind == "ack":
             # Cumulative: everything up to the acked seq is durable
             # worker-side (chunks apply strictly in seq order).
@@ -296,38 +350,113 @@ class ShardSupervisor:
                 for msg in handle.channel.poll():
                     self._handle_msg(handle, msg)
                 if handle.process is not None and not handle.process.is_alive():
-                    self._restart(handle)
+                    self._on_worker_death(handle)
+                elif self._watchdog is not None and handle.finalized is None:
+                    # Active until the shard finalizes: a worker hung (or
+                    # SIGSTOPped) at drain time must still be recovered
+                    # or wait_finalized would spin out its full timeout.
+                    if self._watchdog.check(handle):
+                        # Escalated all the way to SIGKILL: recover in
+                        # this pump instead of waiting a cycle.
+                        self._on_worker_death(handle)
             self._advance_reshard()
         finally:
             self._pumping = False
 
+    def _set_breaker_gauge(self, handle: WorkerHandle) -> None:
+        self.metrics.gauge(
+            f"runtime.shard{handle.spec.shard_id}.breaker"
+        ).set(handle.breaker.level)
+
+    def _on_worker_death(self, handle: WorkerHandle) -> int | None:
+        """A worker is dead: open the breaker (once per death), then
+        restart now or schedule the attempt per backoff + budget.
+
+        Returns the recovery point when a restart actually happened,
+        ``None`` when it was deferred (breaker open, waiting on backoff
+        or a budget token — the next pump retries)."""
+        now = time.monotonic()
+        breaker = handle.breaker
+        if breaker.state != BREAKER_OPEN:
+            delay = breaker.record_failure(
+                now,
+                base=self.restart_backoff_base,
+                max_delay=self.restart_backoff_max,
+                seed=self.restart_jitter_seed,
+                shard=handle.spec.shard_id,
+            )
+            self._set_breaker_gauge(handle)
+            self.metrics.counter("runtime.breaker.opens").inc()
+            if delay > 0:
+                self.metrics.gauge(
+                    f"runtime.shard{handle.spec.shard_id}.backoff_seconds"
+                ).set(delay)
+        return self._maybe_restart(handle, now)
+
+    def _maybe_restart(self, handle: WorkerHandle, now: float) -> int | None:
+        """Attempt a scheduled restart if backoff has elapsed and the
+        token bucket allows it; raise when the budget is exhausted and
+        can never refill (the configured die-instead-of-degrade mode)."""
+        breaker = handle.breaker
+        if now < breaker.next_attempt:
+            return None
+        assert handle.budget is not None
+        if not handle.budget.take(now):
+            wait = handle.budget.wait_for_token(now)
+            if wait is None:
+                raise IngestError(
+                    f"shard {handle.spec.shard_id} exceeded "
+                    f"max_restarts={self.max_restarts}"
+                    + (
+                        f"; last error:\n{handle.last_error}"
+                        if handle.last_error
+                        else ""
+                    )
+                )
+            breaker.next_attempt = now + wait
+            return None
+        breaker.record_probation()
+        self._set_breaker_gauge(handle)
+        return self._restart(handle)
+
     def _restart(self, handle: WorkerHandle) -> int:
         """Restart a dead worker and re-feed everything it lost."""
         shard = handle.spec.shard_id
-        if handle.restarts >= self.max_restarts:
-            raise IngestError(
-                f"shard {shard} exceeded max_restarts={self.max_restarts}"
-                + (f"; last error:\n{handle.last_error}" if handle.last_error else "")
-            )
         handle.process.join(timeout=1.0)
         # A process killed mid-transfer can leave the transport resources
         # unusable (a half-read pipe, a half-written ring) — abandon them
-        # all; _spawn builds fresh ones.
+        # all; _spawn builds fresh ones. The dead incarnation can also
+        # have leaked artifacts (a checkpoint temp file, an orphaned shm
+        # segment raced past abandon): sweep them while nothing runs.
         handle.channel.abandon()
+        handle.channel.sweep_orphans()
+        sweep_stale_tmp(handle.spec.state_dir)
         handle.restarts += 1
         self.metrics.counter("runtime.restarts").inc()
         self.metrics.counter(f"runtime.shard{shard}.restarts").inc()
         self._spawn(handle)
         recovered_through = self._wait_ready(handle)
+        self._attribute_crash(handle, recovered_through)
         refed = 0
+        process = handle.process
+        dead_again = lambda: not process.is_alive()  # noqa: E731
         for seq in sorted(handle.retained):
             if seq <= recovered_through:
                 # Durable in the worker's WAL before the crash: the boot
                 # replay already applied it.
                 handle.retained.pop(seq)
                 continue
+            if dead_again():
+                # Crashed again mid-re-feed (a poison chunk re-fed just
+                # above kills every incarnation until quarantined). The
+                # rest stays retained; the next pump's death recovery
+                # goes back through the breaker/budget and re-feeds it.
+                break
             pkts, lens = handle.retained[seq]
-            handle.channel.send_chunk_required(seq, pkts, lens)
+            if not handle.channel.send_chunk_required(
+                seq, pkts, lens, abort=dead_again
+            ):
+                break
             refed += 1
         self.metrics.counter("runtime.refed_chunks").inc(refed)
         for query_msg in list(handle.pending_queries.values()):
@@ -340,6 +469,54 @@ class ShardSupervisor:
         if handle.drain_sent:
             handle.channel.send_drain()
         return recovered_through
+
+    # -- poison-chunk quarantine ---------------------------------------------
+
+    def _attribute_crash(self, handle: WorkerHandle, recovered_through: int) -> None:
+        """Blame the death on the chunk the worker was applying.
+
+        Injected runtime faults (and real poison chunks) fire *before*
+        the WAL append, so the killing chunk is never durable: it is the
+        lowest retained seq past the recovery point. The same chunk
+        blamed ``quarantine_after`` times in a row gets quarantined;
+        a crash blamed on a different chunk resets nothing (counts are
+        per-seq), and a restart with nothing suspicious pending clears
+        the slate — ordinary SIGKILL chaos never accumulates blame.
+        """
+        if not self.quarantine_after:
+            return
+        suspect = min(
+            (s for s in handle.retained if s > recovered_through), default=None
+        )
+        if suspect is None:
+            handle.suspects.clear()
+            return
+        count = handle.suspects.get(suspect, 0) + 1
+        handle.suspects[suspect] = count
+        if count >= self.quarantine_after:
+            self._quarantine(handle, suspect, count)
+
+    def _quarantine(self, handle: WorkerHandle, seq: int, crashes: int) -> None:
+        """Spill one poison chunk to the quarantine WAL and drop it from
+        retention — the restarted worker never sees it again."""
+        shard = handle.spec.shard_id
+        packets, lengths = handle.retained.pop(seq)
+        handle.suspects.pop(seq, None)
+        quarantine_chunk(
+            handle.spec.state_dir,
+            shard,
+            seq,
+            packets,
+            lengths,
+            crashes=crashes,
+            reason=handle.last_error or "repeated worker crashes on this chunk",
+        )
+        handle.quarantined.append((seq, len(packets)))
+        self.metrics.counter("runtime.quarantine.chunks").inc()
+        self.metrics.counter("runtime.quarantine.packets").inc(len(packets))
+        self.metrics.gauge(f"runtime.shard{shard}.quarantined_packets").set(
+            sum(n for _, n in handle.quarantined)
+        )
 
     # -- elastic resharding --------------------------------------------------
 
@@ -414,16 +591,7 @@ class ShardSupervisor:
                 raise ConfigError("successor specs must carry the new shard map")
             op.new_map = spec_b.shard_map
             for spec in (spec_a, spec_b):
-                successor = WorkerHandle(
-                    spec=spec,
-                    channel=self.transport.channel(
-                        spec.shard_id,
-                        ctx=self._ctx,
-                        policy=self.backpressure,
-                        registry=self.metrics,
-                        stall_hook=self.pump,
-                    ),
-                )
+                successor = self._make_handle(spec)
                 self._spawn(successor)
                 op.successors.append(successor)
             op.phase = "replaying"
@@ -435,7 +603,11 @@ class ShardSupervisor:
                 if successor.ready_seq is None and not successor.process.is_alive():
                     # Died mid history replay/boot: plain respawn — no
                     # retained chunks, queries, or markers to re-feed.
-                    successor.ready_seq = self._restart(successor)
+                    # Goes through the breaker/budget like any death;
+                    # a deferred (backed-off) attempt retries next pump.
+                    recovered = self._on_worker_death(successor)
+                    if recovered is not None:
+                        successor.ready_seq = recovered
             donor = self.handles[op.donor]
             if any(s.ready_seq is None for s in op.successors):
                 return
@@ -560,6 +732,26 @@ class ShardSupervisor:
             self._flush_reshard_refeed()
             return True
         handle = self.handles[shard]
+        if handle.breaker.state == BREAKER_OPEN or (
+            handle.process is not None and not handle.process.is_alive()
+        ):
+            # Fail-slow: the shard is between incarnations (crashed and
+            # backing off, or waiting on a restart token). Accept the
+            # chunk into retention without touching the channel — a
+            # blocked send to a dead consumer would stall the whole
+            # ingest plane — and let the eventual restart's re-feed
+            # deliver everything in seq order. pump() below may be the
+            # restart itself.
+            seq = handle.next_seq
+            handle.next_seq = seq + 1
+            handle.retained[seq] = (packets, lengths)
+            handle.packets_sent += len(packets)
+            self.metrics.counter("runtime.chunks_sent").inc()
+            self.metrics.counter(f"runtime.shard{shard}.chunks_sent").inc()
+            self.metrics.counter("runtime.packets_sent").inc(len(packets))
+            self.metrics.counter("runtime.breaker.held_chunks").inc()
+            self.pump()
+            return True
         seq = handle.next_seq
         # Retain *before* sending: a blocked send pumps the message loop,
         # which may deliver this very chunk's ack mid-send — the ack must
@@ -568,6 +760,7 @@ class ShardSupervisor:
         accepted = handle.channel.send_chunk(seq, packets, lengths)
         if accepted:
             handle.next_seq = seq + 1
+            handle.packets_sent += len(packets)
             self.metrics.counter("runtime.chunks_sent").inc()
             self.metrics.counter(f"runtime.shard{shard}.chunks_sent").inc()
             self.metrics.counter("runtime.packets_sent").inc(len(packets))
@@ -576,14 +769,32 @@ class ShardSupervisor:
         self.pump()
         return accepted
 
-    def send_drain(self) -> None:
+    def send_drain(self, timeout: float = 60.0) -> None:
         # A split must fully land before the stream can end: drain
         # markers are routed per-shard, and held chunks still owe the
         # successors their packets.
         self.finish_reshard()
         for handle in self.handles:
+            self._force_restart(handle, timeout=timeout)
             handle.drain_sent = True
             handle.channel.send_drain()
+
+    def _force_restart(self, handle: WorkerHandle, timeout: float) -> None:
+        """Bring a dead/backing-off shard up *now* (drain path): backoff
+        is waived — the stream is over, latency no longer buys safety —
+        but the budget still applies, so a shard configured to die dead
+        stays dead (and raises) rather than flapping forever."""
+        deadline = time.monotonic() + timeout
+        while handle.process is not None and not handle.process.is_alive():
+            handle.breaker.next_attempt = 0.0
+            if self._on_worker_death(handle) is not None:
+                return
+            if time.monotonic() > deadline:
+                raise IngestError(
+                    f"shard {handle.spec.shard_id} could not be restarted "
+                    f"for drain within {timeout:.0f}s"
+                )
+            time.sleep(0.01)
 
     def wait_finalized(self, timeout: float = 300.0) -> None:
         deadline = time.monotonic() + timeout
@@ -595,6 +806,12 @@ class ShardSupervisor:
                 ]
                 raise IngestError(f"shards {missing} did not finalize in {timeout:.0f}s")
             time.sleep(0.005)
+        # Drained and quiet: reclaim whatever any dead incarnation
+        # leaked along the way (checkpoint temp files, orphaned shm
+        # segments) while every worker is provably past writing them.
+        for handle in self.handles:
+            sweep_stale_tmp(handle.spec.state_dir)
+            handle.channel.sweep_orphans()
 
     def shard_fills(self) -> dict[int, float]:
         """Data-plane occupancy per shard in ``[0, 1]`` — the
@@ -609,6 +826,33 @@ class ShardSupervisor:
         return fills
 
     # -- queries ------------------------------------------------------------
+
+    def shard_available(self, shard: int) -> bool:
+        """Whether this shard can plausibly answer a query right now —
+        alive and not breaker-open (mid-backoff). Half-open counts as
+        available: the restarted worker answers queries fine."""
+        handle = self.handles[shard]
+        return (
+            handle.process is not None
+            and handle.process.is_alive()
+            and handle.breaker.state != BREAKER_OPEN
+        )
+
+    def shard_coverage(self, shard: int) -> float:
+        """Fraction of the packet mass sent to this shard that reached
+        its counters (quarantined chunks subtract; 1.0 when clean)."""
+        handle = self.handles[shard]
+        if not handle.packets_sent:
+            return 1.0
+        missing = sum(n for _, n in handle.quarantined)
+        return max(0.0, 1.0 - missing / handle.packets_sent)
+
+    def cancel_query(self, shard: int, qid: int) -> None:
+        """Forget one in-flight query (deadline passed): it must not be
+        re-sent on the next restart, and a late reply is dropped."""
+        handle = self.handles[shard]
+        handle.pending_queries.pop(qid, None)
+        handle.replies.pop(qid, None)
 
     def ask(
         self,
@@ -626,14 +870,26 @@ class ShardSupervisor:
     def collect_reply(
         self, shard: int, qid: int, timeout: float = 60.0
     ) -> npt.NDArray[np.float64]:
+        est = self.try_collect_reply(shard, qid, time.monotonic() + timeout)
+        if est is None:
+            raise IngestError(
+                f"shard {shard} did not answer query {qid} in {timeout:.0f}s"
+            )
+        return est
+
+    def try_collect_reply(
+        self, shard: int, qid: int, deadline: float
+    ) -> npt.NDArray[np.float64] | None:
+        """Like :meth:`collect_reply` against an absolute monotonic
+        deadline, but a missed deadline returns ``None`` (the partial-
+        answer path) instead of raising; a shard that *answered* with an
+        error still raises — that is a genuine query failure, not a
+        liveness problem."""
         handle = self.handles[shard]
-        deadline = time.monotonic() + timeout
         while qid not in handle.replies:
             self.pump()
             if time.monotonic() > deadline:
-                raise IngestError(
-                    f"shard {shard} did not answer query {qid} in {timeout:.0f}s"
-                )
+                return None
             time.sleep(0.005)
         est, err = handle.replies.pop(qid)
         if err is not None:

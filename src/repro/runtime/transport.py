@@ -157,6 +157,14 @@ class ShardChannel(ABC):
         """Final teardown — release every OS resource this channel owns
         (for shared memory: unlink the segment; nothing may leak)."""
 
+    def sweep_orphans(self) -> int:
+        """Remove leaked per-incarnation OS resources this channel's
+        past incarnations may have left behind (e.g. shm segments
+        orphaned by a crash racing ``abandon``). Never touches the live
+        incarnation or another channel's resources. Returns how many
+        were swept; the default (resource-less transports) is none."""
+        return 0
+
     # -- data plane ---------------------------------------------------------
 
     @abstractmethod
@@ -218,17 +226,25 @@ class ShardChannel(ABC):
         packets: npt.NDArray[np.uint64],
         lengths: npt.NDArray[np.int64] | None,
         timeout: float = 60.0,
-    ) -> None:
+        abort: "Callable[[], bool] | None" = None,
+    ) -> bool:
         """Send one chunk, blocking regardless of the data policy —
         the restart re-feed path, where a shed would lose a chunk the
-        contract promised to deliver."""
+        contract promised to deliver. ``abort`` (when given) is polled
+        while stalled; returning True gives up and returns ``False``
+        instead of blocking out the timeout — the re-feed target died
+        again (e.g. a poison chunk re-crashed it) and the caller keeps
+        the chunk retained for the next incarnation."""
         deadline = time.monotonic() + timeout
         while not self._offer_chunk(seq, packets, lengths, STALL_SLICE_SECONDS):
             self._record_stall(STALL_SLICE_SECONDS, count=False)
+            if abort is not None and abort():
+                return False
             if time.monotonic() > deadline:
                 raise IngestError(
                     f"shard {self.shard_id} channel stayed full for {timeout:.0f}s"
                 )
+        return True
 
     # -- control plane ------------------------------------------------------
 

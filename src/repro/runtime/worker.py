@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import os
 import re
+import signal
+import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -53,13 +55,16 @@ import numpy.typing as npt
 
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
-from repro.errors import TraceFormatError
+from repro.errors import IngestError, TraceFormatError
+from repro.resilience.faults import FaultPlan
 from repro.resilience.wal import WalRecord, WriteAheadLog
 from repro.runtime.partitioner import ShardMap
 from repro.runtime.transport import DEFAULT_ACK_EVERY
+from repro.runtime.watchdog import DEFAULT_HEARTBEAT_EVERY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.synchronize import Semaphore
+    from typing import Callable
 
     from repro.runtime.transport import WorkerTransport
 
@@ -76,7 +81,7 @@ GATE_TIMEOUT = 1.0
 
 
 @contextmanager
-def _compute_slot(gate: "Semaphore | None"):
+def _compute_slot(gate: "Semaphore | None", tick: "Callable[[], None] | None" = None):
     """Hold one oversubscription-guard slot for a heavy compute section.
 
     When shard workers outnumber cores, letting them all chew
@@ -95,11 +100,23 @@ def _compute_slot(gate: "Semaphore | None"):
     regardless: a slot lost to a SIGKILLed holder degrades back to
     concurrent compute instead of deadlocking (crash tests kill workers
     at arbitrary instants, including mid-hold).
+
+    ``tick`` is called between acquire slices so the worker can keep
+    heartbeating while it waits: a futex wait is the one legitimately
+    long silent span in the loop, and without the ticks a contended
+    gate (workers > cores, neighbors replaying after a crash) reads as
+    a hang to the watchdog — whose SIGTERM then starts the wait over
+    in a fresh incarnation, sustaining a kill loop.
     """
     if gate is None:
         yield
         return
-    got = gate.acquire(timeout=GATE_TIMEOUT)
+    deadline = time.monotonic() + GATE_TIMEOUT
+    got = gate.acquire(block=False)
+    while not got and time.monotonic() < deadline:
+        if tick is not None:
+            tick()
+        got = gate.acquire(timeout=0.05)
     try:
         yield
     finally:
@@ -133,6 +150,8 @@ class WorkerSpec:
     history_wals: tuple[str, ...] = ()  # ancestor ingest WALs, oldest first
     history_through: int = -1  # last seq covered by the history chain
     shard_map: ShardMap | None = None  # the map this worker was born under
+    heartbeat_every: float = DEFAULT_HEARTBEAT_EVERY  # seconds; 0 disables
+    fault_plan: FaultPlan | None = None  # runtime-level injected faults
 
     @property
     def wal_path(self) -> Path:
@@ -179,6 +198,40 @@ def decode_ingest_record(
     packets = record.ids[1:]
     lengths = record.values[1:] if int(record.values[0]) == 1 else None
     return seq, packets, lengths
+
+
+# -- injected runtime faults --------------------------------------------------
+
+
+def _apply_runtime_faults(plan: FaultPlan, spec: WorkerSpec, seq: int) -> None:
+    """Execute the plan's runtime-level faults for one chunk.
+
+    Runs *before* the chunk is appended to the ingest WAL, so an
+    injected hang or crash never makes the poison chunk durable: it
+    stays in the supervisor's retention buffer, is re-fed to each
+    restarted incarnation, and can therefore be attributed and
+    quarantined. Hang fires once per state dir (sentinel file) so the
+    post-kill incarnation sails past; crash counts its firings in a
+    state-dir file so ``crash_limit`` survives restarts
+    (``crash_limit=0`` means always — a truly poison chunk).
+    """
+    if plan.slow_apply > 0:
+        time.sleep(plan.slow_apply)
+    if plan.hang_at_chunk == seq:
+        sentinel = Path(spec.state_dir) / ".fault_hang_done"
+        if not sentinel.exists():
+            sentinel.touch()
+            while True:  # hang until the watchdog escalates to SIGKILL
+                time.sleep(3600)
+    if plan.crash_on_seq == seq:
+        counter = Path(spec.state_dir) / ".fault_crash_count"
+        crashes = int(counter.read_text()) if counter.exists() else 0
+        if plan.crash_limit <= 0 or crashes < plan.crash_limit:
+            counter.write_text(str(crashes + 1))
+            raise IngestError(
+                f"injected crash applying chunk seq {seq} "
+                f"(firing {crashes + 1}, limit {plan.crash_limit or 'none'})"
+            )
 
 
 # -- boot / recovery ----------------------------------------------------------
@@ -351,6 +404,13 @@ def worker_main(
     incarnation — the loop is transport-agnostic. ``compute_gate`` is
     the supervisor's oversubscription guard (see :func:`_compute_slot`),
     or ``None`` when the core budget covers every worker."""
+    # Shed any signal handlers inherited from the supervisor process
+    # (fork start method): SIGTERM must actually terminate — it is the
+    # watchdog's middle escalation stage — and SIGINT is ignored so a
+    # terminal Ctrl-C (delivered to the whole foreground process group)
+    # interrupts only the supervisor, which then drains gracefully.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     shard = spec.shard_id
     try:
         transport.open()
@@ -365,7 +425,25 @@ def worker_main(
                 unacked = 0
 
         transport.send(("ready", shard, last_seq, replayed))
+        last_heartbeat = time.monotonic()
+
+        def beat() -> None:
+            # Heartbeat on the message plane — never the data plane, so
+            # the no-fault bit-identity contract is untouched. Called at
+            # the loop top (at least every POLL_SECONDS when idle, once
+            # per chunk when busy) and between compute-gate acquire
+            # slices, which bounds heartbeat jitter even when the gate
+            # is contended.
+            nonlocal last_heartbeat
+            if spec.heartbeat_every <= 0:
+                return
+            now = time.monotonic()
+            if now - last_heartbeat >= spec.heartbeat_every:
+                transport.send(("heartbeat", shard, last_seq, now))
+                last_heartbeat = now
+
         while True:
+            beat()
             # Control first: queries stay responsive however deep the
             # data plane is, and stop wins over queued work.
             while (msg := transport.recv_control()) is not None:
@@ -396,7 +474,12 @@ def worker_main(
                     unacked = 1
                     flush_ack()
                     continue
-                with _compute_slot(compute_gate):
+                if spec.fault_plan is not None and spec.fault_plan.runtime_enabled:
+                    # Before the WAL append: an injected hang/crash must
+                    # not make the poison chunk durable (see
+                    # _apply_runtime_faults).
+                    _apply_runtime_faults(spec.fault_plan, spec, seq)
+                with _compute_slot(compute_gate, tick=beat):
                     append_ingest_chunk(wal, seq, packets, lengths)
                     scheme.process(packets, lengths)
                 last_seq = seq
@@ -404,7 +487,7 @@ def worker_main(
                 if unacked >= max(spec.ack_every, 1):
                     flush_ack()
                 if spec.checkpoint_every and (seq + 1) % spec.checkpoint_every == 0:
-                    with _compute_slot(compute_gate):
+                    with _compute_slot(compute_gate, tick=beat):
                         digest = _save_checkpoint_atomic(
                             scheme, spec.checkpoint_path(seq)
                         )
@@ -421,7 +504,7 @@ def worker_main(
                 # (a restart mid-reshard re-seals the same state).
                 unacked = 1
                 flush_ack()
-                with _compute_slot(compute_gate):
+                with _compute_slot(compute_gate, tick=beat):
                     digest = _save_checkpoint_atomic(
                         scheme, spec.checkpoint_path(max(last_seq, 0))
                     )
@@ -429,7 +512,7 @@ def worker_main(
                 transport.send(("sealed", shard, last_seq, digest))
             elif item[0] == "drain":
                 flush_ack()
-                with _compute_slot(compute_gate):
+                with _compute_slot(compute_gate, tick=beat):
                     scheme.finalize()  # idempotent across drain re-sends
                     digest = _save_checkpoint_atomic(
                         scheme, spec.checkpoint_path(max(last_seq, 0), final=True)
