@@ -124,6 +124,8 @@ def _measure_stream(
     transport: str | None,
     registry: MetricsRegistry | None,
     num_flows: int | None,
+    checkpoint_mode: str = "async",
+    checkpoint_level: int = 1,
 ) -> StreamMeasurementResult:
     """The ``workers=W`` arm of :func:`measure`: run the streaming
     runtime over the stream, then rebuild the offline twin."""
@@ -140,6 +142,8 @@ def _measure_stream(
             workers,
             state_dir=state_dir,
             transport=transport if transport is not None else DEFAULT_TRANSPORT,
+            checkpoint_mode=checkpoint_mode,
+            checkpoint_level=checkpoint_level,
             registry=registry,
         ) as rt:
             rt.ingest_stream(stream, lengths=lengths, chunk_packets=chunk_packets)
@@ -182,6 +186,8 @@ def measure(
     fault_plan: FaultPlan | None = None,
     checkpoint_every: int | None = None,
     checkpoint_path: str | None = None,
+    checkpoint_mode: str = "async",
+    checkpoint_level: int = 1,
     resume_from: str | None = None,
 ) -> MeasurementResult | StreamMeasurementResult:
     """Measure a packet stream end to end.
@@ -209,7 +215,12 @@ def measure(
     restores a saved checkpoint and continues with the *remainder* of
     ``packets`` (the first ``num_packets`` of the stream are skipped —
     pass the same stream the original run saw), finishing
-    bit-identically to an uninterrupted run.
+    bit-identically to an uninterrupted run. ``checkpoint_level`` sets
+    the zlib level of every checkpoint written (0 = store-only); with
+    ``workers=``, ``checkpoint_mode`` picks how shard workers persist:
+    ``"sync"`` (write on the ingest path), ``"async"`` (background
+    writer, the default), or ``"delta"`` (background writer plus
+    incremental changed-stripe checkpoints).
 
     Streaming (docs/runtime.md): pass ``stream=`` instead of a packet
     array — a flat array, or any iterable of packet arrays /
@@ -343,6 +354,8 @@ def measure(
                 transport=transport,
                 registry=registry,
                 num_flows=num_flows,
+                checkpoint_mode=checkpoint_mode,
+                checkpoint_level=checkpoint_level,
             )
         caesar = Caesar(
             config,
@@ -379,7 +392,7 @@ def measure(
                 packets[start:stop],
                 lengths[start:stop] if lengths is not None else None,
             )
-            caesar.save_checkpoint(checkpoint_path)
+            caesar.save_checkpoint(checkpoint_path, level=checkpoint_level)
     caesar.finalize()
     if registry is not None:
         observe_scheme(

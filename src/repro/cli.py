@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint .npz path (written by --checkpoint-every)",
     )
     measure_p.add_argument(
+        "--checkpoint-level",
+        type=int,
+        default=1,
+        metavar="L",
+        help="zlib level for saved checkpoints, 0-9 (0 = store-only)",
+    )
+    measure_p.add_argument(
         "--resume-from",
         default=None,
         metavar="PATH",
@@ -241,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         metavar="N",
         help="per-shard checkpoint cadence in chunks (0 disables)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-mode",
+        choices=["sync", "async", "delta"],
+        default="async",
+        help="how workers persist checkpoints: on the ingest path (sync), "
+        "on a background writer thread (async, default), or background "
+        "plus incremental changed-stripe deltas (delta)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-level",
+        type=int,
+        default=1,
+        metavar="L",
+        help="zlib level for worker checkpoints, 0-9 (0 = store-only)",
     )
     serve_p.add_argument(
         "--query-every",
@@ -445,7 +467,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     else:
         for start in range(0, len(packets), args.checkpoint_every):
             caesar.process(packets[start : start + args.checkpoint_every])
-            caesar.save_checkpoint(args.checkpoint_out)
+            caesar.save_checkpoint(args.checkpoint_out, level=args.checkpoint_level)
         print(f"[checkpointed to {args.checkpoint_out} every {args.checkpoint_every}]")
     caesar.finalize()
     estimates = caesar.estimate(trace.flows.ids, args.method, clip_negative=True)
@@ -574,6 +596,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ring_bytes=args.ring_kb * 1024 if args.ring_kb is not None else None,
             backpressure=args.backpressure,
             checkpoint_every=args.checkpoint_every,
+            checkpoint_mode=args.checkpoint_mode,
+            checkpoint_level=args.checkpoint_level,
             registry=registry,
             reshard_above=args.reshard_above,
             max_shards=args.max_shards,
@@ -609,6 +633,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"ingested {result.num_packets} packets; "
                 f"worker restarts: {result.restarts}"
             )
+            ages = rt.checkpoint_ages()
+            if ages:
+                print(
+                    "durability lag at drain: "
+                    + ", ".join(
+                        f"shard {s}: {age:.1f}s" for s, age in sorted(ages.items())
+                    )
+                )
             if result.reshards:
                 print(
                     f"resharded {result.reshards}x — final map "

@@ -441,12 +441,12 @@ class Caesar:
         self._last_checkpoint_mass = self._mass_seen
         return ckpt
 
-    def save_checkpoint(self, path):
+    def save_checkpoint(self, path, *, level: int = 1):
         """:meth:`checkpoint` + :meth:`~repro.resilience.checkpoint.Checkpoint.save`.
 
         Returns the path actually written (``.npz`` appended if absent).
         """
-        return self.checkpoint().save(path)
+        return self.checkpoint().save(path, level=level)
 
     @classmethod
     def resume(

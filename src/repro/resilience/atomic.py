@@ -1,0 +1,65 @@
+"""Durable atomic file publication.
+
+``os.replace`` alone gives *atomicity* (readers see the old file or the
+new one, never a torn hybrid) but not *durability*: on ext4 and friends
+the rename lives in the parent directory's metadata, and neither the
+freshly written data blocks nor that directory entry are guaranteed on
+stable storage until explicitly fsynced. A power cut after rename can
+therefore resurface the old file — or worse, a zero-length new one.
+
+Every writer in the resilience layer (checkpoints, WALs, quarantine
+evidence) publishes through :func:`atomic_publish`: fsync the temp
+file's data, rename it into place, fsync the parent directory. The
+helpers are factored here so the discipline is written once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_file", "fsync_dir", "atomic_publish"]
+
+
+def fsync_file(path: str | Path) -> None:
+    """fsync a file's contents to stable storage by path."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Best-effort on platforms whose directories refuse O_RDONLY fsync
+    (some network filesystems): the OSError is swallowed because the
+    rename itself already happened and callers cannot act on it.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_publish(tmp: str | Path, target: str | Path) -> Path:
+    """Durably publish ``tmp`` as ``target``.
+
+    fsync the temp file, atomically rename it over the target, then
+    fsync the parent directory so the rename survives a power cut. A
+    crash at any point leaves either the old target or the complete new
+    one, plus at most a ``tmp`` leftover for sweepers to collect.
+    """
+    tmp = Path(tmp)
+    target = Path(target)
+    fsync_file(tmp)
+    os.replace(tmp, target)
+    fsync_dir(target.parent)
+    return target

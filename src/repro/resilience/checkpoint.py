@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.config import CaesarConfig
-from repro.errors import TraceFormatError
+from repro.errors import ConfigError, TraceFormatError
 from repro.hashing.tabulation import TabulationIndexer
 from repro.obs.registry import MetricsRegistry
 
@@ -74,6 +74,32 @@ _STATS_FIELDS = (
     "dumped_entries",
     "dumped_packets",
 )
+
+
+def write_npz(path: Path, members: dict[str, np.ndarray], level: int = 1) -> None:
+    """Write ``members`` as a standard ``.npz`` at zlib ``level``.
+
+    Written through :mod:`zipfile` directly because
+    ``np.savez_compressed`` hardwires zlib level 6 — on DRAM-scale
+    counter banks that costs ~50% more CPU than level 1 for a few
+    percent of compressed size. ``level=0`` stores members uncompressed
+    (``ZIP_STORED``), the cheapest option for the async write path
+    where CPU spent compressing competes with ingest for cores.
+    """
+    if not 0 <= level <= 9:
+        raise ConfigError(f"compression level must be in [0, 9], got {level}")
+    method = zipfile.ZIP_STORED if level == 0 else zipfile.ZIP_DEFLATED
+    with zipfile.ZipFile(path, "w", method, compresslevel=level or None) as zf:
+        for name, arr in members.items():
+            arr = np.asarray(arr)
+            # NOT ascontiguousarray: it promotes the 0-d JSON/digest
+            # members to 1-d (it guarantees ndim >= 1), which breaks
+            # their round-trip as scalars.
+            if arr.ndim and not arr.flags.c_contiguous:
+                arr = np.ascontiguousarray(arr)
+            buf = io.BytesIO()
+            np.lib.format.write_array(buf, arr, allow_pickle=False)
+            zf.writestr(f"{name}.npy", buf.getvalue())
 
 
 def _digest(arrays: dict[str, np.ndarray], config_json: str, state_json: str) -> str:
@@ -292,15 +318,14 @@ class Checkpoint:
         """SHA-256 content digest of this checkpoint."""
         return _digest(self.arrays, self.config_json, self.state_json)
 
-    def save(self, path: str | Path) -> Path:
-        """Write the checkpoint (compressed ``.npz`` with digest).
+    def save(self, path: str | Path, *, level: int = 1) -> Path:
+        """Write the checkpoint (``.npz`` with digest) at zlib ``level``.
 
-        The file is a standard ``.npz`` (``np.load``-compatible), but
-        written through :mod:`zipfile` directly because
-        ``np.savez_compressed`` hardwires zlib level 6 — on DRAM-scale
-        counter banks that costs ~50% more CPU than level 1 for a few
-        percent of compressed size, and checkpoint cadence sits on the
-        runtime's critical path.
+        The file is a standard ``.npz`` (``np.load``-compatible); see
+        :func:`write_npz` for why it bypasses ``np.savez_compressed``
+        and what ``level=0`` means. Checkpoint cadence sits on the
+        runtime's critical path, so the default stays at the cheap
+        level 1.
         """
         path = Path(path)
         if path.suffix != ".npz":
@@ -309,19 +334,7 @@ class Checkpoint:
         members["config_json"] = np.array(self.config_json)
         members["state_json"] = np.array(self.state_json)
         members["digest"] = np.array(self.digest)
-        with zipfile.ZipFile(
-            path, "w", zipfile.ZIP_DEFLATED, compresslevel=1
-        ) as zf:
-            for name, arr in members.items():
-                arr = np.asarray(arr)
-                # NOT ascontiguousarray: it promotes the 0-d JSON/digest
-                # members to 1-d (it guarantees ndim >= 1), which breaks
-                # their round-trip as scalars.
-                if arr.ndim and not arr.flags.c_contiguous:
-                    arr = np.ascontiguousarray(arr)
-                buf = io.BytesIO()
-                np.lib.format.write_array(buf, arr, allow_pickle=False)
-                zf.writestr(f"{name}.npy", buf.getvalue())
+        write_npz(path, members, level=level)
         return path
 
     @classmethod

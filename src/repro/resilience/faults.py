@@ -78,6 +78,13 @@ class FaultPlan:
     slow_apply:
         Runtime-level fault: seconds of artificial delay before each
         chunk apply (a pathologically slow shard). ``0`` disables.
+    slow_ckpt_write:
+        Runtime-level fault: seconds of artificial delay inside each
+        background checkpoint write, between the ``.tmp_`` file landing
+        and its atomic publication (a pathologically slow disk). Widens
+        the torn-write window so chaos tests can SIGKILL mid-write
+        deterministically. Consumed by the async checkpointer, not the
+        chunk path. ``0`` disables.
     crash_on_seq:
         Runtime-level fault: the worker raises (before making the chunk
         durable) when it is about to apply this chunk seq — the poison
@@ -98,6 +105,7 @@ class FaultPlan:
     stuck_value: int | None = None
     hang_at_chunk: int = -1
     slow_apply: float = 0.0
+    slow_ckpt_write: float = 0.0
     crash_on_seq: int = -1
     crash_limit: int = 0
 
@@ -112,6 +120,10 @@ class FaultPlan:
             raise ConfigError(f"wipe_cache_at points must be >= 0, got {self.wipe_cache_at}")
         if self.slow_apply < 0:
             raise ConfigError(f"slow_apply must be >= 0, got {self.slow_apply}")
+        if self.slow_ckpt_write < 0:
+            raise ConfigError(
+                f"slow_ckpt_write must be >= 0, got {self.slow_ckpt_write}"
+            )
         if self.hang_at_chunk < -1 or self.crash_on_seq < -1:
             raise ConfigError("hang_at_chunk/crash_on_seq must be a chunk seq or -1")
         if self.crash_limit < 0:
@@ -176,6 +188,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         "stuck": "stuck_counters",
         "hang": "hang_at_chunk",
         "slow": "slow_apply",
+        "slow_ckpt": "slow_ckpt_write",
         "crash": "crash_on_seq",
     }
     for token in filter(None, (t.strip() for t in spec.split(","))):
@@ -184,7 +197,13 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         key, _, raw = token.partition("=")
         key = aliases.get(key.strip(), key.strip())
         try:
-            if key in ("drop_chunk", "duplicate_chunk", "flip_bit", "slow_apply"):
+            if key in (
+                "drop_chunk",
+                "duplicate_chunk",
+                "flip_bit",
+                "slow_apply",
+                "slow_ckpt_write",
+            ):
                 kwargs[key] = float(raw)
             elif key == "wipe":
                 kwargs["wipe_cache_at"] = tuple(int(w) for w in raw.split("+"))

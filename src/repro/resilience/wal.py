@@ -20,6 +20,7 @@ and raises :class:`~repro.errors.TraceFormatError`.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass
@@ -30,6 +31,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.errors import TraceFormatError
+from repro.resilience.atomic import fsync_dir
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.caesar import Caesar
@@ -75,8 +77,13 @@ class WriteAheadLog:
         self.records_written = 0
         self.next_seq = 0
         if new:
+            # The magic must be durable before any record claims to be:
+            # a power cut that keeps records but loses the file creation
+            # would otherwise leave an unreadable log.
             self._fh.write(WAL_MAGIC)
             self._fh.flush()
+            os.fsync(self._fh.fileno())
+            fsync_dir(self.path.parent)
         else:
             # Re-opening an existing log: continue its sequence.
             last = -1
@@ -140,6 +147,12 @@ class WriteAheadLog:
     def flush(self) -> None:
         """Push buffered records to the OS (called at checkpoint time)."""
         self._fh.flush()
+
+    def sync(self) -> None:
+        """:meth:`flush` + fsync — records survive a power cut, not just
+        a process crash (quarantine evidence writers need this)."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         """Flush and close the underlying file."""

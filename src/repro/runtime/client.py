@@ -48,6 +48,7 @@ from repro.core.config import CaesarConfig
 from repro.core.sharded import ShardedCaesar, shard_caesar_config
 from repro.errors import ConfigError, IngestError
 from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.resilience.async_ckpt import CHECKPOINT_MODES
 from repro.runtime.partitioner import (
     DEFAULT_CHUNK_PACKETS,
     DEFAULT_SHARD_SEED,
@@ -152,6 +153,8 @@ class StreamingRuntime:
         ring_bytes: int | None = None,
         backpressure: str = "block",
         checkpoint_every: int = 4,
+        checkpoint_mode: str = "async",
+        checkpoint_level: int = 1,
         ack_every: int = DEFAULT_ACK_EVERY,
         registry: MetricsRegistry | None = None,
         start_method: str | None = None,
@@ -175,6 +178,17 @@ class StreamingRuntime:
         self.state_dir = Path(state_dir)
         self.partitioner = StreamPartitioner(num_shards, shard_seed=shard_seed)
         self.checkpoint_every = checkpoint_every
+        if checkpoint_mode not in CHECKPOINT_MODES:
+            raise ConfigError(
+                f"checkpoint_mode must be one of {CHECKPOINT_MODES}, "
+                f"got {checkpoint_mode!r}"
+            )
+        if not 0 <= int(checkpoint_level) <= 9:
+            raise ConfigError(
+                f"checkpoint_level must be in [0, 9], got {checkpoint_level}"
+            )
+        self.checkpoint_mode = checkpoint_mode
+        self.checkpoint_level = int(checkpoint_level)
         self.ack_every = ack_every
         if max_shards is not None and max_shards < self.num_shards:
             raise ConfigError(
@@ -207,6 +221,8 @@ class StreamingRuntime:
                 ),
                 state_dir=str(self.state_dir / f"shard{i}"),
                 checkpoint_every=checkpoint_every,
+                checkpoint_mode=checkpoint_mode,
+                checkpoint_level=self.checkpoint_level,
                 ack_every=ack_every,
                 heartbeat_every=heartbeat_every,
                 fault_plan=faults.get(i),
@@ -388,6 +404,8 @@ class StreamingRuntime:
                     ),
                     state_dir=str(self.state_dir / f"shard{sid}.v{version}"),
                     checkpoint_every=self.checkpoint_every,
+                    checkpoint_mode=self.checkpoint_mode,
+                    checkpoint_level=self.checkpoint_level,
                     ack_every=self.ack_every,
                     heartbeat_every=self.heartbeat_every,
                     history_wals=history,
@@ -522,6 +540,8 @@ class StreamingRuntime:
             return self._result
         self.supervisor.send_drain()
         self.supervisor.wait_finalized(timeout=timeout)
+        # Land the durability-lag gauges in the final metrics export.
+        self.supervisor.checkpoint_ages()
         elapsed = max(time.perf_counter() - self._t0, 1e-9)
         packets_sent = self.metrics.counter("runtime.packets_sent").value
         self.metrics.gauge("runtime.ingest.packets_per_second").set(
@@ -566,6 +586,13 @@ class StreamingRuntime:
     def restarts(self) -> int:
         """Worker restarts so far across all shards."""
         return sum(h.restarts for h in self.supervisor.handles)
+
+    def checkpoint_ages(self) -> dict[int, float]:
+        """Seconds since each shard's last reported checkpoint (the
+        operator-facing durability lag; see
+        :meth:`ShardSupervisor.checkpoint_ages`)."""
+        self._require()
+        return self.supervisor.checkpoint_ages()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "drained" if self._drained else ("live" if self._started else "new")

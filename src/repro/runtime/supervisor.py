@@ -91,6 +91,7 @@ class WorkerHandle:
     restarts: int = 0
     last_checkpoint_seq: int = -1
     last_checkpoint_digest: str | None = None
+    last_checkpoint_at: float = 0.0  # monotonic time of the last ckpt msg
     finalized: tuple | None = None  # (digest, ck_path, num_packets)
     last_error: str | None = None
     pending_queries: dict[int, tuple] = field(default_factory=dict)
@@ -318,6 +319,12 @@ class ShardSupervisor:
         elif kind == "checkpoint":
             handle.last_checkpoint_seq = int(msg[2])
             handle.last_checkpoint_digest = msg[3]
+            handle.last_checkpoint_at = time.monotonic()
+            self.metrics.gauge(
+                f"runtime.shard{handle.spec.shard_id}.last_checkpoint_seq"
+            ).set(handle.last_checkpoint_seq)
+            if len(msg) > 4 and isinstance(msg[4], dict):
+                self._record_checkpoint_metrics(msg[4])
         elif kind == "finalized":
             handle.finalized = (msg[2], msg[3], int(msg[4]))
         elif kind == "reply":
@@ -362,6 +369,27 @@ class ShardSupervisor:
             self._advance_reshard()
         finally:
             self._pumping = False
+
+    def _record_checkpoint_metrics(self, info: dict) -> None:
+        """Fold one checkpoint completion report into the registry.
+
+        Totals (writes, bytes, deltas, ingest stall) accumulate as
+        counters; per-write shapes (snapshot/write seconds, delta
+        fraction) land as latest-value gauges.
+        """
+        m = self.metrics
+        m.counter("checkpoint.writes").inc()
+        if info.get("kind") == "delta":
+            m.counter("checkpoint.deltas").inc()
+        m.counter("checkpoint.bytes").inc(int(info.get("bytes", 0)))
+        stall = float(info.get("stall_seconds", 0.0))
+        if stall:
+            m.counter("checkpoint.ingest_stall_us").inc(int(stall * 1e6))
+        m.gauge("checkpoint.snapshot_seconds").set(
+            float(info.get("snapshot_seconds", 0.0))
+        )
+        m.gauge("checkpoint.write_seconds").set(float(info.get("write_seconds", 0.0)))
+        m.gauge("checkpoint.delta_fraction").set(float(info.get("delta_fraction", 1.0)))
 
     def _set_breaker_gauge(self, handle: WorkerHandle) -> None:
         self.metrics.gauge(
@@ -824,6 +852,22 @@ class ShardSupervisor:
                 fills[i] = fill
                 self.metrics.gauge(f"runtime.shard{i}.fill").set(fill)
         return fills
+
+    def checkpoint_ages(self) -> dict[int, float]:
+        """Seconds since each shard's last reported checkpoint — the
+        operator's durability-lag signal. Shards that have never
+        checkpointed (fresh boot, or ``checkpoint_every=0``) are
+        omitted. Also lands per-shard ``checkpoint_age_seconds``
+        gauges in the registry."""
+        now = time.monotonic()
+        ages: dict[int, float] = {}
+        for i, handle in enumerate(self.handles):
+            if handle.last_checkpoint_at <= 0:
+                continue
+            age = max(0.0, now - handle.last_checkpoint_at)
+            ages[i] = age
+            self.metrics.gauge(f"runtime.shard{i}.checkpoint_age_seconds").set(age)
+        return ages
 
     # -- queries ------------------------------------------------------------
 

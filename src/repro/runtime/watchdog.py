@@ -41,6 +41,7 @@ around repeated failure:
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -336,6 +337,7 @@ def quarantine_chunk(
     CRC-protected, torn-tail tolerant, and replayable offline with the
     ordinary WAL tooling. A JSON-lines sidecar records the why.
     """
+    from repro.resilience.atomic import fsync_dir
     from repro.resilience.wal import WriteAheadLog
     from repro.runtime.worker import append_ingest_chunk
 
@@ -345,6 +347,9 @@ def quarantine_chunk(
     wal = WriteAheadLog(wal_path)
     try:
         append_ingest_chunk(wal, seq, packets, lengths)
+        # Evidence of a chunk the runtime is about to *skip* must
+        # survive a power cut, not just a process crash.
+        wal.sync()
     finally:
         wal.close()
     meta = {
@@ -356,6 +361,9 @@ def quarantine_chunk(
     }
     with (state_dir / QUARANTINE_META).open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(meta) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    fsync_dir(state_dir)
     return wal_path
 
 

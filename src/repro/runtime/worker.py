@@ -56,6 +56,12 @@ import numpy.typing as npt
 from repro.core.caesar import Caesar
 from repro.core.config import CaesarConfig
 from repro.errors import IngestError, TraceFormatError
+from repro.resilience.async_ckpt import (
+    CheckpointDone,
+    ShardCheckpointer,
+    load_checkpoint,
+)
+from repro.resilience.atomic import atomic_publish
 from repro.resilience.faults import FaultPlan
 from repro.resilience.wal import WalRecord, WriteAheadLog
 from repro.runtime.partitioner import ShardMap
@@ -123,7 +129,7 @@ def _compute_slot(gate: "Semaphore | None", tick: "Callable[[], None] | None" = 
         if got:
             gate.release()
 
-_CKPT_RE = re.compile(r"ck_(\d{10})(_final)?\.npz$")
+_CKPT_RE = re.compile(r"ck_(\d{10})(_final|_delta)?\.npz$")
 
 
 @dataclass(frozen=True)
@@ -146,6 +152,8 @@ class WorkerSpec:
     config: CaesarConfig
     state_dir: str
     checkpoint_every: int = 4  # chunks between checkpoints; 0 disables
+    checkpoint_mode: str = "async"  # "sync" | "async" | "delta"
+    checkpoint_level: int = 1  # zlib level; 0 = store-only
     ack_every: int = DEFAULT_ACK_EVERY  # chunks between cumulative acks
     history_wals: tuple[str, ...] = ()  # ancestor ingest WALs, oldest first
     history_through: int = -1  # last seq covered by the history chain
@@ -157,8 +165,10 @@ class WorkerSpec:
     def wal_path(self) -> Path:
         return Path(self.state_dir) / "ingest.wal"
 
-    def checkpoint_path(self, seq: int, *, final: bool = False) -> Path:
-        suffix = "_final" if final else ""
+    def checkpoint_path(
+        self, seq: int, *, final: bool = False, delta: bool = False
+    ) -> Path:
+        suffix = "_final" if final else "_delta" if delta else ""
         return Path(self.state_dir) / f"ck_{seq:010d}{suffix}.npz"
 
 
@@ -243,7 +253,7 @@ def _saved_checkpoints(state_dir: Path) -> list[tuple[int, bool, Path]]:
     for path in state_dir.glob("ck_*.npz"):
         m = _CKPT_RE.search(path.name)
         if m:
-            found.append((int(m.group(1)), m.group(2) is not None, path))
+            found.append((int(m.group(1)), m.group(2) == "_final", path))
     return sorted(found)
 
 
@@ -300,7 +310,10 @@ def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
     last_seq = -1
     for seq, _final, path in reversed(_saved_checkpoints(state_dir)):
         try:
-            scheme = Caesar.resume(path)
+            # load_checkpoint composes delta chains back to full state;
+            # a broken chain raises TraceFormatError like any torn file,
+            # so the fallback walk handles both alike.
+            scheme = Caesar.resume(load_checkpoint(path))
             last_seq = seq
             break
         except TraceFormatError:
@@ -316,7 +329,11 @@ def boot_shard(spec: WorkerSpec) -> tuple[Caesar, int, int]:
                 # sealed seq so own-WAL replay resumes past it. Skipped
                 # at seq -1 (an empty donor) — a "state after chunk 0"
                 # checkpoint name must never describe pre-chunk-0 state.
-                _save_checkpoint_atomic(scheme, spec.checkpoint_path(last_seq))
+                _save_checkpoint_atomic(
+                    scheme,
+                    spec.checkpoint_path(last_seq),
+                    level=spec.checkpoint_level,
+                )
     wal_path = spec.wal_path
     if wal_path.exists() and wal_path.stat().st_size > 0:
         WriteAheadLog.truncate_torn_tail(wal_path)
@@ -360,25 +377,40 @@ def _warm_code_paths(state_dir: Path) -> None:
         warm_path.unlink(missing_ok=True)
 
 
-def _save_checkpoint_atomic(scheme: Caesar, target: Path) -> str:
-    """Checkpoint → tmp file → atomic rename; returns the digest.
+def _save_checkpoint_atomic(scheme: Caesar, target: Path, *, level: int = 1) -> str:
+    """Checkpoint → tmp file → durable atomic publish; returns the digest.
 
-    The rename guarantees a reader (the recovering successor process)
-    only ever sees complete checkpoint files; a crash mid-write leaves
-    the previous checkpoint intact.
+    The publish (fsync + rename + parent-dir fsync, see
+    :func:`~repro.resilience.atomic.atomic_publish`) guarantees a reader
+    (the recovering successor process) only ever sees complete
+    checkpoint files, even across a power cut; a crash mid-write leaves
+    the previous checkpoint intact plus a ``.tmp_`` leftover for the
+    sweeps.
     """
     ckpt = scheme.checkpoint()
     tmp = target.parent / f".tmp_{target.name}"
-    written = ckpt.save(tmp)
-    os.replace(written, target)
+    written = ckpt.save(tmp, level=level)
+    atomic_publish(written, target)
     return ckpt.digest
 
 
 def _prune_checkpoints(state_dir: Path, keep: int = 2) -> None:
-    """Drop all but the newest ``keep`` checkpoints (bounded disk)."""
+    """Drop old checkpoints (bounded disk) without orphaning a delta.
+
+    Keeps everything from the ``keep``-th-newest *full* checkpoint
+    onward. Safe for chains by construction: a delta's base is the
+    checkpoint file written immediately before it, so any surviving
+    delta's chain bottoms out at the greatest full checkpoint at or
+    below its own seq — which this policy always retains.
+    """
     saved = _saved_checkpoints(state_dir)
-    for _seq, _final, path in saved[:-keep] if len(saved) > keep else []:
-        path.unlink(missing_ok=True)
+    fulls = [seq for seq, _final, path in saved if "_delta" not in path.name]
+    if len(fulls) <= keep:
+        return
+    cutoff = fulls[-keep]
+    for seq, _final, path in saved:
+        if seq < cutoff:
+            path.unlink(missing_ok=True)
 
 
 # -- the worker loop ----------------------------------------------------------
@@ -417,12 +449,38 @@ def worker_main(
         scheme, last_seq, replayed = boot_shard(spec)
         wal = WriteAheadLog(spec.wal_path)
         unacked = 0
+        # Background checkpointer for the async/delta modes. Created
+        # per incarnation, so its first checkpoint is always full and
+        # delta chains never cross a crash boundary.
+        ckptr: ShardCheckpointer | None = None
+        if spec.checkpoint_every and spec.checkpoint_mode != "sync":
+            slow = (
+                spec.fault_plan.slow_ckpt_write
+                if spec.fault_plan is not None
+                else 0.0
+            )
+            ckptr = ShardCheckpointer(
+                spec.checkpoint_mode,
+                level=spec.checkpoint_level,
+                slow_write=slow,
+            )
 
         def flush_ack() -> None:
             nonlocal unacked
             if unacked:
                 transport.send(("ack", shard, last_seq))
                 unacked = 0
+
+        def report_checkpoints(done: "list[CheckpointDone]") -> None:
+            # Completed background writes: prune (the new file is now
+            # durable, older ones may drop) and tell the supervisor.
+            # All transport.send calls stay on this thread — the writer
+            # thread never touches the transport.
+            if not done:
+                return
+            _prune_checkpoints(Path(spec.state_dir))
+            for d in done:
+                transport.send(("checkpoint", shard, d.seq, d.digest, d.info))
 
         transport.send(("ready", shard, last_seq, replayed))
         last_heartbeat = time.monotonic()
@@ -444,11 +502,18 @@ def worker_main(
 
         while True:
             beat()
+            if ckptr is not None:
+                report_checkpoints(ckptr.poll())
             # Control first: queries stay responsive however deep the
             # data plane is, and stop wins over queued work.
             while (msg := transport.recv_control()) is not None:
                 if msg[0] == "stop":
                     flush_ack()
+                    if ckptr is not None:
+                        # Finish any in-flight write durably; no point
+                        # reporting it — the supervisor is tearing down
+                        # and boot discovers the file on disk anyway.
+                        ckptr.close(tick=beat)
                     wal.close()
                     transport.close()  # flushes outbound queues first
                     # Everything is durable and flushed; skip interpreter
@@ -487,13 +552,50 @@ def worker_main(
                 if unacked >= max(spec.ack_every, 1):
                     flush_ack()
                 if spec.checkpoint_every and (seq + 1) % spec.checkpoint_every == 0:
-                    with _compute_slot(compute_gate, tick=beat):
-                        digest = _save_checkpoint_atomic(
-                            scheme, spec.checkpoint_path(seq)
+                    if ckptr is not None:
+                        # Back-pressure: at most one write in flight.
+                        # The wait is the only stall the async path ever
+                        # charges to ingest, and it is zero whenever the
+                        # previous write finished between checkpoints.
+                        done, _stall = ckptr.wait_idle(tick=beat)
+                        report_checkpoints(done)
+                        with _compute_slot(compute_gate, tick=beat):
+                            ckptr.capture(
+                                scheme,
+                                seq,
+                                full=spec.checkpoint_path(seq),
+                                delta=spec.checkpoint_path(seq, delta=True),
+                            )
+                    else:
+                        t0 = time.perf_counter()
+                        with _compute_slot(compute_gate, tick=beat):
+                            digest = _save_checkpoint_atomic(
+                                scheme,
+                                spec.checkpoint_path(seq),
+                                level=spec.checkpoint_level,
+                            )
+                        stall = time.perf_counter() - t0
+                        _prune_checkpoints(Path(spec.state_dir))
+                        transport.send(
+                            (
+                                "checkpoint",
+                                shard,
+                                seq,
+                                digest,
+                                {
+                                    "kind": "full",
+                                    "mode": "sync",
+                                    "snapshot_seconds": 0.0,
+                                    "write_seconds": stall,
+                                    "bytes": spec.checkpoint_path(seq)
+                                    .stat()
+                                    .st_size,
+                                    "delta_fraction": 1.0,
+                                    "stall_seconds": stall,
+                                },
+                            )
                         )
-                    _prune_checkpoints(Path(spec.state_dir))
                     flush_ack()  # checkpointed ⊇ durable: retention can drop
-                    transport.send(("checkpoint", shard, seq, digest))
             elif item[0] == "seal":
                 # Reshard seal: ordered after every chunk sent before it,
                 # so the ingest WAL is now a complete record of this
@@ -504,18 +606,32 @@ def worker_main(
                 # (a restart mid-reshard re-seals the same state).
                 unacked = 1
                 flush_ack()
+                if ckptr is not None:
+                    # The seal checkpoint must be the newest durable
+                    # state, so land the in-flight write first.
+                    done, _stall = ckptr.wait_idle(tick=beat)
+                    report_checkpoints(done)
                 with _compute_slot(compute_gate, tick=beat):
                     digest = _save_checkpoint_atomic(
-                        scheme, spec.checkpoint_path(max(last_seq, 0))
+                        scheme,
+                        spec.checkpoint_path(max(last_seq, 0)),
+                        level=spec.checkpoint_level,
                     )
                 _prune_checkpoints(Path(spec.state_dir))
                 transport.send(("sealed", shard, last_seq, digest))
             elif item[0] == "drain":
                 flush_ack()
+                if ckptr is not None:
+                    # Join the writer before the final checkpoint: the
+                    # drain contract is "everything durable on return".
+                    done, _stall = ckptr.wait_idle(tick=beat)
+                    report_checkpoints(done)
                 with _compute_slot(compute_gate, tick=beat):
                     scheme.finalize()  # idempotent across drain re-sends
                     digest = _save_checkpoint_atomic(
-                        scheme, spec.checkpoint_path(max(last_seq, 0), final=True)
+                        scheme,
+                        spec.checkpoint_path(max(last_seq, 0), final=True),
+                        level=spec.checkpoint_level,
                     )
                 transport.send(
                     (

@@ -112,6 +112,31 @@ class TestBenchResultsSchema:
             < stats["bench_runtime_ingest_1w_shm"]["median"]
         ), "shm 4-worker ingest is not faster than 1-worker"
 
+    def test_checkpoint_benches_recorded(self, results):
+        """The durability-cadence trio backing docs/resilience.md: sync
+        (baseline stall), async (background write), delta (incremental
+        background write) at a checkpoint-per-chunk cadence."""
+        recorded = {entry["name"] for entry in results["benchmarks"]}
+        for mode in ("sync", "async", "delta"):
+            assert f"bench_checkpoint_{mode}" in recorded, mode
+
+    def test_async_checkpoint_off_hot_path(self, results):
+        """The point of the background writer: at an identical cadence,
+        ingest+drain with async checkpoints must be materially faster
+        than with synchronous ones, because compression and fsync
+        overlap the next chunk instead of stalling it.
+
+        Compared on the median for the same reason as the shm scaling
+        assert — CI-box bursts produce one-sided outliers that a
+        handful-of-rounds mean inherits."""
+        stats = {
+            entry["name"]: entry["stats"] for entry in results["benchmarks"]
+        }
+        assert (
+            stats["bench_checkpoint_async"]["median"]
+            < stats["bench_checkpoint_sync"]["median"]
+        ), "async checkpointing is not faster than sync at equal cadence"
+
     def test_artifact_built_from_clean_tree(self, results):
         """A benchmark artifact recorded against uncommitted edits is
         unreproducible — reject it so regeneration happens post-commit."""
