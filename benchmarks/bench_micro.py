@@ -439,6 +439,46 @@ def bench_mlm_query(benchmark):
     benchmark(mlm_estimate, w, 10_000_000, 12_500, entry_capacity=54)
 
 
+# -- fusion query path ---------------------------------------------------------
+#
+# Query-time cost of the multi-vantage fabric (docs/fabric.md): the
+# single-box estimate is one CSM pass; the PATH:6 fused query is six
+# per-vantage CSM passes plus variance-model evaluation plus the
+# weighted-MLE combiner. Both sides query the same flow set over the
+# same packet batch, so the pair prices fusion's query overhead factor
+# (construction cost is excluded — it is the module fixture).
+
+
+@pytest.fixture(scope="module")
+def _fusion_setup(packet_batch):
+    from repro.fabric import Fabric, path_topology
+
+    config = CaesarConfig(
+        cache_entries=8192, entry_capacity=54, k=3, bank_size=4096
+    )
+    single = Caesar(config)
+    single.process(packet_batch)
+    single.finalize()
+    fabric = Fabric(config, path_topology(6))
+    fabric.ingest_stream(packet_batch)
+    fabric.drain()
+    return single, fabric, np.unique(packet_batch)
+
+
+def bench_fusion_query_single_box(benchmark, _fusion_setup):
+    """Single-box CSM query over the batch's flow set (the fusion
+    pair's denominator)."""
+    single, _, flow_ids = _fusion_setup
+    benchmark(single.estimate, flow_ids)
+
+
+def bench_fusion_query_path6(benchmark, _fusion_setup):
+    """6-vantage PATH fabric query with weighted-MLE fusion over the
+    same flow set."""
+    _, fabric, flow_ids = _fusion_setup
+    benchmark(lambda: fabric.query(flow_ids, fusion="mle"))
+
+
 def bench_tabulation_hashing(benchmark):
     from repro.hashing.tabulation import TabulationHash
 

@@ -37,12 +37,16 @@ Package map
 - :mod:`repro.runtime` — streaming ingest runtime: long-lived shard
   worker processes with bounded queues, backpressure, live queries,
   and checkpointed crash recovery;
+- :mod:`repro.fabric` — multi-vantage measurement fabric: PATH/TREE/
+  FAT-TREE topologies, per-vantage CAESAR, query-time fusion
+  (min / inverse-variance / weighted MLE);
 - :mod:`repro.analysis` — error metrics and report tables;
 - :mod:`repro.experiments` — one module per paper figure (3-8).
 """
 
 from repro.analysis.metrics import evaluate
 from repro.api import MeasurementResult, StreamMeasurementResult, measure
+from repro.fabric import Fabric, FabricResult, FusionReport, parse_topology
 from repro.runtime.client import RuntimeResult, StreamingRuntime
 from repro.baselines.case import Case, CaseConfig
 from repro.baselines.rcs import RCS, RCSConfig
@@ -86,6 +90,10 @@ __all__ = [
     "StreamMeasurementResult",
     "StreamingRuntime",
     "RuntimeResult",
+    "Fabric",
+    "FabricResult",
+    "FusionReport",
+    "parse_topology",
     "MeasurementScheme",
     "MetricsRegistry",
     "EvictionTrace",

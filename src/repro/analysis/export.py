@@ -5,7 +5,9 @@ The benchmark harness prints tables; anyone regenerating the paper's
 CSV (no extra dependencies) for the binned-error series, generic
 x/y-series, and a whole :class:`ExperimentResult` — plus JSON export
 and terminal rendering of a metrics-registry snapshot (the CLI's
-``--metrics-out`` and ``stats`` surfaces).
+``--metrics-out`` and ``stats`` surfaces). :func:`merge_snapshots`
+namespaces several registries (``vantage<i>.`` prefixes, one registry
+per fabric vantage) into one collision-free exportable snapshot.
 """
 
 from __future__ import annotations
@@ -86,6 +88,40 @@ def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]
     report_path.write_text(result.render() + "\n")
     written.append(report_path)
     return written
+
+
+def merge_snapshots(
+    sources: Mapping[str, MetricsRegistry | Mapping],
+    *,
+    separator: str = ".",
+) -> dict:
+    """Merge several registries into one namespaced snapshot.
+
+    Each source's metric names are prefixed ``<key><separator>`` —
+    e.g. ``{"vantage0": reg0, "vantage1": reg1}`` yields
+    ``vantage0.cache.hits`` next to ``vantage1.cache.hits`` — so
+    per-deployment registries (one per fabric vantage, one per box)
+    can share one exported artifact without colliding. A post-prefix
+    name collision (two sources whose prefixed names still clash, or a
+    repeated prefix) raises :class:`~repro.errors.ConfigError` rather
+    than silently dropping a section. The result is
+    :func:`export_metrics`-ready.
+    """
+    merged: dict = {}
+    for key, source in sources.items():
+        if not key:
+            raise ConfigError("merge_snapshots keys must be non-empty")
+        snap = snapshot_of(source)
+        for section, metrics in snap.items():
+            out = merged.setdefault(section, {})
+            for name, value in metrics.items():
+                qualified = f"{key}{separator}{name}"
+                if qualified in out:
+                    raise ConfigError(
+                        f"metric name collision in merged snapshot: {qualified!r}"
+                    )
+                out[qualified] = value
+    return merged
 
 
 def export_metrics(path: str | Path, source: MetricsRegistry | Mapping) -> Path:

@@ -8,6 +8,7 @@ Subcommands::
     caesar-repro trace --out t.npz         # generate/save a workload
     caesar-repro measure --trace t.npz --sram-kb 4 --cache-kb 4 --top 10
     caesar-repro serve --trace t.npz --workers 4 --sram-kb 4 --cache-kb 4
+    caesar-repro fabric --topology PATH:6 --fusion mle
     caesar-repro stats m.json              # pretty-print a metrics snapshot
 
 (``repro`` is an alias of ``caesar-repro`` — same entry point.)
@@ -22,6 +23,14 @@ deterministic fault injection by SIGKILLing a worker mid-stream
 result bit-identical to a single-process sharded run under the final
 shard map — the CI runtime-smoke and reshard-smoke jobs run exactly
 this (see docs/runtime.md).
+
+``fabric`` deploys one CAESAR per node of a routed topology
+(:mod:`repro.fabric`): flows hash to (ingress, egress) attachment
+pairs, every vantage on the route observes them (optionally sampled),
+and queries fuse the per-vantage estimates (``--fusion min|ivw|mle``).
+``--vantage-workers N`` runs each vantage through the streaming
+runtime; ``--chaos-kill VANTAGE:SHARD:CHUNK`` plus ``--verify-offline``
+is the fabric-smoke CI job's recovery proof (see docs/fabric.md).
 
 ``run``, ``report``, and ``measure`` accept ``--metrics-out PATH``:
 observability is switched on (a :class:`~repro.obs.MetricsRegistry`
@@ -352,6 +361,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument("--top", type=int, default=5, help="print the top-N flows")
     _add_metrics_arg(serve_p)
+
+    fabric_p = sub.add_parser(
+        "fabric",
+        help="run a multi-vantage measurement fabric over a routed topology",
+    )
+    fabric_p.add_argument(
+        "--topology",
+        default="PATH:6",
+        metavar="SPEC",
+        help="topology spec: PATH:n, TREE:DEPTHxBRANCHING, or FAT-TREE:k "
+        "(default PATH:6; see docs/fabric.md)",
+    )
+    fabric_p.add_argument(
+        "--fusion",
+        choices=["min", "ivw", "mle"],
+        default="mle",
+        help="query-time fusion estimator (default mle; see docs/fabric.md)",
+    )
+    fabric_p.add_argument(
+        "--vantage-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard worker processes per vantage (0 = in-process, default); "
+        "N >= 1 runs each vantage through the supervised streaming runtime",
+    )
+    fabric_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="W",
+        help="in-process shards per vantage (ignored with --vantage-workers)",
+    )
+    fabric_p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="per-hop observation probability in (0, 1] — each vantage "
+        "independently observes each routed packet with probability P "
+        "(deterministic thinning; estimates are unbiased back by 1/P)",
+    )
+    fabric_p.add_argument(
+        "--trace",
+        default=None,
+        help="input .npz trace (requires --sram-kb/--cache-kb); "
+        "default: generate the scaled paper workload",
+    )
+    _add_workload_args(fabric_p)
+    fabric_p.add_argument(
+        "--sram-kb",
+        type=float,
+        default=None,
+        help="per-vantage SRAM budget (default: the scaled Fig. 4 budget)",
+    )
+    fabric_p.add_argument(
+        "--cache-kb",
+        type=float,
+        default=None,
+        help="per-vantage cache budget (default: the scaled Fig. 4 budget)",
+    )
+    fabric_p.add_argument("--k", type=int, default=3)
+    _add_engine_arg(fabric_p)
+    fabric_p.add_argument(
+        "--chunk-packets",
+        type=int,
+        default=8192,
+        help="packets per ingest chunk (the unit of routing and recovery)",
+    )
+    fabric_p.add_argument(
+        "--chaos-kill",
+        default=None,
+        metavar="VANTAGE:SHARD:CHUNK",
+        help="SIGKILL vantage VANTAGE's shard worker SHARD just before "
+        "ingesting chunk CHUNK (needs --vantage-workers >= 1; the run "
+        "must still finish bit-identically)",
+    )
+    fabric_p.add_argument(
+        "--verify-offline",
+        action="store_true",
+        help="after the drain, rerun an in-process fabric twin and assert "
+        "fused estimates and every vantage's per-shard checkpoint "
+        "digests are bit-identical",
+    )
+    fabric_p.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for worker checkpoints/WALs (default: a temp dir)",
+    )
+    fabric_p.add_argument("--top", type=int, default=5, help="print the top-N flows")
+    _add_metrics_arg(fabric_p)
 
     stats_p = sub.add_parser(
         "stats", help="pretty-print a metrics snapshot written by --metrics-out"
@@ -722,6 +822,165 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.analysis.metrics import evaluate
+    from repro.core.config import CaesarConfig
+    from repro.experiments.trace_setup import PAPER_CACHE_KB, PAPER_SRAM_KB_MAIN
+    from repro.fabric import Fabric, parse_topology
+    from repro.runtime.partitioner import chunk_stream
+
+    if args.trace:
+        if args.sram_kb is None or args.cache_kb is None:
+            raise ConfigError("--trace needs explicit --sram-kb and --cache-kb")
+        trace = Trace.load(args.trace)
+        sram_kb, cache_kb = args.sram_kb, args.cache_kb
+    else:
+        scale = args.scale if args.scale is not None else configured_scale()
+        trace = default_paper_trace(scale=scale, seed=args.seed)
+        sram_kb = args.sram_kb if args.sram_kb is not None else PAPER_SRAM_KB_MAIN * scale
+        cache_kb = args.cache_kb if args.cache_kb is not None else PAPER_CACHE_KB * scale
+    topology = parse_topology(args.topology)
+    config = CaesarConfig.for_budgets(
+        sram_kb=sram_kb,
+        cache_kb=cache_kb,
+        num_packets=trace.num_packets,
+        num_flows=trace.num_flows,
+        k=args.k,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    chaos: tuple[int, int, int] | None = None
+    if args.chaos_kill:
+        try:
+            vantage_s, shard_s, chunk_s = args.chaos_kill.split(":")
+            chaos = (int(vantage_s), int(shard_s), int(chunk_s))
+        except ValueError:
+            raise ConfigError(
+                f"--chaos-kill wants VANTAGE:SHARD:CHUNK, got {args.chaos_kill!r}"
+            ) from None
+        if args.vantage_workers < 1:
+            raise ConfigError("--chaos-kill needs --vantage-workers >= 1")
+        if not 0 <= chaos[0] < topology.num_nodes:
+            raise ConfigError(f"--chaos-kill vantage {chaos[0]} out of range")
+        if not 0 <= chaos[1] < args.vantage_workers:
+            raise ConfigError(f"--chaos-kill shard {chaos[1]} out of range")
+    # One registry per vantage plus one for the facade: the merged
+    # export namespaces them (vantage<i>. prefixes) so per-vantage
+    # cache/pipeline counters don't collide in one artifact.
+    fabric_registry = _registry_from(args)
+    vantage_registries = (
+        [MetricsRegistry() for _ in range(topology.num_nodes)]
+        if fabric_registry is not None
+        else None
+    )
+    print(
+        f"fabric over {topology.describe()} "
+        f"(per-vantage {config.describe()}, fusion={args.fusion}, "
+        f"{'in-process' if not args.vantage_workers else f'{args.vantage_workers}w runtime'}"
+        f", sample_rate={args.sample_rate})"
+    )
+    tmp = None
+    state_dir = args.state_dir
+    if state_dir is None and args.vantage_workers:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+        state_dir = tmp.name
+    fabric = Fabric(
+        config,
+        topology,
+        fusion=args.fusion,
+        shards_per_vantage=args.shards,
+        vantage_workers=args.vantage_workers,
+        state_dir=state_dir,
+        sample_rate=args.sample_rate,
+        registry=fabric_registry,
+        vantage_registries=vantage_registries,
+    )
+    try:
+        for i, (pkts, lens) in enumerate(
+            chunk_stream(trace.packets, chunk_packets=args.chunk_packets)
+        ):
+            if chaos is not None and i == chaos[2]:
+                print(
+                    f"[chaos: SIGKILL vantage {chaos[0]} shard {chaos[1]} "
+                    f"worker at chunk {i}]"
+                )
+                fabric.kill_worker(chaos[0], chaos[1])
+            fabric.ingest(pkts, lens)
+        result = fabric.drain()
+    finally:
+        fabric.shutdown()
+        if tmp is not None:
+            tmp.cleanup()
+    print(
+        f"routed {result.num_packets} packets into "
+        f"{result.total_observations} observations; "
+        f"worker restarts: {result.restarts}"
+    )
+    for v, (count, digests) in enumerate(
+        zip(result.observed_packets, result.shard_digests)
+    ):
+        print(
+            f"  vantage {v}: {count} packets, digests "
+            + " ".join(f"{d[:12]}…" for d in digests)
+        )
+    if result.degraded:
+        print(f"degraded vantages (lost input): {result.degraded_vantages}")
+    report = fabric.report(trace.flows.ids, trace.flows.sizes)
+    print(report.summary())
+    estimates = fabric.query(trace.flows.ids, clip_negative=True)
+    print(evaluate(estimates, trace.flows.sizes).summary())
+    order = np.argsort(estimates)[::-1][: args.top]
+    print(f"\ntop {args.top} flows by fused estimate (estimate / actual):")
+    for i in order:
+        print(
+            f"  {int(trace.flows.ids[i]):>20d}  "
+            f"{estimates[i]:>12.1f}  {int(trace.flows.sizes[i]):>10d}"
+        )
+    if args.verify_offline:
+        twin = Fabric(
+            config,
+            topology,
+            fusion=args.fusion,
+            shards_per_vantage=(
+                args.vantage_workers if args.vantage_workers else args.shards
+            ),
+            sample_rate=args.sample_rate,
+        )
+        twin.ingest_stream(trace.packets, chunk_packets=args.chunk_packets)
+        twin_result = twin.drain()
+        twin_estimates = twin.query(trace.flows.ids, clip_negative=True)
+        if (
+            not np.array_equal(estimates, twin_estimates)
+            or twin_result.shard_digests != result.shard_digests
+        ):
+            print(
+                "offline verification FAILED: fabric result diverges from "
+                "the in-process twin",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "offline verification: bit-identical to the in-process fabric "
+            "(fused estimates and every vantage's per-shard digests)"
+        )
+    if fabric_registry is not None:
+        from repro.analysis.export import export_metrics, merge_snapshots
+
+        merged = merge_snapshots(
+            {
+                "fabric": fabric_registry,
+                **{
+                    f"vantage{v}": reg
+                    for v, reg in enumerate(vantage_registries or [])
+                },
+            }
+        )
+        print(f"[wrote {export_metrics(args.metrics_out, merged)}]")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -748,16 +1007,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_measure(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fabric":
+        return _cmd_fabric(args)
     if args.command == "stats":
         return _cmd_stats(args)
     build_parser().print_help()
     return 2
 
 
+_SUBCOMMANDS = ("run", "list", "trace", "report", "measure", "serve", "fabric", "stats")
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # Backwards compatibility: a bare experiment name means `run`.
-    if argv and argv[0] in (*list_experiments(), "all"):
+    # Backwards compatibility: a bare experiment name means `run` —
+    # unless it names a subcommand too (the `fabric` experiment shares
+    # its name with the `fabric` subcommand; run it via `run fabric`).
+    if (
+        argv
+        and argv[0] not in _SUBCOMMANDS
+        and argv[0] in (*list_experiments(), "all")
+    ):
         argv = ["run", *argv]
     args = build_parser().parse_args(argv)
     try:

@@ -10,6 +10,7 @@ from repro.experiments import (
     arrival_patterns,
     eventsim_validation,
     extensions,
+    fabric,
     fig3_distribution,
     fig4_caesar,
     fig5_case,
@@ -42,6 +43,7 @@ _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "scaling": scaling.run,
     "robustness": robustness.run,
     "faults": robustness.run_faults,
+    "fabric": fabric.run,
 }
 
 

@@ -1,0 +1,59 @@
+"""Multi-vantage measurement fabric (library extension).
+
+The paper evaluates CAESAR on one measurement box; this package turns
+it into a measurement *network*: a routed :mod:`topology
+<repro.fabric.topology>` of vantage points, one CAESAR deployment per
+node (:mod:`vantage <repro.fabric.vantage>`, in-process shards or a
+streaming runtime per vantage), and query-time :mod:`fusion
+<repro.fabric.fusion>` of the per-vantage estimates, all behind the
+:class:`~repro.fabric.fabric.Fabric` facade. See docs/fabric.md.
+"""
+
+from repro.fabric.fabric import Fabric, FabricResult
+from repro.fabric.fusion import (
+    FUSION_METHODS,
+    FusionReport,
+    VantageObservation,
+    fuse,
+    fuse_ivw,
+    fuse_min,
+    fuse_mle,
+    fusion_report,
+)
+from repro.fabric.topology import (
+    DEFAULT_TOPOLOGY_SEED,
+    Topology,
+    fat_tree_topology,
+    parse_topology,
+    path_topology,
+    tree_topology,
+)
+from repro.fabric.vantage import (
+    VANTAGE_SEED_STRIDE,
+    VantageEstimate,
+    VantagePoint,
+    vantage_caesar_config,
+)
+
+__all__ = [
+    "DEFAULT_TOPOLOGY_SEED",
+    "FUSION_METHODS",
+    "Fabric",
+    "FabricResult",
+    "FusionReport",
+    "Topology",
+    "VANTAGE_SEED_STRIDE",
+    "VantageEstimate",
+    "VantageObservation",
+    "VantagePoint",
+    "fat_tree_topology",
+    "fuse",
+    "fuse_ivw",
+    "fuse_min",
+    "fuse_mle",
+    "fusion_report",
+    "parse_topology",
+    "path_topology",
+    "tree_topology",
+    "vantage_caesar_config",
+]

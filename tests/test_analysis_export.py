@@ -64,3 +64,55 @@ class TestExportResult:
         assert "x,1.5,about 1.5" in csv_text
         report = (tmp_path / "out" / "demo_report.txt").read_text()
         assert "a table" in report
+
+
+class TestMergeSnapshots:
+    @staticmethod
+    def _registry(hits: int):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(hits)
+        reg.gauge("sram.fill").set(0.5)
+        return reg
+
+    def test_namespaces_per_vantage_without_collision(self):
+        from repro.analysis.export import merge_snapshots
+
+        merged = merge_snapshots(
+            {"vantage0": self._registry(3), "vantage1": self._registry(7)}
+        )
+        assert merged["counters"]["vantage0.cache.hits"] == 3
+        assert merged["counters"]["vantage1.cache.hits"] == 7
+        assert merged["gauges"]["vantage0.sram.fill"] == 0.5
+
+    def test_accepts_snapshots_and_registries_mixed(self):
+        from repro.analysis.export import merge_snapshots
+
+        snap = self._registry(1).snapshot()
+        merged = merge_snapshots({"a": snap, "b": self._registry(2)})
+        assert merged["counters"]["a.cache.hits"] == 1
+        assert merged["counters"]["b.cache.hits"] == 2
+
+    def test_collision_rejected(self):
+        from repro.analysis.export import merge_snapshots
+
+        with pytest.raises(ConfigError):
+            merge_snapshots(
+                {
+                    "a": {"counters": {"b.cache.hits": 1}},
+                    "a.b": {"counters": {"cache.hits": 2}},
+                }
+            )
+        with pytest.raises(ConfigError):
+            merge_snapshots({"": self._registry(1)})
+
+    def test_exportable_through_export_metrics(self, tmp_path):
+        import json
+
+        from repro.analysis.export import export_metrics, merge_snapshots
+
+        merged = merge_snapshots({"vantage0": self._registry(4)})
+        path = export_metrics(tmp_path / "m.json", merged)
+        data = json.loads(path.read_text())
+        assert data["counters"]["vantage0.cache.hits"] == 4
